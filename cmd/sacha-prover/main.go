@@ -1,0 +1,83 @@
+// Command sacha-prover runs a SACHa device as a TCP server.
+//
+// The device boots its static partition from a synthesised boot flash
+// (derived from -build) and answers attestation commands. Verify it with
+// sacha-verifier using the same -device, -build and -key values (in a
+// real deployment the key is enrolled from the device's PUF; the tools
+// model the post-enrollment state).
+//
+//	sacha-prover -listen :4242 -device SmallLX -build 1 -key 000102…0f
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"sacha/internal/channel"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/prover"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4242", "address to listen on")
+	devName := flag.String("device", "SmallLX", "device geometry")
+	buildID := flag.Uint64("build", 1, "static bitstream build ID")
+	keyHex := flag.String("key", "000102030405060708090a0b0c0d0e0f", "enrolled MAC key (32 hex chars)")
+	flag.Parse()
+
+	geo, err := device.ByName(*devName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev, err := prover.New(prover.Config{
+		Geo:     geo,
+		BootMem: core.BuildBootMem(geo, *buildID),
+		Key:     prover.RegisterKey(key),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.PowerOn(); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sacha-prover: device %s powered on, listening on %s", geo.Name, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sacha-prover: verifier connected from %s", conn.RemoteAddr())
+		ep := channel.NewTCP(conn)
+		if err := dev.Serve(ep); err != nil {
+			log.Printf("sacha-prover: session ended: %v", err)
+		} else {
+			log.Printf("sacha-prover: session complete (%d frames written, %d read back)",
+				dev.Port.FramesWritten(), dev.Port.FramesRead())
+		}
+		ep.Close()
+	}
+}
+
+func parseKey(s string) ([16]byte, error) {
+	var key [16]byte
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 16 {
+		return key, fmt.Errorf("key must be 32 hex characters")
+	}
+	copy(key[:], raw)
+	return key, nil
+}

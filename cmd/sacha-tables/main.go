@@ -1,0 +1,224 @@
+// Command sacha-tables regenerates every table and figure of the paper's
+// evaluation from the model:
+//
+//	sacha-tables -table 2        FPGA resources (Table 2)
+//	sacha-tables -table 3        per-action timing (Table 3)
+//	sacha-tables -table 4        protocol totals (Table 4) + JTAG reference
+//	sacha-tables -fig 8          SACHa protocol trace (Fig. 8)
+//	sacha-tables -fig 9          low-level protocol trace (Fig. 9)
+//	sacha-tables -security       §7.2 adversary matrix
+//	sacha-tables -all            everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sacha/internal/apps"
+	"sacha/internal/attack"
+	"sacha/internal/compress"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/resources"
+	"sacha/internal/timing"
+	"sacha/internal/trace"
+	"sacha/internal/verifier"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce Table N (2, 3 or 4)")
+	fig := flag.Int("fig", 0, "reproduce Figure N (8 or 9)")
+	security := flag.Bool("security", false, "run the §7.2 adversary matrix")
+	ablations := flag.Bool("ablations", false, "print the ablation sweeps (batching, device size, compression)")
+	all := flag.Bool("all", false, "reproduce everything")
+	devName := flag.String("device", "XC6VLX240T", "device geometry")
+	secDevName := flag.String("security-device", "SmallLX", "device for the (protocol-heavy) security matrix")
+	appName := flag.String("app", "blinker16", "intended application for protocol traces")
+	flag.Parse()
+
+	geo, err := device.ByName(*devName)
+	fatal(err)
+
+	if *all {
+		*table = -1
+		*fig = -1
+		*security = true
+		*ablations = true
+	}
+	ran := false
+	if *table == 2 || *table == -1 {
+		printTable2(geo)
+		ran = true
+	}
+	if *table == 3 || *table == -1 {
+		printTable3(geo)
+		ran = true
+	}
+	if *table == 4 || *table == -1 {
+		printTable4(geo)
+		ran = true
+	}
+	if *fig == 8 || *fig == -1 {
+		printProtocolTrace(*appName, false)
+		ran = true
+	}
+	if *fig == 9 || *fig == -1 {
+		printProtocolTrace(*appName, true)
+		ran = true
+	}
+	if *security {
+		printSecurityMatrix(*secDevName, *appName)
+		ran = true
+	}
+	if *ablations {
+		printAblations(geo, *appName)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sacha-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func printTable2(geo *device.Geometry) {
+	fmt.Printf("== Table 2: FPGA resources of the SACHa architecture (%s) ==\n", geo.Name)
+	fmt.Print(resources.Format(resources.Table2(geo)))
+	fmt.Printf("StatPart occupies %.1f%% of the device (paper: < 9%%)\n\n",
+		resources.StatPartFraction(geo)*100)
+}
+
+func printTable3(geo *device.Geometry) {
+	m := timing.NewModel(geo)
+	fmt.Printf("== Table 3: timing of the low-level protocol steps (%s) ==\n", geo.Name)
+	fmt.Printf("%-5s %-32s %12s\n", "", "Action", "Time")
+	for _, row := range m.Table3() {
+		fmt.Printf("A%-4d %-32s %9d ns\n", int(row.Action), row.Action.Description(), row.Time.Nanoseconds())
+	}
+	fmt.Println()
+}
+
+func printTable4(geo *device.Geometry) {
+	m := timing.NewModel(geo)
+	tab := m.Table4()
+	fmt.Printf("== Table 4: total timing of the SACHa protocol (%s) ==\n", geo.Name)
+	fmt.Printf("%-5s %14s %16s\n", "", "Number of times", "Time")
+	for _, row := range tab.Rows {
+		fmt.Printf("A%-4d %14d %16s\n", int(row.Action), row.Count, fmtDur(row.Total))
+	}
+	fmt.Printf("%-5s %14s %16s   (paper: 1.443 s)\n", "", "Theoretical", fmtDur(tab.Theoretical))
+	fmt.Printf("%-5s %14s %16s   (paper: 28.5 s)\n", "", "Measured", fmtDur(tab.Measured))
+	fmt.Printf("Reference: direct JTAG configuration of the full device: %s (paper: around 28 s)\n\n",
+		fmtDur(m.JTAGConfigTime()))
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3f µs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.3f ms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3f s", d.Seconds())
+	}
+}
+
+func printProtocolTrace(appName string, lowLevel bool) {
+	// Protocol traces run on the small device so they finish instantly;
+	// the message structure is identical on the XC6VLX240T.
+	app, err := apps.ByName(appName)
+	fatal(err)
+	sys, err := core.NewSystem(core.Config{
+		Geo:        device.SmallLX(),
+		App:        app,
+		LabLatency: -1,
+		Seed:       1,
+	})
+	fatal(err)
+	which := "Fig. 8: SACHa protocol"
+	if lowLevel {
+		which = "Fig. 9: low-level communication steps"
+	}
+	fmt.Printf("== %s (device %s, app %s) ==\n", which, sys.Geo.Name, appName)
+	opts := core.AttestOptions{Opts: verifier.Options{Trace: os.Stdout}}
+	var events *trace.Log
+	if lowLevel {
+		opts.Opts.Offset = 137 // a non-zero offset i, as in Fig. 9
+		events = trace.NewLog(8)
+		opts.Opts.Events = events
+	}
+	rep, err := sys.Attest(opts)
+	fatal(err)
+	if events != nil {
+		fmt.Println("first protocol steps (virtual time on the XC6VLX240T action model):")
+		fatal(events.Render(os.Stdout, 8))
+	}
+	fmt.Printf("result: H_Prv == H_Vrf: %v; B_Prv == B_Vrf: %v; accepted: %v\n\n",
+		rep.MACOK, rep.ConfigOK, rep.Accepted)
+}
+
+func printAblations(geo *device.Geometry, appName string) {
+	m := timing.NewModel(geo)
+	fmt.Printf("== Ablation: frames per ICAP_config packet (§6.1 buffer ↔ messages trade-off, %s) ==\n", geo.Name)
+	fmt.Printf("%8s %12s %10s %14s %14s\n", "frames", "buffer", "commands", "theoretical", "measured")
+	for _, p := range m.BatchSweep([]int{1, 2, 4, 8, 16}) {
+		fmt.Printf("%8d %10d B %10d %14s %14s\n",
+			p.FramesPerPacket, p.BufferBytes, p.Commands, fmtDur(p.Theoretical), fmtDur(p.Measured))
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation: device size sweep ==")
+	fmt.Printf("%-12s %10s %14s %14s\n", "device", "frames", "theoretical", "measured")
+	for _, g := range []*device.Geometry{device.SmallLX(), device.XC6VLX240T(), device.BigLX()} {
+		tab := timing.NewModel(g).Table4()
+		fmt.Printf("%-12s %10d %14s %14s\n", g.Name, g.NumFrames(), fmtDur(tab.Theoretical), fmtDur(tab.Measured))
+	}
+	fmt.Println()
+
+	app, err := apps.ByName(appName)
+	fatal(err)
+	golden, dynFrames, err := core.BuildGolden(geo, app, 1, 0x5A5A)
+	fatal(err)
+	var words []uint32
+	for _, idx := range dynFrames {
+		words = append(words, golden.Frame(idx)...)
+	}
+	r := compress.Ratio(words)
+	fmt.Printf("== Ablation: bitstream compression (paper ref [24], %s, app %s) ==\n", geo.Name, appName)
+	fmt.Printf("partial bitstream: %d bytes raw, ratio %.5f (%.0f bytes compressed)\n\n",
+		len(words)*4, r, float64(len(words)*4)*r)
+}
+
+func printSecurityMatrix(devName, appName string) {
+	geo, err := device.ByName(devName)
+	fatal(err)
+	fmt.Printf("== §7.2 security evaluation: adversary matrix (device %s) ==\n", geo.Name)
+	results, err := attack.All(func() (*core.System, error) {
+		app, err := apps.ByName(appName)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSystem(core.Config{
+			Geo:        geo,
+			App:        app,
+			KeyMode:    core.KeyStatPUF,
+			DeviceID:   1,
+			LabLatency: -1,
+			Seed:       2,
+		})
+	})
+	fatal(err)
+	fmt.Printf("%-32s %-8s %-10s %s\n", "Adversary", "Class", "Detected", "Mechanism")
+	for _, r := range results {
+		fmt.Printf("%-32s %-8s %-10v %s\n", r.Name, r.Class, r.Detected, r.Mechanism)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,11 @@
+// Package sacha is a full reproduction of "SACHa: Self-Attestation of
+// Configurable Hardware" (Vliegen, Rabbani, Conti, Mentens — DATE 2019)
+// as a Go library: a frame-accurate FPGA fabric and ICAP model, the SACHa
+// prover and verifier, the attestation protocol, the paper's adversaries,
+// the Perito–Tsudik baseline and the future-work extensions.
+//
+// The public entry point is internal/core; the runnable entry points are
+// the binaries under cmd/ and the programs under examples/. The benchmark
+// harness in bench_test.go regenerates every table and figure of the
+// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package sacha

@@ -1,0 +1,3 @@
+module sacha
+
+go 1.22

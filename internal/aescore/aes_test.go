@@ -1,0 +1,166 @@
+package aescore
+
+import (
+	"bytes"
+	"crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// FIPS-197 Appendix C.1 example vector.
+func TestFIPS197Vector(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("encrypt = %x, want %x", ct, want)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, ct)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt = %x, want %x", back, pt)
+	}
+}
+
+// FIPS-197 Appendix B example (different key/plaintext).
+func TestFIPS197AppendixB(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	c, _ := New(key)
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("encrypt = %x, want %x", ct, want)
+	}
+}
+
+func TestKeySizeError(t *testing.T) {
+	if _, err := New(make([]byte, 15)); err == nil {
+		t.Error("15-byte key accepted")
+	}
+	if _, err := New(make([]byte, 32)); err == nil {
+		t.Error("32-byte key accepted (core is AES-128 only)")
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Encrypt(make([]byte, 16), make([]byte, 15))
+}
+
+func TestSboxProperties(t *testing.T) {
+	// S-box must be a permutation with the known fixed values.
+	var seen [256]bool
+	for i := 0; i < 256; i++ {
+		if seen[sbox[i]] {
+			t.Fatalf("sbox not a permutation at %d", i)
+		}
+		seen[sbox[i]] = true
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox wrong at %d", i)
+		}
+	}
+	if sbox[0x00] != 0x63 || sbox[0x01] != 0x7c || sbox[0x53] != 0xed {
+		t.Fatalf("sbox spot values wrong: %x %x %x", sbox[0x00], sbox[0x01], sbox[0x53])
+	}
+}
+
+// Property: our core agrees with crypto/aes on random keys and blocks.
+func TestQuickAgainstStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := New(key)
+		if err != nil {
+			return false
+		}
+		ref, err := aes.NewCipher(key)
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		ours.Encrypt(a, pt)
+		ref.Encrypt(b, pt)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decrypt inverts Encrypt for random inputs.
+func TestQuickEncryptDecrypt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		c, _ := New(key)
+		ct := make([]byte, 16)
+		back := make([]byte, 16)
+		c.Encrypt(ct, pt)
+		c.Decrypt(back, ct)
+		return bytes.Equal(back, pt) && !bytes.Equal(ct, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptInPlace(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	buf := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, _ := New(key)
+	c.Encrypt(buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("in-place encrypt = %x, want %x", buf, want)
+	}
+}
+
+func TestGmul(t *testing.T) {
+	// Known products from FIPS-197 examples.
+	if gmul(0x57, 0x13) != 0xfe {
+		t.Errorf("gmul(0x57,0x13) = %#x, want 0xfe", gmul(0x57, 0x13))
+	}
+	if gmul(0x57, 0x02) != 0xae {
+		t.Errorf("gmul(0x57,0x02) = %#x, want 0xae", gmul(0x57, 0x02))
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

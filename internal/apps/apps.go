@@ -1,0 +1,50 @@
+// Package apps is the registry of demo applications for the dynamic
+// partition, shared by the command-line tools.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"sacha/internal/netlist"
+)
+
+// builders maps application names to constructors.
+var builders = map[string]func() *netlist.Design{
+	"blinker8":  func() *netlist.Design { return netlist.Blinker(8) },
+	"blinker16": func() *netlist.Design { return netlist.Blinker(16) },
+	"counter8":  func() *netlist.Design { return netlist.Counter(8) },
+	"counter16": func() *netlist.Design { return netlist.Counter(16) },
+	"lfsr16":    func() *netlist.Design { return netlist.LFSR(16, []int{0, 2, 3, 5}) },
+	"adder8":    func() *netlist.Design { return netlist.RippleAdder(8) },
+	"maj3":      netlist.Majority,
+	"gray8":     func() *netlist.Design { return netlist.GrayCounter(8) },
+	"shift16":   func() *netlist.Design { return netlist.ShiftRegister(16) },
+	"ring12":    func() *netlist.Design { return netlist.OneHotRing(12) },
+	"sc4": func() *netlist.Design {
+		return netlist.SoftCore(netlist.SC4Program{
+			{Op: netlist.SC4Addi, Imm: 3},
+			{Op: netlist.SC4Xori, Imm: 0x55},
+			{Op: netlist.SC4Jmp, Imm: 0},
+		})
+	},
+}
+
+// ByName builds the named application.
+func ByName(name string) (*netlist.Design, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (available: %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Names lists the available applications.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

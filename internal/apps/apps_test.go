@@ -1,0 +1,48 @@
+package apps
+
+import (
+	"testing"
+
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/netlist"
+)
+
+func TestEveryRegisteredAppBuildsSimulatesAndPlaces(t *testing.T) {
+	geo := device.SmallLX()
+	region := fabric.AppRegion(geo)
+	for _, name := range Names() {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name == "" {
+			t.Errorf("%s: unnamed design", name)
+		}
+		if _, err := netlist.NewSimulator(d); err != nil {
+			t.Errorf("%s: does not simulate: %v", name, err)
+		}
+		im := fabric.NewImage(geo)
+		if _, err := fabric.PlaceDesign(im, region, d); err != nil {
+			t.Errorf("%s: does not place: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+func TestNamesSortedAndStable(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("registry shrank: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package attack implements the adversaries of the paper's security
+// evaluation (§7.2) as executable experiments. Each attack runs a full
+// attestation against a compromised device, an impersonator or a
+// man-in-the-middle, and reports whether SACHa detected it and through
+// which mechanism (MAC failure or masked-bitstream mismatch).
+package attack
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sacha/internal/channel"
+	"sacha/internal/cmac"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/protocol"
+	"sacha/internal/prover"
+	"sacha/internal/verifier"
+)
+
+// Result is the outcome of one adversary experiment.
+type Result struct {
+	// Name and Class identify the threat (paper §3 taxonomy: remote or
+	// local adversary).
+	Name  string
+	Class string
+	// Description summarises the attack.
+	Description string
+	// Detected reports whether the verifier rejected the run.
+	Detected bool
+	// Mechanism names what caught it.
+	Mechanism string
+	// Err is a protocol-level failure (also a detection, e.g. a replayer
+	// returning frames in the wrong order).
+	Err error
+}
+
+func verdict(rep *verifier.Report, err error) (bool, string) {
+	if err != nil {
+		return true, "protocol failure"
+	}
+	switch {
+	case !rep.MACOK && !rep.ConfigOK:
+		return true, "MAC mismatch + bitstream mismatch"
+	case !rep.MACOK:
+		return true, "MAC mismatch"
+	case !rep.ConfigOK:
+		return true, "masked bitstream mismatch"
+	}
+	return false, "not detected"
+}
+
+// DynPartModule is the first §7.2 threat: a local adversary adds a
+// malicious hardware module to the dynamic partition after the verifier's
+// configuration pass. The bounded configuration memory forces the module
+// to live in DynMem, where readback exposes it.
+func DynPartModule(sys *core.System) Result {
+	r := Result{
+		Name:        "malicious module in DynPart",
+		Class:       "local",
+		Description: "adversary splices a LUT ring into spare DynPart slots after configuration",
+	}
+	rep, err := sys.Attest(core.AttestOptions{TamperDevice: func(d *prover.Device) {
+		// Use a high CLB column of the last row — guaranteed free of the
+		// small demo application, i.e. genuinely "hidden" space.
+		geo := d.Geo
+		site := fabric.Site{Row: geo.Rows - 1, CLBCol: geo.ColumnsOf(device.ColCLB) - 2, CLBInCol: 3}
+		var sels [6]uint64
+		sels[0] = fabric.SelConst1
+		if err := fabric.WriteLUT(d.Fabric.Mem, site, 5, true, 0x1, sels); err != nil {
+			panic(err)
+		}
+	}})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	return r
+}
+
+// StatPartModule is the second §7.2 threat: tampering with the static
+// partition itself. The StatPart is minimal, so any addition displaces
+// configuration bits that the full-memory readback covers.
+func StatPartModule(sys *core.System) Result {
+	r := Result{
+		Name:        "malicious module in StatPart",
+		Class:       "local",
+		Description: "adversary rewrites static-partition configuration bits",
+	}
+	rep, err := sys.Attest(core.AttestOptions{TamperDevice: func(d *prover.Device) {
+		statFrames := fabric.StatRegion(d.Geo).Frames()
+		target := statFrames[len(statFrames)/3]
+		d.Fabric.Mem.Frame(target)[17] ^= 0x00400000
+	}})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	return r
+}
+
+// Impersonation is the third §7.2 threat: another device mimics the
+// prover. The impersonator is given maximal knowledge — the full static
+// golden content and every configured frame — but not the PUF-backed key.
+func Impersonation(sys *core.System) Result {
+	r := Result{
+		Name:        "prover impersonation",
+		Class:       "local",
+		Description: "key-less device with full bitstream knowledge answers the protocol",
+	}
+	static := sys.StaticImage()
+	var guessedKey [16]byte
+	rand.New(rand.NewSource(0xBAD)).Read(guessedKey[:])
+
+	rep, err := sys.AttestAgainst(func(ep channel.Endpoint) error {
+		return serveImpersonator(ep, static, guessedKey)
+	}, core.AttestOptions{})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	return r
+}
+
+// serveImpersonator answers the protocol from stored frames using a
+// guessed key.
+func serveImpersonator(ep channel.Endpoint, content *fabric.Image, key [16]byte) error {
+	mac, err := cmac.New(key[:])
+	if err != nil {
+		return err
+	}
+	started := false
+	for {
+		raw, err := ep.Recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		m, err := protocol.Decode(raw)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case protocol.MsgICAPConfig:
+			content.SetFrame(int(m.FrameIndex), m.Words)
+		case protocol.MsgICAPReadback:
+			if !started {
+				started = true
+			}
+			words := content.Frame(int(m.FrameIndex))
+			mac.Update(wordsToBytes(words))
+			resp, _ := (&protocol.Message{Type: protocol.MsgFrameData, FrameIndex: m.FrameIndex, Words: words}).Encode()
+			if err := ep.Send(resp); err != nil {
+				return err
+			}
+		case protocol.MsgMACChecksum:
+			tag := mac.Sum()
+			resp, _ := (&protocol.Message{Type: protocol.MsgMACValue, MAC: tag}).Encode()
+			if err := ep.Send(resp); err != nil {
+				return err
+			}
+		default:
+			resp, _ := protocol.Errorf("impersonator: unsupported %v", m.Type).Encode()
+			if err := ep.Send(resp); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func wordsToBytes(words []uint32) []byte {
+	out := make([]byte, 0, len(words)*4)
+	for _, w := range words {
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out
+}
+
+// ExternalProxy is the fourth §7.2 threat: the adversary wires internal
+// signals to the pins so an external computer can take over work while
+// the FPGA runs malicious logic. The pin table lives in configuration
+// memory, so the extra connection is visible to the verifier.
+func ExternalProxy(sys *core.System) Result {
+	r := Result{
+		Name:        "external computing device",
+		Class:       "local",
+		Description: "adversary routes an internal net to an unused pad for an external helper",
+	}
+	rep, err := sys.Attest(core.AttestOptions{TamperDevice: func(d *prover.Device) {
+		// Route some net to the last pin of the device (unused by the
+		// golden design).
+		pin := fabric.NumPins(d.Geo) - 1
+		if err := fabric.WriteIOBPin(d.Fabric.Mem, pin, true, fabric.SelConst1); err != nil {
+			panic(err)
+		}
+	}})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	return r
+}
+
+// Replay is the fifth §7.2 threat: the adversary records an honest
+// attestation and replays its responses while the device runs malicious
+// logic. The fresh nonce in the new challenge makes the recorded
+// transcript stale.
+func Replay(sys *core.System) Result {
+	r := Result{
+		Name:        "replay attack",
+		Class:       "local",
+		Description: "adversary replays a recorded transcript against a fresh challenge",
+	}
+
+	// Step 1: record an honest attestation's responses.
+	var recorded [][]byte
+	recErr := make(chan error, 1)
+	honest := func(ep channel.Endpoint) error {
+		tap := &channel.Tap{Inner: ep, OnSend: func(m []byte) []byte {
+			cp := make([]byte, len(m))
+			copy(cp, m)
+			recorded = append(recorded, cp)
+			return m
+		}}
+		err := sys.Device.Serve(tap)
+		recErr <- err
+		return err
+	}
+	n1 := uint64(0x1111)
+	if rep, err := sys.AttestAgainst(honest, core.AttestOptions{Nonce: &n1}); err != nil || !rep.Accepted {
+		r.Err = fmt.Errorf("attack: honest recording run failed: %v", err)
+		return r
+	}
+	<-recErr
+
+	// Step 2: replay against a fresh nonce.
+	n2 := uint64(0x2222)
+	rep, err := sys.AttestAgainst(func(ep channel.Endpoint) error {
+		i := 0
+		for {
+			raw, err := ep.Recv()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			m, err := protocol.Decode(raw)
+			if err != nil {
+				return err
+			}
+			switch m.Type {
+			case protocol.MsgICAPConfig:
+				// Dropped: the adversary does not apply the new challenge.
+			case protocol.MsgICAPReadback, protocol.MsgMACChecksum:
+				if i >= len(recorded) {
+					return fmt.Errorf("attack: replay transcript exhausted")
+				}
+				if err := ep.Send(recorded[i]); err != nil {
+					return err
+				}
+				i++
+			default:
+				resp, _ := protocol.Errorf("replayer: unsupported %v", m.Type).Encode()
+				if err := ep.Send(resp); err != nil {
+					return err
+				}
+			}
+		}
+	}, core.AttestOptions{Nonce: &n2})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	if r.Detected && err == nil && rep.MACOK {
+		r.Mechanism = "stale nonce in masked bitstream (MAC of old transcript still valid)"
+	}
+	return r
+}
+
+// RemoteUpdateTamper is the "remote adversary" of the paper's §3
+// taxonomy (the Stuxnet-style threat): a man-in-the-middle alters
+// configuration frames in flight, attempting a malicious remote update.
+// The device faithfully configures what it receives, so the readback
+// exposes the altered content against the verifier's golden image.
+func RemoteUpdateTamper(sys *core.System) Result {
+	r := Result{
+		Name:        "malicious remote update (MITM)",
+		Class:       "remote",
+		Description: "adversary rewrites ICAP_config frames between verifier and device",
+	}
+	tampered := 0
+	rep, err := sys.AttestAgainst(func(ep channel.Endpoint) error {
+		mitm := &channel.Tap{Inner: ep, OnRecv: func(m []byte) []byte {
+			// Corrupt every 500th configuration frame's payload.
+			if len(m) > 0 && m[0] == byte(protocol.MsgICAPConfig) {
+				tampered++
+				if tampered%500 == 0 {
+					cp := make([]byte, len(m))
+					copy(cp, m)
+					cp[len(cp)/2] ^= 0x20
+					return cp
+				}
+			}
+			return m
+		}}
+		return sys.Device.Serve(mitm)
+	}, core.AttestOptions{})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	return r
+}
+
+// All runs every §7.2 adversary plus the §3 remote adversary, each
+// against a freshly provisioned system from newSys.
+func All(newSys func() (*core.System, error)) ([]Result, error) {
+	attacks := []func(*core.System) Result{
+		DynPartModule,
+		StatPartModule,
+		Impersonation,
+		ExternalProxy,
+		Replay,
+		RemoteUpdateTamper,
+	}
+	out := make([]Result, 0, len(attacks))
+	for _, atk := range attacks {
+		sys, err := newSys()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, atk(sys))
+	}
+	return out, nil
+}

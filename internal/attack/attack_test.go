@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+func newSmallSystem() (*core.System, error) {
+	return core.NewSystem(core.Config{
+		Geo:        device.SmallLX(),
+		App:        netlist.Blinker(8),
+		KeyMode:    core.KeyStatPUF,
+		DeviceID:   7,
+		LabLatency: -1,
+		Seed:       11,
+	})
+}
+
+func mustSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := newSmallSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDynPartModuleDetected(t *testing.T) {
+	r := DynPartModule(mustSystem(t))
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	if !strings.Contains(r.Mechanism, "bitstream") {
+		t.Errorf("expected bitstream mismatch, got %q", r.Mechanism)
+	}
+}
+
+func TestStatPartModuleDetected(t *testing.T) {
+	r := StatPartModule(mustSystem(t))
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+}
+
+func TestImpersonationDetected(t *testing.T) {
+	r := Impersonation(mustSystem(t))
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	// The impersonator's content is perfect; only the MAC can catch it.
+	if r.Mechanism != "MAC mismatch" {
+		t.Errorf("expected pure MAC mismatch, got %q (err=%v)", r.Mechanism, r.Err)
+	}
+}
+
+func TestExternalProxyDetected(t *testing.T) {
+	r := ExternalProxy(mustSystem(t))
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	if !strings.Contains(r.Mechanism, "bitstream") {
+		t.Errorf("expected bitstream mismatch (pin table is configuration), got %q", r.Mechanism)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	r := Replay(mustSystem(t))
+	if r.Err != nil && strings.Contains(r.Err.Error(), "recording run failed") {
+		t.Fatalf("setup failed: %v", r.Err)
+	}
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	// The paper's argument: the MAC of the old transcript is still valid,
+	// the *nonce* is what makes the replay visible.
+	if !strings.Contains(r.Mechanism, "nonce") && !strings.Contains(r.Mechanism, "bitstream") {
+		t.Errorf("unexpected mechanism %q", r.Mechanism)
+	}
+}
+
+func TestRemoteUpdateTamperDetected(t *testing.T) {
+	r := RemoteUpdateTamper(mustSystem(t))
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	if r.Class != "remote" {
+		t.Errorf("class %q, want remote (§3 taxonomy)", r.Class)
+	}
+}
+
+func TestAllAdversariesDetected(t *testing.T) {
+	results, err := All(newSmallSystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("expected 6 adversaries (paper §7.2 + §3 remote), got %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Detected {
+			t.Errorf("%s: NOT detected (%s)", r.Name, r.Mechanism)
+		}
+		if r.Class == "" || r.Description == "" {
+			t.Errorf("%s: incomplete metadata", r.Name)
+		}
+	}
+}
+
+// TestHonestBaselineStillAccepted guards against the attacks package
+// breaking honest runs (e.g. via shared state).
+func TestHonestBaselineStillAccepted(t *testing.T) {
+	sys := mustSystem(t)
+	rep, err := sys.Attest(core.AttestOptions{})
+	if err != nil || !rep.Accepted {
+		t.Fatalf("honest run rejected: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package bits provides a compact bit-vector with ranged accessors.
+//
+// The FPGA fabric model stores per-column configuration as flat bit
+// vectors; LUT truth tables, routing selectors and flip-flop fields are
+// read and written as little-endian unsigned integers at arbitrary bit
+// offsets. The vector is backed by 32-bit words so that it maps one-to-one
+// onto configuration-frame words.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector;
+// use New to create one with a given length.
+type Vector struct {
+	n     int // length in bits
+	words []uint32
+}
+
+// New returns a zeroed Vector holding n bits.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bits: negative length")
+	}
+	return &Vector{n: n, words: make([]uint32, (n+31)/32)}
+}
+
+// FromWords wraps a copy of the given 32-bit words as a Vector of
+// len(words)*32 bits.
+func FromWords(words []uint32) *Vector {
+	v := &Vector{n: len(words) * 32, words: make([]uint32, len(words))}
+	copy(v.words, words)
+	return v
+}
+
+// Len returns the length of the vector in bits.
+func (v *Vector) Len() int { return v.n }
+
+// Words returns the backing 32-bit words. The slice is shared, not copied;
+// the caller must not change its length.
+func (v *Vector) Words() []uint32 { return v.words }
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{n: v.n, words: make([]uint32, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bits: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Bit returns bit i as 0 or 1.
+func (v *Vector) Bit(i int) uint32 {
+	v.check(i)
+	return (v.words[i>>5] >> (uint(i) & 31)) & 1
+}
+
+// SetBit sets bit i to b&1.
+func (v *Vector) SetBit(i int, b uint32) {
+	v.check(i)
+	w, s := i>>5, uint(i)&31
+	v.words[w] = (v.words[w] &^ (1 << s)) | ((b & 1) << s)
+}
+
+// Flip inverts bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i>>5] ^= 1 << (uint(i) & 31)
+}
+
+// Uint returns width bits starting at bit offset off, as a little-endian
+// unsigned integer (bit off is the least-significant bit of the result).
+// width must be in [0,64].
+func (v *Vector) Uint(off, width int) uint64 {
+	if width < 0 || width > 64 {
+		panic("bits: width out of range")
+	}
+	if width == 0 {
+		return 0
+	}
+	v.check(off)
+	v.check(off + width - 1)
+	var out uint64
+	for i := 0; i < width; {
+		w, s := (off+i)>>5, uint(off+i)&31
+		take := 32 - int(s)
+		if take > width-i {
+			take = width - i
+		}
+		chunk := uint64(v.words[w]>>s) & ((1 << uint(take)) - 1)
+		out |= chunk << uint(i)
+		i += take
+	}
+	return out
+}
+
+// SetUint writes the low width bits of val at bit offset off.
+func (v *Vector) SetUint(off, width int, val uint64) {
+	if width < 0 || width > 64 {
+		panic("bits: width out of range")
+	}
+	if width == 0 {
+		return
+	}
+	v.check(off)
+	v.check(off + width - 1)
+	for i := 0; i < width; {
+		w, s := (off+i)>>5, uint(off+i)&31
+		take := 32 - int(s)
+		if take > width-i {
+			take = width - i
+		}
+		mask := uint32((1<<uint(take))-1) << s
+		v.words[w] = (v.words[w] &^ mask) | (uint32(val>>uint(i)) << s & mask)
+		i += take
+	}
+}
+
+// Xor xors other into v in place. Both vectors must have the same length.
+func (v *Vector) Xor(other *Vector) {
+	if v.n != other.n {
+		panic("bits: length mismatch in Xor")
+	}
+	for i := range v.words {
+		v.words[i] ^= other.words[i]
+	}
+}
+
+// And ands other into v in place. Both vectors must have the same length.
+func (v *Vector) And(other *Vector) {
+	if v.n != other.n {
+		panic("bits: length mismatch in And")
+	}
+	for i := range v.words {
+		v.words[i] &= other.words[i]
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for i, w := range v.words {
+		if i == len(v.words)-1 && v.n%32 != 0 {
+			w &= (1 << uint(v.n%32)) - 1
+		}
+		c += bits.OnesCount32(w)
+	}
+	return c
+}
+
+// Equal reports whether v and other hold the same bits.
+func (v *Vector) Equal(other *Vector) bool {
+	if v.n != other.n {
+		return false
+	}
+	last := len(v.words) - 1
+	for i := range v.words {
+		a, b := v.words[i], other.words[i]
+		if i == last && v.n%32 != 0 {
+			m := uint32(1)<<uint(v.n%32) - 1
+			a &= m
+			b &= m
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(100)
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", v.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v.Bit(i) != 0 {
+			t.Fatalf("bit %d not zero", i)
+		}
+	}
+}
+
+func TestSetGetBit(t *testing.T) {
+	v := New(70)
+	idx := []int{0, 1, 31, 32, 33, 63, 64, 69}
+	for _, i := range idx {
+		v.SetBit(i, 1)
+	}
+	for i := 0; i < 70; i++ {
+		want := uint32(0)
+		for _, j := range idx {
+			if i == j {
+				want = 1
+			}
+		}
+		if v.Bit(i) != want {
+			t.Fatalf("bit %d = %d, want %d", i, v.Bit(i), want)
+		}
+	}
+	if v.OnesCount() != len(idx) {
+		t.Fatalf("OnesCount = %d, want %d", v.OnesCount(), len(idx))
+	}
+	v.SetBit(31, 0)
+	if v.Bit(31) != 0 {
+		t.Fatal("clearing bit 31 failed")
+	}
+}
+
+func TestFlip(t *testing.T) {
+	v := New(40)
+	v.Flip(35)
+	if v.Bit(35) != 1 {
+		t.Fatal("flip 0->1 failed")
+	}
+	v.Flip(35)
+	if v.Bit(35) != 0 {
+		t.Fatal("flip 1->0 failed")
+	}
+}
+
+func TestUintRoundTripAligned(t *testing.T) {
+	v := New(128)
+	v.SetUint(32, 32, 0xDEADBEEF)
+	if got := v.Uint(32, 32); got != 0xDEADBEEF {
+		t.Fatalf("Uint = %#x, want 0xDEADBEEF", got)
+	}
+	if got := v.Uint(0, 32); got != 0 {
+		t.Fatalf("neighbouring word disturbed: %#x", got)
+	}
+	if got := v.Uint(64, 32); got != 0 {
+		t.Fatalf("neighbouring word disturbed: %#x", got)
+	}
+}
+
+func TestUintRoundTripUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		v := New(300)
+		off := rng.Intn(230)
+		width := 1 + rng.Intn(64)
+		if off+width > 300 {
+			width = 300 - off
+		}
+		val := rng.Uint64()
+		if width < 64 {
+			val &= (1 << uint(width)) - 1
+		}
+		v.SetUint(off, width, val)
+		if got := v.Uint(off, width); got != val {
+			t.Fatalf("off=%d width=%d: got %#x want %#x", off, width, got, val)
+		}
+	}
+}
+
+func TestSetUintPreservesNeighbours(t *testing.T) {
+	v := New(96)
+	for i := 0; i < 96; i++ {
+		v.SetBit(i, 1)
+	}
+	v.SetUint(30, 10, 0) // clear bits 30..39
+	for i := 0; i < 96; i++ {
+		want := uint32(1)
+		if i >= 30 && i < 40 {
+			want = 0
+		}
+		if v.Bit(i) != want {
+			t.Fatalf("bit %d = %d, want %d", i, v.Bit(i), want)
+		}
+	}
+}
+
+func TestXorAndEqualClone(t *testing.T) {
+	a := New(65)
+	b := New(65)
+	a.SetBit(0, 1)
+	a.SetBit(64, 1)
+	b.SetBit(64, 1)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	a.Xor(b) // a = {0}
+	if a.Bit(0) != 1 || a.Bit(64) != 0 {
+		t.Fatal("xor wrong")
+	}
+	if a.Equal(c) {
+		t.Fatal("Equal should detect difference")
+	}
+	a.And(b) // a = {}
+	if a.OnesCount() != 0 {
+		t.Fatalf("and wrong, OnesCount=%d", a.OnesCount())
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	w := []uint32{0x00000001, 0x80000000}
+	v := FromWords(w)
+	if v.Len() != 64 {
+		t.Fatalf("len=%d", v.Len())
+	}
+	if v.Bit(0) != 1 || v.Bit(63) != 1 || v.OnesCount() != 2 {
+		t.Fatal("FromWords layout wrong")
+	}
+	w[0] = 0 // must not alias
+	if v.Bit(0) != 1 {
+		t.Fatal("FromWords aliases input")
+	}
+}
+
+func TestEqualIgnoresTailGarbage(t *testing.T) {
+	// Two vectors of 33 bits that differ only in backing bits past Len
+	// must compare equal.
+	a := New(33)
+	b := New(33)
+	b.words[1] |= 0xFFFFFFFE // bits 33..63, beyond Len
+	if !a.Equal(b) {
+		t.Fatal("Equal must ignore bits beyond Len")
+	}
+	if b.OnesCount() != 0 {
+		t.Fatal("OnesCount must ignore bits beyond Len")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	v := New(8)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Bit oob", func() { v.Bit(8) })
+	mustPanic("SetBit oob", func() { v.SetBit(-1, 1) })
+	mustPanic("Uint oob", func() { v.Uint(4, 8) })
+	mustPanic("width oob", func() { v.Uint(0, 65) })
+	mustPanic("xor mismatch", func() { v.Xor(New(9)) })
+	mustPanic("negative new", func() { New(-1) })
+}
+
+// Property: for any pair of offsets/values, SetUint then Uint round-trips
+// and OnesCount equals the popcount of all written fields (fields disjoint).
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(off8 uint8, val uint64, width8 uint8) bool {
+		width := int(width8%64) + 1
+		off := int(off8) % 100
+		v := New(200)
+		masked := val
+		if width < 64 {
+			masked &= (1 << uint(width)) - 1
+		}
+		v.SetUint(off, width, val)
+		return v.Uint(off, width) == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Xor is an involution — a.Xor(b); a.Xor(b) restores a.
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := New(257)
+		b := New(257)
+		for i := 0; i < 257; i++ {
+			a.SetBit(i, uint32(ra.Intn(2)))
+			b.SetBit(i, uint32(rb.Intn(2)))
+		}
+		orig := a.Clone()
+		a.Xor(b)
+		a.Xor(b)
+		return a.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+)
+
+func randomImage(seed int64, geo *device.Geometry) *fabric.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := fabric.NewImage(geo)
+	for i := 0; i < im.NumFrames(); i++ {
+		f := im.Frame(i)
+		for w := range f {
+			f[w] = rng.Uint32()
+		}
+	}
+	return im
+}
+
+func TestRoundTrip(t *testing.T) {
+	geo := device.SmallLX()
+	im := randomImage(1, geo)
+	frames := []int{0, 9, 100, geo.NumFrames() - 1}
+	p := FromImage(im, frames)
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Device != geo.Name || len(back.Frames) != len(frames) {
+		t.Fatalf("device %q frames %d", back.Device, len(back.Frames))
+	}
+	for i, fr := range back.Frames {
+		if fr.Index != frames[i] {
+			t.Fatalf("frame %d index %d, want %d", i, fr.Index, frames[i])
+		}
+		for w, v := range fr.Words {
+			if v != im.Frame(frames[i])[w] {
+				t.Fatalf("frame %d word %d mismatch", i, w)
+			}
+		}
+	}
+}
+
+func TestApplyTo(t *testing.T) {
+	geo := device.SmallLX()
+	im := randomImage(2, geo)
+	p := FullImage(im)
+	dst := fabric.NewImage(geo)
+	if err := p.ApplyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(im) {
+		t.Fatal("ApplyTo did not reproduce the image")
+	}
+	// Wrong device.
+	other := fabric.NewImage(device.BigLX())
+	if err := p.ApplyTo(other); err == nil {
+		t.Fatal("cross-device apply accepted")
+	}
+	// Out-of-range frame.
+	p.Device = "BigLX"
+	p.Frames[0].Index = 1 << 29
+	bigIm := fabric.NewImage(device.BigLX())
+	if err := p.ApplyTo(bigIm); err == nil {
+		t.Fatal("out-of-range frame accepted")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	geo := device.XC6VLX240T()
+	im := fabric.NewImage(geo)
+	dyn := fabric.DynRegion(geo).Frames()
+	p := FromImage(im, dyn)
+	// 26,400 frames × 324 bytes ≈ 8.6 MB — too large for the modelled
+	// BRAM (the bounded-memory premise, paper §5.2).
+	if got := p.SizeBytes(); got != 26400*324 {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	geo := device.SmallLX()
+	p := FromImage(randomImage(3, geo), []int{1, 2, 3})
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Version tamper: rebuild a valid file and bump the version byte.
+	geo := device.SmallLX()
+	p := FromImage(randomImage(4, geo), []int{0})
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	data[5] = 9 // version low byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	geo := device.SmallLX()
+	p := FromImage(randomImage(5, geo), []int{0, 1})
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	for _, cut := range []int{4, 10, len(data) / 2, len(data) - 2} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteRejectsMalformedFrame(t *testing.T) {
+	p := &Partial{Device: "X", Frames: []FrameRecord{{Index: 0, Words: make([]uint32, 3)}}}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err == nil {
+		t.Fatal("malformed frame accepted")
+	}
+}
+
+func TestFileWorkflow(t *testing.T) {
+	// The bitgen → verifier file workflow: write golden + mask to disk,
+	// load them back, apply to an image.
+	geo := device.SmallLX()
+	im := randomImage(9, geo)
+	path := filepath.Join(t.TempDir(), "golden.sbit")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FullImage(im).WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	back, err := Read(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := fabric.NewImage(geo)
+	if err := back.ApplyTo(restored); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Equal(im) {
+		t.Fatal("file round-trip lost data")
+	}
+}
+
+// Property: serialise/deserialise round-trips arbitrary frame subsets.
+func TestQuickRoundTrip(t *testing.T) {
+	geo := device.SmallLX()
+	im := randomImage(6, geo)
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%20) + 1
+		frames := make([]int, n)
+		for i := range frames {
+			frames[i] = rng.Intn(geo.NumFrames())
+		}
+		p := FromImage(im, frames)
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Frames) != n {
+			return false
+		}
+		for i := range frames {
+			if back.Frames[i].Index != frames[i] {
+				return false
+			}
+			for w := range back.Frames[i].Words {
+				if back.Frames[i].Words[w] != im.Frame(frames[i])[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

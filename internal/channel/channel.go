@@ -1,0 +1,205 @@
+// Package channel provides the message transports between verifier and
+// prover: an in-process simulated link with virtual-time accounting (the
+// lab network of the paper's measurements) and a TCP transport for real
+// deployments, plus a tap for adversary-in-the-middle experiments.
+package channel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sacha/internal/ethsim"
+	"sacha/internal/sim"
+)
+
+// Endpoint is one end of a duplex message channel.
+type Endpoint interface {
+	// Send transmits one message to the peer.
+	Send(msg []byte) error
+	// Recv blocks until a message arrives; it returns io.EOF after the
+	// peer closes.
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// SimConfig parameterises the simulated link.
+type SimConfig struct {
+	// Timeline, if non-nil, accumulates virtual time: "wire" for Gigabit
+	// line time and "latency" for the per-message stack/switch latency.
+	Timeline *sim.Timeline
+	// MessageLatency is charged per message sent by the A endpoint (the
+	// command initiator — the verifier); it models the per-command
+	// software and switch overhead that makes the paper's measured
+	// 28.5 s so much larger than the theoretical 1.443 s.
+	MessageLatency time.Duration
+	// Ethernet, when true, carries every message inside an Ethernet II
+	// frame with a real FCS: senders marshal, receivers verify the CRC
+	// and strip the header — the ETH-core path of Fig. 10.
+	Ethernet bool
+	// AddrA and AddrB are the endpoint MAC addresses in Ethernet mode
+	// (A is the first endpoint returned by SimPair).
+	AddrA, AddrB ethsim.MAC
+}
+
+// queue is an unbounded FIFO usable across goroutines.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  [][]byte
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("channel: send on closed channel")
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *queue) pop() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, io.EOF
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, nil
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// SimEndpoint is one end of an in-process simulated link.
+type SimEndpoint struct {
+	out, in   *queue
+	cfg       SimConfig
+	mu        *sync.Mutex // guards cfg.Timeline, shared by the pair
+	src, dst  ethsim.MAC  // Ethernet-mode addressing
+	initiator bool        // charges the per-command latency
+}
+
+// SimPair returns two connected endpoints. The first endpoint is the
+// command initiator and carries the per-command latency.
+func SimPair(cfg SimConfig) (a, b *SimEndpoint) {
+	q1, q2 := newQueue(), newQueue()
+	mu := &sync.Mutex{}
+	a = &SimEndpoint{out: q1, in: q2, cfg: cfg, mu: mu, src: cfg.AddrA, dst: cfg.AddrB, initiator: true}
+	b = &SimEndpoint{out: q2, in: q1, cfg: cfg, mu: mu, src: cfg.AddrB, dst: cfg.AddrA}
+	return a, b
+}
+
+// Send transmits a message, charging wire time and message latency to the
+// timeline. In Ethernet mode the payload travels inside a framed packet
+// with a real FCS.
+func (e *SimEndpoint) Send(msg []byte) error {
+	if e.cfg.Timeline != nil {
+		e.mu.Lock()
+		e.cfg.Timeline.Add("wire", ethsim.WireTime(len(msg)))
+		if e.cfg.MessageLatency > 0 && e.initiator {
+			e.cfg.Timeline.Add("latency", e.cfg.MessageLatency)
+		}
+		e.mu.Unlock()
+	}
+	if e.cfg.Ethernet {
+		frame := &ethsim.Frame{Dst: e.dst, Src: e.src, EtherType: ethsim.EtherTypeSACHa, Payload: msg}
+		wire, err := frame.Marshal()
+		if err != nil {
+			return fmt.Errorf("channel: %w", err)
+		}
+		return e.out.push(wire)
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	return e.out.push(cp)
+}
+
+// Recv returns the next message from the peer. In Ethernet mode the FCS
+// is verified and frames for other destinations or ethertypes rejected.
+func (e *SimEndpoint) Recv() ([]byte, error) {
+	raw, err := e.in.pop()
+	if err != nil {
+		return nil, err
+	}
+	if !e.cfg.Ethernet {
+		return raw, nil
+	}
+	frame, err := ethsim.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("channel: %w", err)
+	}
+	if frame.EtherType != ethsim.EtherTypeSACHa {
+		return nil, fmt.Errorf("channel: unexpected ethertype %#04x", frame.EtherType)
+	}
+	if frame.Dst != e.src {
+		return nil, fmt.Errorf("channel: frame for %v delivered to %v", frame.Dst, e.src)
+	}
+	return frame.Payload, nil
+}
+
+// Close shuts down both directions.
+func (e *SimEndpoint) Close() error {
+	e.out.close()
+	e.in.close()
+	return nil
+}
+
+// Tap wraps an endpoint and lets an adversary observe or rewrite traffic.
+// A nil hook passes messages through unchanged; returning nil from OnSend
+// drops the message.
+type Tap struct {
+	Inner  Endpoint
+	OnSend func([]byte) []byte
+	OnRecv func([]byte) []byte
+}
+
+// Send passes the message through the OnSend hook.
+func (t *Tap) Send(msg []byte) error {
+	if t.OnSend != nil {
+		msg = t.OnSend(msg)
+		if msg == nil {
+			return nil // dropped by the adversary
+		}
+	}
+	return t.Inner.Send(msg)
+}
+
+// Recv passes the received message through the OnRecv hook. Messages the
+// hook drops (nil) are skipped.
+func (t *Tap) Recv() ([]byte, error) {
+	for {
+		msg, err := t.Inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if t.OnRecv != nil {
+			msg = t.OnRecv(msg)
+			if msg == nil {
+				continue
+			}
+		}
+		return msg, nil
+	}
+}
+
+// Close closes the wrapped endpoint.
+func (t *Tap) Close() error { return t.Inner.Close() }

@@ -1,0 +1,78 @@
+package channel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// maxTCPMessage bounds a single message on the TCP transport (a frame
+// message is ~330 bytes; 1 MiB leaves room for any extension).
+const maxTCPMessage = 1 << 20
+
+// TCPEndpoint adapts a net.Conn into an Endpoint with length-prefixed
+// messages (big-endian uint32 length + payload).
+type TCPEndpoint struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// NewTCP wraps an established connection.
+func NewTCP(conn net.Conn) *TCPEndpoint {
+	return &TCPEndpoint{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Dial connects to a prover at addr.
+func Dial(addr string) (*TCPEndpoint, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("channel: %w", err)
+	}
+	return NewTCP(conn), nil
+}
+
+// Send writes one length-prefixed message and flushes it.
+func (e *TCPEndpoint) Send(msg []byte) error {
+	if len(msg) > maxTCPMessage {
+		return fmt.Errorf("channel: message of %d bytes exceeds limit", len(msg))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(msg); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Recv reads one length-prefixed message.
+func (e *TCPEndpoint) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(e.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxTCPMessage {
+		return nil, fmt.Errorf("channel: message of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(e.r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close closes the connection.
+func (e *TCPEndpoint) Close() error { return e.conn.Close() }

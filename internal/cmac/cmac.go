@@ -1,0 +1,145 @@
+// Package cmac implements AES-CMAC (RFC 4493) on top of the aescore
+// hardware model.
+//
+// The SACHa prover computes the MAC incrementally: Init once, one Update
+// per configuration frame read back through the ICAP (28,488 updates on
+// the XC6VLX240T), then Finalize (paper Fig. 9). The streaming interface
+// mirrors that structure and additionally tracks the AES block count so
+// the timing model can charge MAC cycles.
+package cmac
+
+import (
+	"fmt"
+
+	"sacha/internal/aescore"
+)
+
+// Size is the MAC length in bytes (full-width AES-CMAC tag).
+const Size = 16
+
+// MAC is a streaming AES-CMAC computation.
+type MAC struct {
+	core   *aescore.Core
+	k1, k2 [16]byte
+	x      [16]byte // running CBC state
+	buf    [16]byte // pending partial block
+	bufLen int
+	blocks int64 // AES invocations so far (for the cycle model)
+	done   bool
+}
+
+// New returns a MAC keyed with the 16-byte key.
+func New(key []byte) (*MAC, error) {
+	core, err := aescore.New(key)
+	if err != nil {
+		return nil, fmt.Errorf("cmac: %w", err)
+	}
+	m := &MAC{core: core}
+	// Subkey generation (RFC 4493 §2.3): L = AES-128(K, 0^128),
+	// K1 = L<<1 (xor Rb on carry), K2 = K1<<1 (xor Rb on carry).
+	var l [16]byte
+	core.Encrypt(l[:], l[:])
+	m.blocks++
+	shiftLeft(&m.k1, &l)
+	shiftLeft(&m.k2, &m.k1)
+	return m, nil
+}
+
+const rb = 0x87
+
+// shiftLeft sets dst = src << 1, xoring Rb into the last byte if the
+// shifted-out bit was set.
+func shiftLeft(dst, src *[16]byte) {
+	var carry byte
+	for i := 15; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	if carry != 0 {
+		dst[15] ^= rb
+	}
+}
+
+// Reset restarts the computation under the same key (new Init step).
+func (m *MAC) Reset() {
+	m.x = [16]byte{}
+	m.buf = [16]byte{}
+	m.bufLen = 0
+	m.done = false
+}
+
+// Update absorbs data. It may be called any number of times before Sum.
+func (m *MAC) Update(data []byte) {
+	if m.done {
+		panic("cmac: Update after Sum; call Reset first")
+	}
+	for len(data) > 0 {
+		// Keep at least one byte pending so the final block can be
+		// treated specially in Sum.
+		if m.bufLen == 16 {
+			m.cipherBlock(m.buf[:], nil)
+			m.bufLen = 0
+		}
+		n := copy(m.buf[m.bufLen:], data)
+		m.bufLen += n
+		data = data[n:]
+	}
+}
+
+// cipherBlock runs X = AES(K, X xor block xor finalKey), where finalKey is
+// nil for intermediate blocks.
+func (m *MAC) cipherBlock(block, finalKey []byte) {
+	for i := 0; i < 16; i++ {
+		m.x[i] ^= block[i]
+		if finalKey != nil {
+			m.x[i] ^= finalKey[i]
+		}
+	}
+	m.core.Encrypt(m.x[:], m.x[:])
+	m.blocks++
+}
+
+// Sum finalizes the MAC and returns the 16-byte tag. The computation must
+// be Reset before reuse.
+func (m *MAC) Sum() [Size]byte {
+	if m.done {
+		panic("cmac: Sum called twice; call Reset first")
+	}
+	m.done = true
+	var last [16]byte
+	if m.bufLen == 16 {
+		copy(last[:], m.buf[:])
+		m.cipherBlock(last[:], m.k1[:])
+	} else {
+		// Pad 10* and use K2.
+		copy(last[:], m.buf[:m.bufLen])
+		last[m.bufLen] = 0x80
+		m.cipherBlock(last[:], m.k2[:])
+	}
+	return m.x
+}
+
+// Blocks returns the number of AES block operations performed, including
+// subkey generation. The SACHa timing model charges
+// aescore.CyclesPerBlock cycles per block.
+func (m *MAC) Blocks() int64 { return m.blocks }
+
+// Compute is a one-shot convenience: AES-CMAC(key, data).
+func Compute(key, data []byte) ([Size]byte, error) {
+	m, err := New(key)
+	if err != nil {
+		return [Size]byte{}, err
+	}
+	m.Update(data)
+	return m.Sum(), nil
+}
+
+// Equal compares two tags in constant time.
+func Equal(a, b [Size]byte) bool {
+	var v byte
+	for i := 0; i < Size; i++ {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

@@ -1,0 +1,121 @@
+// Package compress implements word-oriented bitstream compression, the
+// mechanism of the authors' companion work on secure remote configuration
+// with bitstream compression ([24] in the paper) that underpins the
+// bounded-memory argument: a *compressed* partial bitstream still far
+// exceeds the device's BRAM capacity.
+//
+// Configuration frames are dominated by zero words and short repeats, so
+// the codec combines run-length encoding of repeated 32-bit words with
+// literal runs:
+//
+//	token 0x00 | count(varint) | word      — `count` repeats of one word
+//	token 0x01 | count(varint) | words...  — `count` literal words
+//
+// Counts are unsigned varints (7 bits per byte, high bit = continuation).
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	tokenRun     = 0x00
+	tokenLiteral = 0x01
+)
+
+// maxCount caps a single token's word count (keeps decoder allocations
+// bounded on hostile input).
+const maxCount = 1 << 24
+
+// appendUvarint encodes v as a varint.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// Encode compresses a word stream.
+func Encode(words []uint32) []byte {
+	out := make([]byte, 0, len(words)/4+16)
+	i := 0
+	for i < len(words) {
+		// Measure the run starting at i.
+		run := 1
+		for i+run < len(words) && words[i+run] == words[i] && run < maxCount {
+			run++
+		}
+		if run >= 3 {
+			out = append(out, tokenRun)
+			out = appendUvarint(out, uint64(run))
+			out = binary.BigEndian.AppendUint32(out, words[i])
+			i += run
+			continue
+		}
+		// Collect a literal run up to the next ≥3 repeat.
+		start := i
+		for i < len(words) && i-start < maxCount {
+			run = 1
+			for i+run < len(words) && words[i+run] == words[i] {
+				run++
+			}
+			if run >= 3 {
+				break
+			}
+			i += run
+		}
+		out = append(out, tokenLiteral)
+		out = appendUvarint(out, uint64(i-start))
+		for _, w := range words[start:i] {
+			out = binary.BigEndian.AppendUint32(out, w)
+		}
+	}
+	return out
+}
+
+// Decode decompresses a word stream.
+func Decode(data []byte) ([]uint32, error) {
+	var out []uint32
+	for len(data) > 0 {
+		token := data[0]
+		data = data[1:]
+		count, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: truncated count")
+		}
+		if count == 0 || count > maxCount {
+			return nil, fmt.Errorf("compress: implausible count %d", count)
+		}
+		data = data[n:]
+		switch token {
+		case tokenRun:
+			if len(data) < 4 {
+				return nil, fmt.Errorf("compress: truncated run word")
+			}
+			w := binary.BigEndian.Uint32(data)
+			data = data[4:]
+			for i := uint64(0); i < count; i++ {
+				out = append(out, w)
+			}
+		case tokenLiteral:
+			if uint64(len(data)) < 4*count {
+				return nil, fmt.Errorf("compress: truncated literal run")
+			}
+			for i := uint64(0); i < count; i++ {
+				out = append(out, binary.BigEndian.Uint32(data[4*i:]))
+			}
+			data = data[4*count:]
+		default:
+			return nil, fmt.Errorf("compress: unknown token %#x", token)
+		}
+	}
+	return out, nil
+}
+
+// Ratio returns compressed size over raw size for a word stream.
+func Ratio(words []uint32) float64 {
+	if len(words) == 0 {
+		return 1
+	}
+	return float64(len(Encode(words))) / float64(len(words)*4)
+}

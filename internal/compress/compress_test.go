@@ -1,0 +1,146 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+func roundTrip(t *testing.T, words []uint32) {
+	t.Helper()
+	enc := Encode(words)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(words) {
+		t.Fatalf("length %d, want %d", len(dec), len(words))
+	}
+	for i := range words {
+		if dec[i] != words[i] {
+			t.Fatalf("word %d: %#x != %#x", i, dec[i], words[i])
+		}
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []uint32{1})
+	roundTrip(t, []uint32{1, 1, 1, 1, 1})
+	roundTrip(t, []uint32{1, 2, 3, 4, 5})
+	roundTrip(t, []uint32{0, 0, 0, 7, 7, 7, 1, 2, 0, 0, 0, 0})
+}
+
+func TestZeroRunsCompressWell(t *testing.T) {
+	words := make([]uint32, 10000)
+	if r := Ratio(words); r > 0.01 {
+		t.Fatalf("all-zero ratio %.4f, expected near zero", r)
+	}
+}
+
+func TestRandomDataDoesNotExplode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	words := make([]uint32, 5000)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	roundTrip(t, words)
+	if r := Ratio(words); r > 1.1 {
+		t.Fatalf("incompressible data blew up to ratio %.3f", r)
+	}
+}
+
+func TestGoldenBitstreamCompression(t *testing.T) {
+	// A real golden partial bitstream is sparse: it must compress by an
+	// order of magnitude, while remaining (decompressed) far larger than
+	// the modelled BRAM capacity — the argument of [24] the bounded
+	// memory model rests on.
+	geo := device.SmallLX()
+	golden, dynFrames, err := core.BuildGolden(geo, netlist.Blinker(16), 1, 0xABCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words []uint32
+	for _, idx := range dynFrames {
+		words = append(words, golden.Frame(idx)...)
+	}
+	r := Ratio(words)
+	if r > 0.1 {
+		t.Fatalf("golden partial bitstream ratio %.3f, expected < 0.1", r)
+	}
+	if compressedBytes := float64(len(words)*4) * r; compressedBytes < 1000 {
+		t.Fatalf("compressed size %.0f implausibly small", compressedBytes)
+	}
+	roundTrip(t, words)
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{0x00},                               // truncated count
+		{0x00, 0x03},                         // truncated run word
+		{0x01, 0x02, 0, 0, 0, 1},             // truncated literal run
+		{0x07, 0x01, 0, 0, 0, 1},             // unknown token
+		{0x00, 0x00},                         // zero count
+		{0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, // implausible count
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+// Property: round-trip over random word streams with repeat structure.
+func TestQuickRoundTrip(t *testing.T) {
+	fn := func(seed int64, n16 uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n16 % 3000)
+		words := make([]uint32, 0, n)
+		for len(words) < n {
+			switch rng.Intn(3) {
+			case 0: // zero run
+				run := rng.Intn(50) + 1
+				for i := 0; i < run && len(words) < n; i++ {
+					words = append(words, 0)
+				}
+			case 1: // repeated word
+				w := rng.Uint32()
+				run := rng.Intn(20) + 1
+				for i := 0; i < run && len(words) < n; i++ {
+					words = append(words, w)
+				}
+			default: // literals
+				words = append(words, rng.Uint32())
+			}
+		}
+		enc := Encode(words)
+		dec, err := Decode(enc)
+		if err != nil || len(dec) != len(words) {
+			return false
+		}
+		for i := range words {
+			if dec[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding never panics on arbitrary bytes.
+func TestQuickDecodeRobust(t *testing.T) {
+	fn := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

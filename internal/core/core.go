@@ -1,0 +1,376 @@
+// Package core is the public entry point of the SACHa library: it
+// assembles the paper's full system — a prover FPGA with a minimal static
+// partition, an enrolled key (register or PUF), a golden bitstream for an
+// intended application plus a nonce partition, and a verifier — and runs
+// the self-attestation protocol end to end.
+//
+// Typical use:
+//
+//	sys, _ := core.NewSystem(core.Config{App: netlist.Blinker(16)})
+//	report, _ := sys.Attest(core.AttestOptions{})
+//	// report.Accepted == true for an untampered device
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sacha/internal/bitstream"
+	"sacha/internal/channel"
+	"sacha/internal/device"
+	"sacha/internal/ethsim"
+	"sacha/internal/fabric"
+	"sacha/internal/netlist"
+	"sacha/internal/protocol"
+	"sacha/internal/prover"
+	"sacha/internal/puf"
+	"sacha/internal/signature"
+	"sacha/internal/sim"
+	"sacha/internal/timing"
+	"sacha/internal/verifier"
+)
+
+// KeyMode selects how the MAC key is provisioned (paper §5.2.1).
+type KeyMode int
+
+const (
+	// KeyRegister stores the key in a static-partition register (the
+	// proof-of-concept configuration).
+	KeyRegister KeyMode = iota
+	// KeyStatPUF derives the key from a PUF in the static partition.
+	KeyStatPUF
+	// KeyDynPUF derives the key from a PUF circuit the verifier ships in
+	// the dynamic partition (allows key rotation).
+	KeyDynPUF
+)
+
+// NonceBits is the nonce register width (paper §6.1: 64 bits).
+const NonceBits = 64
+
+// Config assembles a System.
+type Config struct {
+	// Geo is the device geometry; defaults to the XC6VLX240T.
+	Geo *device.Geometry
+	// App is the intended application for the dynamic partition;
+	// defaults to a 16-bit blinker.
+	App *netlist.Design
+	// KeyMode selects the key source.
+	KeyMode KeyMode
+	// DeviceID identifies the physical device (PUF identity, enrollment
+	// database key).
+	DeviceID uint64
+	// PUFNoise is the raw PUF bit-error probability in 1/10000 units;
+	// defaults to 300 (3%).
+	PUFNoise int
+	// BuildID seeds the synthesised static-partition image.
+	BuildID uint64
+	// ROM, if non-empty, is data embedded into the dynamic partition's
+	// BRAM content columns (lookup tables, firmware for a soft core).
+	// It is covered by the MAC and the golden comparison like any other
+	// configuration.
+	ROM []byte
+	// EnableSignature provisions the ECDSA extension.
+	EnableSignature bool
+	// LabLatency is the per-message network latency of the simulated
+	// channel; defaults to the paper's lab value. Set negative for zero.
+	LabLatency time.Duration
+	// Seed drives all randomness (enrollment, keys) for reproducibility.
+	Seed int64
+}
+
+// System is a deployed prover plus its enrolled verifier.
+type System struct {
+	Geo      *device.Geometry
+	Device   *prover.Device
+	Verifier *verifier.Verifier
+	// DB is the verifier-side PUF enrollment database.
+	DB *puf.Database
+	// ChannelTime accumulates wire and latency virtual time of the
+	// simulated link.
+	ChannelTime *sim.Timeline
+
+	cfg         Config
+	app         *netlist.Design
+	base        *fabric.Image // static golden content
+	appRegion   *fabric.Region
+	nonceRegion *fabric.Region
+	appFrames   []int // DynMem minus the nonce column, transmission order
+	nonceFrames []int // the nonce column
+	rng         *rand.Rand
+	circuitID   uint64 // current DynPUF circuit (0 = StatPart PUF / register)
+
+	// AppPlacement maps the application's pins for examples/tests; it is
+	// identical across attestations (deterministic placement).
+	AppPlacement *fabric.Placement
+}
+
+// NewSystem provisions a device and enrolls it with a verifier.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Geo == nil {
+		cfg.Geo = device.XC6VLX240T()
+	}
+	if cfg.App == nil {
+		cfg.App = netlist.Blinker(16)
+	}
+	if cfg.PUFNoise == 0 {
+		cfg.PUFNoise = 300
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	s := &System{
+		Geo:         cfg.Geo,
+		DB:          puf.NewDatabase(),
+		ChannelTime: sim.NewTimeline(),
+		cfg:         cfg,
+		app:         cfg.App,
+		appRegion:   fabric.AppRegion(cfg.Geo),
+		nonceRegion: fabric.NonceRegion(cfg.Geo),
+		rng:         rng,
+	}
+
+	// Build the static golden content and the boot flash.
+	statFrames := fabric.StatRegion(cfg.Geo).Frames()
+	s.base = fabric.NewImage(cfg.Geo)
+	fabric.FillStatic(s.base, statFrames, cfg.BuildID)
+	bootMem := bitstream.FromImage(s.base, statFrames)
+
+	// Frame split: the application phase covers every dynamic frame that
+	// is not the nonce column; the nonce phase covers the nonce column.
+	nonceCol := map[int]bool{}
+	base, n, err := cfg.Geo.ColumnBase(s.nonceRegion.CLBCols[0][0], device.ColCLB, s.nonceRegion.CLBCols[0][1])
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		nonceCol[base+i] = true
+		s.nonceFrames = append(s.nonceFrames, base+i)
+	}
+	for _, idx := range fabric.DynRegion(cfg.Geo).Frames() {
+		if !nonceCol[idx] {
+			s.appFrames = append(s.appFrames, idx)
+		}
+	}
+
+	// Key provisioning and enrollment.
+	var keySrc prover.KeySource
+	var key [16]byte
+	switch cfg.KeyMode {
+	case KeyRegister:
+		rng.Read(key[:])
+		keySrc = prover.RegisterKey(key)
+	case KeyStatPUF, KeyDynPUF:
+		if cfg.KeyMode == KeyDynPUF {
+			s.circuitID = 1
+		}
+		phys := &puf.Physical{DeviceID: cfg.DeviceID, CircuitID: s.circuitID, NoiseProb: cfg.PUFNoise}
+		enr := puf.Enroll(phys, rng)
+		key = enr.Key
+		s.DB.Store(cfg.DeviceID, s.circuitID, enr.Key)
+		keySrc = &prover.PUFKey{Phys: phys, Helper: enr.Helper, Rng: rng}
+	default:
+		return nil, fmt.Errorf("core: unknown key mode %d", cfg.KeyMode)
+	}
+
+	var signer *signature.Signer
+	if cfg.EnableSignature {
+		var err error
+		signer, err = signature.Generate(rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dev, err := prover.New(prover.Config{
+		Geo:     cfg.Geo,
+		BootMem: bootMem,
+		Key:     keySrc,
+		Signer:  signer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.PowerOn(); err != nil {
+		return nil, err
+	}
+	s.Device = dev
+
+	s.Verifier = verifier.New(cfg.Geo, key)
+	if signer != nil {
+		sv, err := signature.NewVerifier(signer.PublicKey())
+		if err != nil {
+			return nil, err
+		}
+		s.Verifier.SigVerifier = sv
+	}
+
+	// Pre-place the application once to expose its pin map (placement is
+	// deterministic, so this matches every golden image built later).
+	probe := fabric.NewImage(cfg.Geo)
+	s.AppPlacement, err = fabric.PlaceDesign(probe, s.appRegion, s.app)
+	if err != nil {
+		return nil, fmt.Errorf("core: placing application: %w", err)
+	}
+	return s, nil
+}
+
+// StaticImage returns a copy of the golden static-partition content — the
+// knowledge a strong local adversary (who has eavesdropped on earlier
+// attestations) is assumed to possess.
+func (s *System) StaticImage() *fabric.Image { return s.base.Clone() }
+
+// Golden builds the full golden image for a nonce: static content plus
+// the placed application (and, in DynPUF mode, the shipped PUF circuit's
+// marker) plus the placed nonce register.
+func (s *System) Golden(nonce uint64) (*fabric.Image, error) {
+	im := s.base.Clone()
+	pl := fabric.NewPlacer(im, s.appRegion)
+	if _, err := pl.Place(s.app); err != nil {
+		return nil, err
+	}
+	if s.cfg.KeyMode == KeyDynPUF {
+		// The shipped PUF circuit occupies fabric alongside the
+		// application; its configuration identifies the circuit, so the
+		// verifier attests which key generation is loaded.
+		if _, err := pl.Place(netlist.NonceRegister(16, s.circuitID)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := fabric.PlaceDesign(im, s.nonceRegion, netlist.NonceRegister(NonceBits, nonce)); err != nil {
+		return nil, err
+	}
+	if len(s.cfg.ROM) > 0 {
+		if err := fabric.PlaceROM(im, s.appRegion, s.cfg.ROM); err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
+}
+
+// ReadDeviceROM reads the embedded ROM back from the device's live
+// configuration memory.
+func (s *System) ReadDeviceROM() ([]byte, error) {
+	return fabric.ReadROM(s.Device.Fabric.Mem, s.appRegion, len(s.cfg.ROM))
+}
+
+// DynFrames returns the dynamic-configuration transmission order:
+// application frames first, nonce frames last (the two configuration
+// steps of Fig. 8).
+func (s *System) DynFrames() []int {
+	out := make([]int, 0, len(s.appFrames)+len(s.nonceFrames))
+	out = append(out, s.appFrames...)
+	out = append(out, s.nonceFrames...)
+	return out
+}
+
+// RotateKey ships a fresh PUF circuit (paper §5.2.1, second option): the
+// verifier enrolls the next circuit of the device's PUF, the golden
+// bitstream gains the new circuit's configuration, and both sides switch
+// to the new key. Only valid in KeyDynPUF mode.
+func (s *System) RotateKey() error {
+	if s.cfg.KeyMode != KeyDynPUF {
+		return fmt.Errorf("core: key rotation requires the DynPart-PUF key mode")
+	}
+	s.circuitID++
+	phys := &puf.Physical{DeviceID: s.cfg.DeviceID, CircuitID: s.circuitID, NoiseProb: s.cfg.PUFNoise}
+	enr := puf.Enroll(phys, s.rng)
+	s.DB.Store(s.cfg.DeviceID, s.circuitID, enr.Key)
+	s.Device.SetKeySource(&prover.PUFKey{Phys: phys, Helper: enr.Helper, Rng: s.rng})
+	s.Verifier.Key = enr.Key
+	return nil
+}
+
+// AttestOptions tune one attestation.
+type AttestOptions struct {
+	// Nonce fixes the nonce; nil draws a fresh one.
+	Nonce *uint64
+	// Offset, Permutation, AppSteps, SignatureMode, Trace: see
+	// verifier.Options.
+	Opts verifier.Options
+	// TamperDevice, if non-nil, runs after configuration completes and
+	// before readback — the adversary's window.
+	TamperDevice func(*prover.Device)
+}
+
+// Attest runs one full attestation over a simulated lab channel and
+// returns the verifier's report.
+func (s *System) Attest(opts AttestOptions) (*verifier.Report, error) {
+	serve := s.Device.Serve
+	if opts.TamperDevice != nil {
+		// The adversary's window is after configuration and before
+		// readback: the hook fires on the prover side when the device is
+		// about to process the first ICAP_readback command, i.e. after
+		// every configuration frame has been applied.
+		serve = func(ep channel.Endpoint) error {
+			armed := false
+			tapped := &channel.Tap{Inner: ep, OnRecv: func(m []byte) []byte {
+				if !armed && len(m) > 0 && m[0] == byte(protocol.MsgICAPReadback) {
+					armed = true
+					opts.TamperDevice(s.Device)
+				}
+				return m
+			}}
+			return s.Device.Serve(tapped)
+		}
+	}
+	return s.AttestAgainst(serve, opts)
+}
+
+// AttestAgainst runs the verifier against an arbitrary prover-side
+// implementation — the hook the adversary experiments use to substitute
+// impersonators, proxies and replayers for the genuine device.
+func (s *System) AttestAgainst(serve func(channel.Endpoint) error, opts AttestOptions) (*verifier.Report, error) {
+	nonce := s.rng.Uint64()
+	if opts.Nonce != nil {
+		nonce = *opts.Nonce
+	}
+	golden, err := s.Golden(nonce)
+	if err != nil {
+		return nil, err
+	}
+
+	lat := s.cfg.LabLatency
+	if lat == 0 {
+		lat = timing.LabCommandLatency
+	} else if lat < 0 {
+		lat = 0
+	}
+	// The simulated lab link carries real Ethernet frames: the verifier
+	// is a lab host, the prover the SACHa ETH core (Fig. 10).
+	var prvMAC ethsim.MAC
+	prvMAC[0] = 0x02 // locally administered
+	binary.BigEndian.PutUint32(prvMAC[2:6], uint32(s.cfg.DeviceID))
+	vrfEP, prvEP := channel.SimPair(channel.SimConfig{
+		Timeline:       s.ChannelTime,
+		MessageLatency: lat,
+		Ethernet:       true,
+		AddrA:          ethsim.MAC{0x02, 0xFF, 0, 0, 0, 1}, // verifier host
+		AddrB:          prvMAC,
+	})
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(prvEP)
+	}()
+
+	rep, err := s.Verifier.Attest(vrfEP, golden, s.DynFrames(), opts.Opts)
+	vrfEP.Close()
+	if sErr := <-serveErr; sErr != nil && err == nil {
+		return rep, fmt.Errorf("core: prover: %w", sErr)
+	}
+	return rep, err
+}
+
+// VirtualDuration sums the virtual time of channel, prover and verifier —
+// the end-to-end protocol duration in the simulated lab.
+func (s *System) VirtualDuration() time.Duration {
+	return s.ChannelTime.Total() + s.Device.Timeline.Total() + s.Verifier.Timeline.Total()
+}
+
+// ResetTimelines clears all virtual-time accounting.
+func (s *System) ResetTimelines() {
+	s.ChannelTime.Reset()
+	s.Device.Timeline.Reset()
+	s.Verifier.Timeline.Reset()
+}

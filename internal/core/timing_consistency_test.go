@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/timing"
+)
+
+// TestVirtualTimeMatchesTable4Model is the closure between the executed
+// protocol and the analytic reproduction: running a real attestation with
+// the lab latency enabled must accumulate virtual time equal to the
+// Table 4 model for the same device — the executed message sizes, ICAP
+// streams and MAC steps ARE the model's inputs.
+func TestVirtualTimeMatchesTable4Model(t *testing.T) {
+	geo := device.SmallLX()
+	sys, err := NewSystem(Config{
+		Geo:  geo,
+		App:  netlist.Blinker(8),
+		Seed: 1,
+		// LabLatency zero-value → the paper's default lab latency.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Attest(AttestOptions{})
+	if err != nil || !rep.Accepted {
+		t.Fatalf("attestation failed: %v", err)
+	}
+	got := sys.VirtualDuration()
+	want := timing.NewModel(geo).Table4().Measured
+
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// Allow 2% slack: the executed run includes a handful of bookkeeping
+	// messages the analytic model folds into the calibration constants.
+	if diff > want/50 {
+		t.Fatalf("executed virtual time %v vs Table 4 model %v (diff %v)", got, want, diff)
+	}
+}
+
+// TestVirtualTimeTheoreticalShare: with the lab latency disabled, the
+// executed protocol's virtual time must land on the model's theoretical
+// duration.
+func TestVirtualTimeTheoreticalShare(t *testing.T) {
+	geo := device.SmallLX()
+	sys, err := NewSystem(Config{Geo: geo, App: netlist.Blinker(8), LabLatency: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Attest(AttestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.VirtualDuration()
+	want := timing.NewModel(geo).Table4().Theoretical
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > want/50 {
+		t.Fatalf("executed theoretical time %v vs model %v", got, want)
+	}
+	if lat := sys.ChannelTime.Tag("latency"); lat != 0 {
+		t.Fatalf("latency charged despite being disabled: %v", lat)
+	}
+}
+
+// TestVirtualTimeXC6VMatchesPaper runs the real protocol on the paper's
+// device and checks the executed virtual duration against the published
+// 28.5 s. Skipped under -short.
+func TestVirtualTimeXC6VMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-device run; use without -short")
+	}
+	sys, err := NewSystem(Config{Geo: device.XC6VLX240T(), App: netlist.Blinker(16), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Attest(AttestOptions{})
+	if err != nil || !rep.Accepted {
+		t.Fatalf("attestation failed: %v", err)
+	}
+	got := sys.VirtualDuration()
+	if got < 28*time.Second || got > 29*time.Second {
+		t.Fatalf("executed XC6VLX240T protocol virtual time %v, paper measured 28.5 s", got)
+	}
+}

@@ -1,0 +1,161 @@
+package cpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a tiny assembly dialect into a program image.
+//
+// Syntax, one instruction per line ("; comment" allowed):
+//
+//	label:            define a label at the current address
+//	NOP / HALT
+//	LDI  rA, imm      LDHI rA, imm
+//	LD   rA, rB       ST   rA, rB
+//	ADD/SUB/XOR/AND/MOV rA, rB
+//	SHR  rA
+//	JMP  label        JNZ  rB, label   (targets must be < 256)
+//	OUT  rA, port     IN   rA, port
+//	.word imm         emit a literal data word
+func Assemble(src string) ([]uint16, error) {
+	type pending struct {
+		addr int
+		op   int
+		ra   int
+		rb   int
+		name string
+	}
+	var image []uint16
+	labels := map[string]int{}
+	var fixups []pending
+
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("cpu: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(image)
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		mnem := strings.ToUpper(fields[0])
+		args := fields[1:]
+
+		reg := func(i int) (int, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("cpu: line %d: missing register", lineNo+1)
+			}
+			a := strings.ToUpper(args[i])
+			if len(a) != 2 || a[0] != 'R' || a[1] < '0' || a[1] > '3' {
+				return 0, fmt.Errorf("cpu: line %d: bad register %q", lineNo+1, args[i])
+			}
+			return int(a[1] - '0'), nil
+		}
+		num := func(i int, max int64) (int64, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("cpu: line %d: missing operand", lineNo+1)
+			}
+			v, err := strconv.ParseInt(args[i], 0, 32)
+			if err != nil || v < 0 || v > max {
+				return 0, fmt.Errorf("cpu: line %d: bad operand %q", lineNo+1, args[i])
+			}
+			return v, nil
+		}
+
+		emit := func(op, ra, rb int, imm uint8) { image = append(image, Encode(op, ra, rb, imm)) }
+		var err error
+		switch mnem {
+		case "NOP":
+			emit(OpNOP, 0, 0, 0)
+		case "HALT":
+			emit(OpHALT, 0, 0, 0)
+		case "SHR":
+			var ra int
+			if ra, err = reg(0); err == nil {
+				emit(OpSHR, ra, 0, 0)
+			}
+		case "LDI", "LDHI":
+			var ra int
+			var v int64
+			if ra, err = reg(0); err == nil {
+				if v, err = num(1, 255); err == nil {
+					op := OpLDI
+					if mnem == "LDHI" {
+						op = OpLDHI
+					}
+					emit(op, ra, 0, uint8(v))
+				}
+			}
+		case "LD", "ST", "ADD", "SUB", "XOR", "AND", "MOV":
+			var ra, rb int
+			if ra, err = reg(0); err == nil {
+				if rb, err = reg(1); err == nil {
+					ops := map[string]int{"LD": OpLD, "ST": OpST, "ADD": OpADD, "SUB": OpSUB,
+						"XOR": OpXOR, "AND": OpAND, "MOV": OpMOV}
+					emit(ops[mnem], ra, rb, 0)
+				}
+			}
+		case "JMP":
+			if len(args) != 1 {
+				err = fmt.Errorf("cpu: line %d: JMP needs a label", lineNo+1)
+				break
+			}
+			fixups = append(fixups, pending{addr: len(image), op: OpJMP, name: args[0]})
+			emit(OpJMP, 0, 0, 0)
+		case "JNZ":
+			var rb int
+			if rb, err = reg(0); err == nil {
+				if len(args) != 2 {
+					err = fmt.Errorf("cpu: line %d: JNZ needs register and label", lineNo+1)
+					break
+				}
+				fixups = append(fixups, pending{addr: len(image), op: OpJNZ, rb: rb, name: args[1]})
+				emit(OpJNZ, 0, rb, 0)
+			}
+		case "OUT", "IN":
+			var ra int
+			var v int64
+			if ra, err = reg(0); err == nil {
+				if v, err = num(1, 255); err == nil {
+					op := OpOUT
+					if mnem == "IN" {
+						op = OpIN
+					}
+					emit(op, ra, 0, uint8(v))
+				}
+			}
+		case ".WORD":
+			var v int64
+			if v, err = num(0, 0xFFFF); err == nil {
+				image = append(image, uint16(v))
+			}
+		default:
+			err = fmt.Errorf("cpu: line %d: unknown mnemonic %q", lineNo+1, mnem)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.name]
+		if !ok {
+			return nil, fmt.Errorf("cpu: undefined label %q", f.name)
+		}
+		if target > 255 {
+			return nil, fmt.Errorf("cpu: label %q at %d beyond 8-bit branch range", f.name, target)
+		}
+		image[f.addr] = Encode(f.op, 0, f.rb, uint8(target))
+	}
+	return image, nil
+}

@@ -1,0 +1,194 @@
+// Package cpu models the embedded microprocessor of the paper's system
+// model (Fig. 1): a small bounded-memory device. It serves two roles:
+//
+//   - the substrate for the Perito–Tsudik proofs-of-secure-erasure
+//     baseline (internal/pose), which SACHa transplants to FPGAs: the
+//     machine has a unified, bounded RAM that a verifier can fill
+//     completely, plus an immutable ROM monitor (modelled natively);
+//   - the attestation target of the combined hardware/software scenario
+//     (internal/hwattest), where the FPGA acts as the trusted module.
+//
+// The ISA is a minimal 16-bit load/store design: 4 registers, unified
+// code/data memory, and a handful of ALU/branch operations — enough to
+// run real little programs whose memory image is worth attesting.
+package cpu
+
+import "fmt"
+
+// Opcodes. Instructions are one 16-bit word: op[15:12] ra[11:10] rb[9:8]
+// imm8[7:0] (immediate forms use ra + imm8).
+const (
+	OpNOP  = 0x0
+	OpLDI  = 0x1 // ra <- imm8
+	OpLDHI = 0x2 // ra <- ra<<8 | imm8 (build 16-bit constants)
+	OpLD   = 0x3 // ra <- mem[rb]
+	OpST   = 0x4 // mem[rb] <- ra
+	OpADD  = 0x5 // ra <- ra + rb
+	OpSUB  = 0x6 // ra <- ra - rb
+	OpXOR  = 0x7 // ra <- ra ^ rb
+	OpAND  = 0x8 // ra <- ra & rb
+	OpSHR  = 0x9 // ra <- ra >> 1
+	OpMOV  = 0xA // ra <- rb
+	OpJMP  = 0xB // pc <- imm8 | ra<<8 (absolute)
+	OpJNZ  = 0xC // if rb != 0: pc <- imm8 (page-local absolute low byte)
+	OpOUT  = 0xD // output port imm8 <- ra
+	OpIN   = 0xE // ra <- input port imm8
+	OpHALT = 0xF
+)
+
+// NumRegs is the register count.
+const NumRegs = 4
+
+// Machine is one bounded-memory embedded CPU.
+type Machine struct {
+	// Mem is the unified code/data memory — the bounded memory of the
+	// Perito–Tsudik model. Its size is fixed at construction.
+	Mem []uint16
+	// Regs and PC are the architectural state.
+	Regs [NumRegs]uint16
+	PC   uint16
+
+	halted bool
+	cycles int64
+	// ports hold the last OUT values and pending IN values.
+	outPorts map[uint8]uint16
+	inPorts  map[uint8]uint16
+}
+
+// New returns a machine with the given memory size in 16-bit words.
+func New(memWords int) (*Machine, error) {
+	if memWords < 16 || memWords > 1<<16 {
+		return nil, fmt.Errorf("cpu: memory size %d words out of range [16, 65536]", memWords)
+	}
+	return &Machine{
+		Mem:      make([]uint16, memWords),
+		outPorts: make(map[uint8]uint16),
+		inPorts:  make(map[uint8]uint16),
+	}, nil
+}
+
+// Reset clears the architectural state but not the memory.
+func (m *Machine) Reset() {
+	m.Regs = [NumRegs]uint16{}
+	m.PC = 0
+	m.halted = false
+	m.cycles = 0
+}
+
+// Load copies a program image to memory address 0 and resets.
+func (m *Machine) Load(image []uint16) error {
+	if len(image) > len(m.Mem) {
+		return fmt.Errorf("cpu: image of %d words exceeds memory (%d)", len(image), len(m.Mem))
+	}
+	for i := range m.Mem {
+		m.Mem[i] = 0
+	}
+	copy(m.Mem, image)
+	m.Reset()
+	return nil
+}
+
+// Halted reports whether the machine has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Cycles returns the executed instruction count.
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+// SetIn provides a value on an input port.
+func (m *Machine) SetIn(port uint8, v uint16) { m.inPorts[port] = v }
+
+// Out returns the last value written to an output port.
+func (m *Machine) Out(port uint8) uint16 { return m.outPorts[port] }
+
+// Encode assembles one instruction word.
+func Encode(op, ra, rb int, imm uint8) uint16 {
+	return uint16(op&0xF)<<12 | uint16(ra&3)<<10 | uint16(rb&3)<<8 | uint16(imm)
+}
+
+// Step executes one instruction. Stepping a halted machine is an error.
+func (m *Machine) Step() error {
+	if m.halted {
+		return fmt.Errorf("cpu: machine is halted")
+	}
+	if int(m.PC) >= len(m.Mem) {
+		return fmt.Errorf("cpu: PC %d outside memory", m.PC)
+	}
+	inst := m.Mem[m.PC]
+	op := inst >> 12
+	ra := inst >> 10 & 3
+	rb := inst >> 8 & 3
+	imm := uint8(inst)
+	next := m.PC + 1
+	switch op {
+	case OpNOP:
+	case OpLDI:
+		m.Regs[ra] = uint16(imm)
+	case OpLDHI:
+		m.Regs[ra] = m.Regs[ra]<<8 | uint16(imm)
+	case OpLD:
+		addr := m.Regs[rb]
+		if int(addr) >= len(m.Mem) {
+			return fmt.Errorf("cpu: load from %d outside memory", addr)
+		}
+		m.Regs[ra] = m.Mem[addr]
+	case OpST:
+		addr := m.Regs[rb]
+		if int(addr) >= len(m.Mem) {
+			return fmt.Errorf("cpu: store to %d outside memory", addr)
+		}
+		m.Mem[addr] = m.Regs[ra]
+	case OpADD:
+		m.Regs[ra] += m.Regs[rb]
+	case OpSUB:
+		m.Regs[ra] -= m.Regs[rb]
+	case OpXOR:
+		m.Regs[ra] ^= m.Regs[rb]
+	case OpAND:
+		m.Regs[ra] &= m.Regs[rb]
+	case OpSHR:
+		m.Regs[ra] >>= 1
+	case OpMOV:
+		m.Regs[ra] = m.Regs[rb]
+	case OpJMP:
+		next = m.Regs[ra]<<8 | uint16(imm)
+	case OpJNZ:
+		if m.Regs[rb] != 0 {
+			next = uint16(imm)
+		}
+	case OpOUT:
+		m.outPorts[imm] = m.Regs[ra]
+	case OpIN:
+		m.Regs[ra] = m.inPorts[imm]
+	case OpHALT:
+		m.halted = true
+	default:
+		return fmt.Errorf("cpu: illegal opcode %#x at %d", op, m.PC)
+	}
+	if !m.halted {
+		m.PC = next
+	}
+	m.cycles++
+	return nil
+}
+
+// Run executes until HALT or the cycle budget is exhausted.
+func (m *Machine) Run(maxCycles int64) error {
+	for !m.halted {
+		if m.cycles >= maxCycles {
+			return fmt.Errorf("cpu: cycle budget %d exhausted at PC %d", maxCycles, m.PC)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemBytes serialises the memory big-endian — the attestation input.
+func (m *Machine) MemBytes() []byte {
+	out := make([]byte, 0, len(m.Mem)*2)
+	for _, w := range m.Mem {
+		out = append(out, byte(w>>8), byte(w))
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string, maxCycles int64) *Machine {
+	t.Helper()
+	img, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(maxCycles); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+		LDI  r0, 40
+		LDI  r1, 2
+		ADD  r0, r1      ; r0 = 42
+		OUT  r0, 0
+		SUB  r0, r1      ; r0 = 40
+		OUT  r0, 1
+		XOR  r0, r0      ; r0 = 0
+		OUT  r0, 2
+		HALT
+	`, 100)
+	if m.Out(0) != 42 || m.Out(1) != 40 || m.Out(2) != 0 {
+		t.Fatalf("outs: %d %d %d", m.Out(0), m.Out(1), m.Out(2))
+	}
+}
+
+func TestWideConstantsAndShift(t *testing.T) {
+	m := run(t, `
+		LDI  r0, 0xAB
+		LDHI r0, 0xCD    ; r0 = 0xABCD
+		OUT  r0, 0
+		SHR  r0
+		OUT  r0, 1
+		HALT
+	`, 100)
+	if m.Out(0) != 0xABCD {
+		t.Fatalf("LDHI: %#x", m.Out(0))
+	}
+	if m.Out(1) != 0x55E6 {
+		t.Fatalf("SHR: %#x", m.Out(1))
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum 1..10 = 55 with a JNZ loop.
+	m := run(t, `
+		LDI  r0, 0       ; acc
+		LDI  r1, 10      ; counter
+		LDI  r2, 1
+	loop:
+		ADD  r0, r1
+		SUB  r1, r2
+		JNZ  r1, loop
+		OUT  r0, 0
+		HALT
+	`, 1000)
+	if m.Out(0) != 55 {
+		t.Fatalf("sum = %d, want 55", m.Out(0))
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := run(t, `
+		LDI  r0, 99
+		LDI  r1, 100     ; address
+		ST   r0, r1
+		LD   r2, r1
+		OUT  r2, 0
+		HALT
+	`, 100)
+	if m.Out(0) != 99 {
+		t.Fatalf("load/store: %d", m.Out(0))
+	}
+	if m.Mem[100] != 99 {
+		t.Fatalf("mem[100] = %d", m.Mem[100])
+	}
+}
+
+func TestInputPorts(t *testing.T) {
+	img, err := Assemble(`
+		IN   r0, 5
+		OUT  r0, 0
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(64)
+	m.Load(img)
+	m.SetIn(5, 1234)
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Out(0) != 1234 {
+		t.Fatalf("port in: %d", m.Out(0))
+	}
+}
+
+func TestJMPAbsolute(t *testing.T) {
+	m := run(t, `
+		LDI  r0, 0
+		JMP  end
+		LDI  r0, 1       ; skipped
+	end:
+		OUT  r0, 0
+		HALT
+	`, 100)
+	if m.Out(0) != 0 {
+		t.Fatal("JMP did not skip")
+	}
+}
+
+func TestHaltAndStepAfterHalt(t *testing.T) {
+	m := run(t, "HALT", 10)
+	if !m.Halted() {
+		t.Fatal("not halted")
+	}
+	if err := m.Step(); err == nil {
+		t.Fatal("step after halt accepted")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	img, _ := Assemble(`
+	spin:
+		JMP spin
+	`)
+	m, _ := New(64)
+	m.Load(img)
+	if err := m.Run(100); err == nil {
+		t.Fatal("infinite loop not caught by budget")
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	// LD from an out-of-range address faults.
+	img, _ := Assemble(`
+		LDI  r1, 0xFF
+		LDHI r1, 0xFF   ; r1 = 0xFFFF, beyond a 256-word memory
+		LD   r0, r1
+	`)
+	m, _ := New(256)
+	m.Load(img)
+	if err := m.Run(10); err == nil {
+		t.Fatal("out-of-range load accepted")
+	}
+	// ST likewise.
+	img, _ = Assemble(`
+		LDI  r1, 0xFF
+		LDHI r1, 0xFF
+		ST   r0, r1
+	`)
+	m.Load(img)
+	if err := m.Run(10); err == nil {
+		t.Fatal("out-of-range store accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Fatal("tiny memory accepted")
+	}
+	if _, err := New(1 << 20); err == nil {
+		t.Fatal("oversized memory accepted")
+	}
+	m, _ := New(64)
+	if err := m.Load(make([]uint16, 65)); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"FROB r0",      // unknown mnemonic
+		"LDI r9, 1",    // bad register
+		"LDI r0, 999",  // immediate out of range
+		"JMP nowhere",  // undefined label
+		"JNZ r0",       // missing label
+		"x:\nx:\nHALT", // duplicate label
+		"LD r0",        // missing second register
+		".word 99999",  // word out of range
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	m, _ := New(16)
+	m.Mem[0] = 0xABCD
+	b := m.MemBytes()
+	if len(b) != 32 || b[0] != 0xAB || b[1] != 0xCD {
+		t.Fatalf("MemBytes: len=%d b0=%#x b1=%#x", len(b), b[0], b[1])
+	}
+}
+
+// Property: ADD then SUB of the same register pair restores the original
+// value (mod 2^16).
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b uint16) bool {
+		m, _ := New(64)
+		img, _ := Assemble(`
+			IN  r0, 0
+			IN  r1, 1
+			ADD r0, r1
+			SUB r0, r1
+			OUT r0, 0
+			HALT
+		`)
+		m.Load(img)
+		m.SetIn(0, a)
+		m.SetIn(1, b)
+		if err := m.Run(10); err != nil {
+			return false
+		}
+		return m.Out(0) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"fmt"
+
+	"sacha/internal/device"
+)
+
+// BRAM36ContentBytes is the modelled content window per BRAM36 site.
+// (The real primitive holds 36 kbit; the model stores a 9 kbit window per
+// site so that a content column's sites fit its 96 frames — documented in
+// DESIGN.md as a substitution.)
+const BRAM36ContentBytes = 1152
+
+// bramSiteBits is the per-site bit budget inside a content column.
+const bramSiteBits = BRAM36ContentBytes * 8
+
+// WriteBRAMContent stores data into one BRAM36 site's content bits. The
+// bits live in configuration frames, so they are covered by readback,
+// the MAC and the golden comparison exactly like logic configuration.
+func WriteBRAMContent(im *Image, row, col, site int, data []byte) error {
+	cv, err := im.columnView(row, device.ColBRAMContent, col)
+	if err != nil {
+		return err
+	}
+	if site < 0 || site >= im.Geo.SitesPerColumn(device.ColBRAMContent) {
+		return fmt.Errorf("fabric: BRAM site %d out of range", site)
+	}
+	if len(data) > BRAM36ContentBytes {
+		return fmt.Errorf("fabric: %d bytes exceed the %d-byte BRAM window", len(data), BRAM36ContentBytes)
+	}
+	base := site * bramSiteBits
+	for i, b := range data {
+		cv.setUint(base+i*8, 8, uint64(b))
+	}
+	return nil
+}
+
+// ReadBRAMContent reads one BRAM36 site's content window.
+func ReadBRAMContent(im *Image, row, col, site int) ([]byte, error) {
+	cv, err := im.columnView(row, device.ColBRAMContent, col)
+	if err != nil {
+		return nil, err
+	}
+	if site < 0 || site >= im.Geo.SitesPerColumn(device.ColBRAMContent) {
+		return nil, fmt.Errorf("fabric: BRAM site %d out of range", site)
+	}
+	base := site * bramSiteBits
+	out := make([]byte, BRAM36ContentBytes)
+	for i := range out {
+		out[i] = byte(cv.uint(base+i*8, 8))
+	}
+	return out, nil
+}
+
+// PlaceROM spreads data across the region's BRAM content columns, filling
+// sites sequentially. It returns an error if the region's BRAM capacity
+// is exceeded.
+func PlaceROM(im *Image, region *Region, data []byte) error {
+	sites := im.Geo.SitesPerColumn(device.ColBRAMContent)
+	capacity := len(region.BRAMCnt) * sites * BRAM36ContentBytes
+	if len(data) > capacity {
+		return fmt.Errorf("fabric: ROM of %d bytes exceeds region capacity %d", len(data), capacity)
+	}
+	off := 0
+	for _, rc := range region.BRAMCnt {
+		for site := 0; site < sites && off < len(data); site++ {
+			end := off + BRAM36ContentBytes
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := WriteBRAMContent(im, rc[0], rc[1], site, data[off:end]); err != nil {
+				return err
+			}
+			off = end
+		}
+	}
+	return nil
+}
+
+// ReadROM reads back n bytes previously placed with PlaceROM.
+func ReadROM(im *Image, region *Region, n int) ([]byte, error) {
+	sites := im.Geo.SitesPerColumn(device.ColBRAMContent)
+	out := make([]byte, 0, n)
+	for _, rc := range region.BRAMCnt {
+		for site := 0; site < sites && len(out) < n; site++ {
+			chunk, err := ReadBRAMContent(im, rc[0], rc[1], site)
+			if err != nil {
+				return nil, err
+			}
+			need := n - len(out)
+			if need < len(chunk) {
+				chunk = chunk[:need]
+			}
+			out = append(out, chunk...)
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("fabric: region holds only %d of %d requested ROM bytes", len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package fabric
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sacha/internal/device"
+)
+
+func TestBRAMContentRoundTrip(t *testing.T) {
+	geo := device.SmallLX()
+	im := NewImage(geo)
+	data := make([]byte, BRAM36ContentBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := WriteBRAMContent(im, 0, 0, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBRAMContent(im, 0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("BRAM content round-trip failed")
+	}
+	// Neighbouring sites untouched.
+	for _, site := range []int{4, 6} {
+		n, err := ReadBRAMContent(im, 0, 0, site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range n {
+			if b != 0 {
+				t.Fatalf("site %d disturbed", site)
+			}
+		}
+	}
+}
+
+func TestBRAMContentValidation(t *testing.T) {
+	geo := device.SmallLX()
+	im := NewImage(geo)
+	if err := WriteBRAMContent(im, 0, 0, -1, nil); err == nil {
+		t.Error("negative site accepted")
+	}
+	if err := WriteBRAMContent(im, 0, 0, 999, nil); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if err := WriteBRAMContent(im, 0, 0, 0, make([]byte, BRAM36ContentBytes+1)); err == nil {
+		t.Error("oversized content accepted")
+	}
+	if err := WriteBRAMContent(im, 9, 0, 0, nil); err == nil {
+		t.Error("bad row accepted")
+	}
+	if _, err := ReadBRAMContent(im, 0, 0, 999); err == nil {
+		t.Error("read of bad site accepted")
+	}
+}
+
+func TestPlaceROMRoundTrip(t *testing.T) {
+	geo := device.SmallLX()
+	im := NewImage(geo)
+	region := DynRegion(geo)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 3*BRAM36ContentBytes+123) // spans several sites
+	rng.Read(data)
+	if err := PlaceROM(im, region, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadROM(im, region, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ROM round-trip failed")
+	}
+}
+
+func TestPlaceROMCapacity(t *testing.T) {
+	geo := device.SmallLX()
+	im := NewImage(geo)
+	region := DynRegion(geo)
+	sites := geo.SitesPerColumn(device.ColBRAMContent)
+	capacity := len(region.BRAMCnt) * sites * BRAM36ContentBytes
+	if err := PlaceROM(im, region, make([]byte, capacity+1)); err == nil {
+		t.Fatal("over-capacity ROM accepted")
+	}
+	if err := PlaceROM(im, region, make([]byte, capacity)); err != nil {
+		t.Fatalf("exact-capacity ROM rejected: %v", err)
+	}
+	// Reading more than the region holds must fail.
+	if _, err := ReadROM(im, &Region{Name: "empty", geo: geo}, 10); err == nil {
+		t.Fatal("read from BRAM-less region accepted")
+	}
+}
+
+func TestBRAMTamperVisibleToReadback(t *testing.T) {
+	// BRAM content lives in configuration frames: flipping a content bit
+	// must show up in masked readback like any logic tamper.
+	geo := device.SmallLX()
+	fab := New(geo)
+	region := DynRegion(geo)
+	data := bytes.Repeat([]byte{0xA5}, BRAM36ContentBytes)
+	golden := NewImage(geo)
+	if err := PlaceROM(golden, region, data); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range region.Frames() {
+		if err := fab.WriteFrame(idx, golden.Frame(idx)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tamper one content byte on the device.
+	tampered, _ := ReadBRAMContent(fab.Mem, region.BRAMCnt[0][0], region.BRAMCnt[0][1], 0)
+	tampered[100] ^= 0xFF
+	if err := WriteBRAMContent(fab.Mem, region.BRAMCnt[0][0], region.BRAMCnt[0][1], 0, tampered); err != nil {
+		t.Fatal(err)
+	}
+	mask := GenerateMask(geo)
+	diff := false
+	for _, idx := range region.Frames() {
+		rb, err := fab.ReadbackFrame(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ApplyMask(rb, mask.Frame(idx))
+		b := ApplyMask(golden.Frame(idx), mask.Frame(idx))
+		for w := range a {
+			if a[w] != b[w] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("BRAM content tamper invisible to masked readback")
+	}
+}
+
+// Property: random (site, data) writes round-trip without crosstalk.
+func TestQuickBRAMContent(t *testing.T) {
+	geo := device.SmallLX()
+	im := NewImage(geo)
+	sites := geo.SitesPerColumn(device.ColBRAMContent)
+	fn := func(seed int64, siteRaw uint8, n16 uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		site := int(siteRaw) % sites
+		data := make([]byte, int(n16)%BRAM36ContentBytes+1)
+		rng.Read(data)
+		if err := WriteBRAMContent(im, 0, 0, site, data); err != nil {
+			return false
+		}
+		got, err := ReadBRAMContent(im, 0, 0, site)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:len(data)], data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package fabric
+
+import (
+	"fmt"
+
+	"sacha/internal/device"
+)
+
+// Fabric is the live configurable fabric of one FPGA: the configuration
+// memory plus the dynamic state the configuration does not capture — the
+// flip-flop values and the input pad values.
+type Fabric struct {
+	Geo *device.Geometry
+	Mem *Image
+
+	ffState  map[int]uint8 // FF net ID -> current state
+	pinState map[int]uint8 // input pad pin number -> driven value
+	epoch    int64         // bumped on every configuration write
+}
+
+// Epoch returns a counter that increases on every configuration write;
+// callers caching decoded Live views use it for invalidation.
+func (f *Fabric) Epoch() int64 { return f.epoch }
+
+// New returns a fabric with an all-zero configuration memory.
+func New(geo *device.Geometry) *Fabric {
+	return &Fabric{
+		Geo:      geo,
+		Mem:      NewImage(geo),
+		ffState:  make(map[int]uint8),
+		pinState: make(map[int]uint8),
+	}
+}
+
+// WriteFrame stores one configuration frame, as the ICAP does during
+// (re)configuration. If the frame belongs to a CLB column, the column's
+// flip-flops are re-initialised from their init bits, modelling the global
+// set/reset that follows a partial reconfiguration.
+func (f *Fabric) WriteFrame(idx int, words []uint32) error {
+	if idx < 0 || idx >= f.Mem.NumFrames() {
+		return fmt.Errorf("fabric: frame %d out of range", idx)
+	}
+	if len(words) != device.FrameWords {
+		return fmt.Errorf("fabric: frame data has %d words, want %d", len(words), device.FrameWords)
+	}
+	f.Mem.SetFrame(idx, words)
+	f.epoch++
+	kind, row, ord, _, err := f.Geo.ColumnOfFrame(idx)
+	if err != nil {
+		return err
+	}
+	if kind == device.ColCLB {
+		f.resetColumnFFs(row, ord)
+	}
+	return nil
+}
+
+// resetColumnFFs applies the post-reconfiguration global set/reset to all
+// flip-flops of one CLB column: used FFs load their init bit, unused FFs
+// lose their state.
+func (f *Fabric) resetColumnFFs(row, clbCol int) {
+	cv, err := f.Mem.columnView(row, device.ColCLB, clbCol)
+	if err != nil {
+		panic(err) // column came from ColumnOfFrame, cannot be invalid
+	}
+	sites := f.Geo.SitesPerColumn(device.ColCLB)
+	for clb := 0; clb < sites; clb++ {
+		site := SiteIndex(f.Geo, row, clbCol, clb)
+		for slot := 0; slot < FFSlotsPerCLB; slot++ {
+			base := clb*CLBBits + ffBase + slot*ffSlotBits
+			net := FFNet(f.Geo, site, slot)
+			if cv.bit(base+ffUsedOff) == 1 {
+				f.ffState[net] = uint8(cv.bit(base + ffInitOff))
+			} else {
+				delete(f.ffState, net)
+			}
+		}
+	}
+}
+
+// ReadbackFrame returns the frame as the ICAP readback sees it: the stored
+// configuration bits, with every used flip-flop's capture bit replaced by
+// the live flip-flop state. This is the register content that the paper's
+// verifier must mask out with Msk before comparing bitstreams.
+func (f *Fabric) ReadbackFrame(idx int) ([]uint32, error) {
+	if idx < 0 || idx >= f.Mem.NumFrames() {
+		return nil, fmt.Errorf("fabric: frame %d out of range", idx)
+	}
+	out := make([]uint32, device.FrameWords)
+	copy(out, f.Mem.Frame(idx))
+	kind, row, ord, minor, err := f.Geo.ColumnOfFrame(idx)
+	if err != nil {
+		return nil, err
+	}
+	if kind != device.ColCLB {
+		return out, nil
+	}
+	cv, err := f.Mem.columnView(row, device.ColCLB, ord)
+	if err != nil {
+		return nil, err
+	}
+	lo := minor * device.FrameBits
+	hi := lo + device.FrameBits
+	sites := f.Geo.SitesPerColumn(device.ColCLB)
+	for clb := 0; clb < sites; clb++ {
+		for slot := 0; slot < FFSlotsPerCLB; slot++ {
+			base := clb*CLBBits + ffBase + slot*ffSlotBits
+			cap := base + ffCaptureOff
+			if cap < lo || cap >= hi {
+				continue
+			}
+			if cv.bit(base+ffUsedOff) != 1 {
+				continue
+			}
+			net := FFNet(f.Geo, SiteIndex(f.Geo, row, ord, clb), slot)
+			off := cap - lo
+			w, s := off/32, uint(off)%32
+			out[w] = out[w]&^(1<<s) | uint32(f.ffState[net])&1<<s
+		}
+	}
+	return out, nil
+}
+
+// SetPin drives an IOB input pad.
+func (f *Fabric) SetPin(pin int, v uint8) error {
+	if pin < 0 || pin >= NumPins(f.Geo) {
+		return fmt.Errorf("fabric: pin %d out of range", pin)
+	}
+	f.pinState[pin] = v & 1
+	return nil
+}
+
+// FFStateSize returns the number of flip-flops currently holding state
+// (i.e. configured as used).
+func (f *Fabric) FFStateSize() int { return len(f.ffState) }
+
+// GenerateMask builds the Msk image for a geometry: every configuration
+// bit is 1 (compare) except the flip-flop capture positions of all CLB
+// columns, which are 0 (mask out). This is the mask the Xilinx tools emit
+// alongside a bitstream, applied by the verifier in §6.1 of the paper.
+func GenerateMask(geo *device.Geometry) *Image {
+	m := NewImage(geo)
+	for i := 0; i < m.NumFrames(); i++ {
+		f := m.Frame(i)
+		for w := range f {
+			f[w] = 0xFFFFFFFF
+		}
+	}
+	sites := geo.SitesPerColumn(device.ColCLB)
+	for row := 0; row < geo.Rows; row++ {
+		for col := 0; col < geo.ColumnsOf(device.ColCLB); col++ {
+			cv, err := m.columnView(row, device.ColCLB, col)
+			if err != nil {
+				panic(err)
+			}
+			for clb := 0; clb < sites; clb++ {
+				for slot := 0; slot < FFSlotsPerCLB; slot++ {
+					cv.setBit(clb*CLBBits+ffBase+slot*ffSlotBits+ffCaptureOff, 0)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ApplyMask ands the mask into a copy of the frame data.
+func ApplyMask(frame, mask []uint32) []uint32 {
+	if len(frame) != len(mask) {
+		panic("fabric: frame/mask length mismatch")
+	}
+	out := make([]uint32, len(frame))
+	for i := range frame {
+		out[i] = frame[i] & mask[i]
+	}
+	return out
+}

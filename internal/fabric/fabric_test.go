@@ -1,0 +1,489 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+// configure writes the image's frames for the given indices into the
+// fabric, as the ICAP would during (re)configuration.
+func configure(t testing.TB, f *Fabric, im *Image, frames []int) {
+	t.Helper()
+	for _, idx := range frames {
+		if err := f.WriteFrame(idx, im.Frame(idx)); err != nil {
+			t.Fatalf("WriteFrame(%d): %v", idx, err)
+		}
+	}
+}
+
+func TestRegionFrameCounts(t *testing.T) {
+	geo := device.XC6VLX240T()
+	stat := StatRegion(geo)
+	dyn := DynRegion(geo)
+	if got := len(stat.Frames()); got != 2088 {
+		t.Errorf("StatMem = %d frames, want 2088", got)
+	}
+	if got := len(dyn.Frames()); got != 26400 {
+		t.Errorf("DynMem = %d frames, want 26400 (paper Table 4, action A1)", got)
+	}
+	if len(stat.Frames())+len(dyn.Frames()) != geo.NumFrames() {
+		t.Error("Stat + Dyn do not partition the device")
+	}
+	// Disjointness.
+	seen := make(map[int]bool)
+	for _, fr := range stat.Frames() {
+		seen[fr] = true
+	}
+	for _, fr := range dyn.Frames() {
+		if seen[fr] {
+			t.Fatalf("frame %d in both partitions", fr)
+		}
+	}
+}
+
+func TestRegionsOtherDevices(t *testing.T) {
+	for _, geo := range []*device.Geometry{device.SmallLX(), device.BigLX()} {
+		stat := StatRegion(geo)
+		dyn := DynRegion(geo)
+		if len(stat.Frames())+len(dyn.Frames()) != geo.NumFrames() {
+			t.Errorf("%s: Stat+Dyn != device", geo.Name)
+		}
+		if len(stat.Frames()) >= len(dyn.Frames()) {
+			t.Errorf("%s: StatPart (%d) not smaller than DynPart (%d)",
+				geo.Name, len(stat.Frames()), len(dyn.Frames()))
+		}
+	}
+}
+
+func TestNonceAndAppSubviews(t *testing.T) {
+	geo := device.XC6VLX240T()
+	dyn := DynRegion(geo)
+	app := AppRegion(geo)
+	nonce := NonceRegion(geo)
+	if len(app.CLBCols)+len(nonce.CLBCols) != len(dyn.CLBCols) {
+		t.Error("app + nonce CLB columns != dyn CLB columns")
+	}
+	// Pin ranges must be disjoint and inside the dynamic range.
+	if app.PinBase+app.PinCount > nonce.PinBase {
+		t.Error("app pins overlap nonce pins")
+	}
+	if nonce.PinBase+nonce.PinCount > NumPins(geo) {
+		t.Error("nonce pins exceed device pins")
+	}
+}
+
+// placeAndLoad places a design into a region of a fresh golden image,
+// configures a fabric with the region's frames, and returns the live view.
+func placeAndLoad(t testing.TB, geo *device.Geometry, region *Region, d *netlist.Design) (*Fabric, *Placement, *Live) {
+	t.Helper()
+	im := NewImage(geo)
+	p, err := PlaceDesign(im, region, d)
+	if err != nil {
+		t.Fatalf("PlaceDesign: %v", err)
+	}
+	f := New(geo)
+	configure(t, f, im, region.Frames())
+	l, err := f.Live(region)
+	if err != nil {
+		t.Fatalf("Live: %v", err)
+	}
+	return f, p, l
+}
+
+func TestPlacedCounterMatchesNetlistSim(t *testing.T) {
+	geo := device.SmallLX()
+	d := netlist.Counter(6)
+	_, p, l := placeAndLoad(t, geo, AppRegion(geo), d)
+
+	ref, err := netlist.NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetInput("en", 1)
+	if err := l.InputPin(p, "en", 1); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 70; step++ {
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("q%d", i)
+			want, _ := ref.Output(name)
+			got, err := l.OutputPin(p, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("step %d, %s: fabric=%d netlist=%d", step, name, got, want)
+			}
+		}
+		ref.Step()
+		if err := l.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: for random input schedules, the placed adder agrees with the
+// netlist simulator (semantic fidelity of the configuration encoding).
+func TestQuickPlacedAdderMatchesNetlistSim(t *testing.T) {
+	geo := device.SmallLX()
+	d := netlist.RippleAdder(4)
+	_, p, l := placeAndLoad(t, geo, AppRegion(geo), d)
+	ref, _ := netlist.NewSimulator(d)
+
+	f := func(a, b uint8, cin bool) bool {
+		ci := uint8(0)
+		if cin {
+			ci = 1
+		}
+		ref.SetInput("cin", ci)
+		l.InputPin(p, "cin", ci)
+		for i := 0; i < 4; i++ {
+			ref.SetInput(fmt.Sprintf("a%d", i), a>>uint(i)&1)
+			ref.SetInput(fmt.Sprintf("b%d", i), b>>uint(i)&1)
+			l.InputPin(p, fmt.Sprintf("a%d", i), a>>uint(i)&1)
+			l.InputPin(p, fmt.Sprintf("b%d", i), b>>uint(i)&1)
+		}
+		for i := 0; i < 4; i++ {
+			want, _ := ref.Output(fmt.Sprintf("s%d", i))
+			got, err := l.OutputPin(p, fmt.Sprintf("s%d", i))
+			if err != nil || got != want {
+				return false
+			}
+		}
+		want, _ := ref.Output("cout")
+		got, _ := l.OutputPin(p, "cout")
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoncePlacementEmbedsValue(t *testing.T) {
+	geo := device.SmallLX()
+	const nonce = 0x0123456789ABCDEF
+	d := netlist.NonceRegister(64, nonce)
+	_, p, l := placeAndLoad(t, geo, NonceRegion(geo), d)
+	var got uint64
+	for i := 0; i < 64; i++ {
+		v, err := l.OutputPin(p, fmt.Sprintf("n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got |= uint64(v) << uint(i)
+	}
+	if got != nonce {
+		t.Fatalf("nonce read %#x, want %#x", got, uint64(nonce))
+	}
+	// The nonce must persist across clock steps (hold register).
+	for i := 0; i < 3; i++ {
+		if err := l.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := l.OutputPin(p, "n0")
+	if v != uint8(nonce&1) {
+		t.Fatal("nonce bit 0 lost after stepping")
+	}
+}
+
+func TestReconfigurationReplacesDesign(t *testing.T) {
+	// Configure a counter, step it, then reconfigure the same region with
+	// a fresh image: state must reset and the new design must run.
+	geo := device.SmallLX()
+	region := AppRegion(geo)
+	d := netlist.Counter(4)
+	f, p, l := placeAndLoad(t, geo, region, d)
+	l.InputPin(p, "en", 1)
+	for i := 0; i < 5; i++ {
+		l.Step()
+	}
+	if v, _ := l.OutputPin(p, "q0"); v != 1 {
+		t.Fatal("counter q0 should be 1 after 5 steps")
+	}
+
+	// Reconfigure with the same design; GSR must clear the count.
+	im2 := NewImage(geo)
+	p2, err := PlaceDesign(im2, region, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configure(t, f, im2, region.Frames())
+	l2, err := f.Live(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if v, _ := l2.OutputPin(p2, fmt.Sprintf("q%d", i)); v != 0 {
+			t.Fatalf("q%d not reset after reconfiguration", i)
+		}
+	}
+}
+
+func TestReadbackCaptureShowsLiveState(t *testing.T) {
+	geo := device.SmallLX()
+	region := AppRegion(geo)
+	d := netlist.Counter(4)
+	f, p, l := placeAndLoad(t, geo, region, d)
+	l.InputPin(p, "en", 1)
+
+	// Raw config equals readback before any state change only where no
+	// used FF sits (init = 0 = captured state). After stepping, the
+	// capture bits must differ from the stored config somewhere.
+	diffAfterSteps := func() int {
+		diff := 0
+		for _, idx := range region.Frames() {
+			rb, err := f.ReadbackFrame(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := f.Mem.Frame(idx)
+			for w := range rb {
+				if rb[w] != mem[w] {
+					diff++
+				}
+			}
+		}
+		return diff
+	}
+	if d := diffAfterSteps(); d != 0 {
+		t.Fatalf("readback differs from config before stepping: %d words", d)
+	}
+	l.Step() // q0 becomes 1
+	if d := diffAfterSteps(); d == 0 {
+		t.Fatal("readback identical to config after stepping — capture not modelled")
+	}
+}
+
+func TestMaskHidesRegisterState(t *testing.T) {
+	geo := device.SmallLX()
+	region := AppRegion(geo)
+	d := netlist.Counter(4)
+	f, p, l := placeAndLoad(t, geo, region, d)
+	l.InputPin(p, "en", 1)
+	for i := 0; i < 9; i++ {
+		l.Step()
+	}
+	mask := GenerateMask(geo)
+	for _, idx := range region.Frames() {
+		rb, _ := f.ReadbackFrame(idx)
+		maskedRb := ApplyMask(rb, mask.Frame(idx))
+		maskedCfg := ApplyMask(f.Mem.Frame(idx), mask.Frame(idx))
+		for w := range maskedRb {
+			if maskedRb[w] != maskedCfg[w] {
+				t.Fatalf("frame %d word %d: masked readback differs from masked config", idx, w)
+			}
+		}
+	}
+}
+
+// Property: flipping any random configuration bit in the dynamic partition
+// survives the mask (is attestable) unless it lands on a capture bit.
+func TestQuickTamperVisibleThroughMask(t *testing.T) {
+	geo := device.SmallLX()
+	region := AppRegion(geo)
+	d := netlist.Blinker(5)
+	f, _, _ := placeAndLoad(t, geo, region, d)
+	mask := GenerateMask(geo)
+	frames := region.Frames()
+
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := frames[rng.Intn(len(frames))]
+		w := rng.Intn(device.FrameWords)
+		bit := uint32(1) << uint(rng.Intn(32))
+		masked := mask.Frame(idx)[w]&bit != 0
+
+		orig := f.Mem.Frame(idx)[w]
+		f.Mem.Frame(idx)[w] ^= bit
+		rb, err := f.ReadbackFrame(idx)
+		f.Mem.Frame(idx)[w] = orig
+		if err != nil {
+			return false
+		}
+		origRb, _ := f.ReadbackFrame(idx)
+		tampered := ApplyMask(rb, mask.Frame(idx))
+		clean := ApplyMask(origRb, mask.Frame(idx))
+		visible := false
+		for i := range tampered {
+			if tampered[i] != clean[i] {
+				visible = true
+			}
+		}
+		// A flip on a masked (capture) bit is invisible by design; any
+		// other flip must be visible.
+		return visible == masked
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillStaticDeterministic(t *testing.T) {
+	geo := device.SmallLX()
+	stat := StatRegion(geo)
+	a := NewImage(geo)
+	b := NewImage(geo)
+	FillStatic(a, stat.Frames(), 99)
+	FillStatic(b, stat.Frames(), 99)
+	if !a.Equal(b) {
+		t.Fatal("FillStatic not deterministic")
+	}
+	c := NewImage(geo)
+	FillStatic(c, stat.Frames(), 100)
+	if a.Equal(c) {
+		t.Fatal("different build IDs produced identical static images")
+	}
+	// Dynamic frames must remain zero.
+	dyn := DynRegion(geo)
+	for _, idx := range dyn.Frames() {
+		for _, w := range a.Frame(idx) {
+			if w != 0 {
+				t.Fatal("FillStatic wrote outside the static region")
+			}
+		}
+	}
+}
+
+func TestPlacementCapacityErrors(t *testing.T) {
+	geo := device.SmallLX()
+	nonce := NonceRegion(geo) // 1 CLB column: 30 CLBs, 240 LUTs/FFs, 64 pins
+	big := netlist.Counter(64)
+	// 64-bit counter has 64 DFFs (fits) but needs 64 q pins + en > 64 pins.
+	im := NewImage(geo)
+	if _, err := PlaceDesign(im, nonce, big); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+}
+
+func TestPlacementDeterminism(t *testing.T) {
+	geo := device.SmallLX()
+	region := AppRegion(geo)
+	d := netlist.LFSR(16, []int{0, 2, 3, 5})
+	a := NewImage(geo)
+	b := NewImage(geo)
+	if _, err := PlaceDesign(a, region, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceDesign(b, region, d); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("placement is not deterministic")
+	}
+}
+
+func TestPlacerCoPlacesDesigns(t *testing.T) {
+	// Two designs share one region without colliding; both decode and run
+	// against their reference simulators simultaneously.
+	geo := device.SmallLX()
+	region := AppRegion(geo)
+	im := NewImage(geo)
+	pl := NewPlacer(im, region)
+	counter := netlist.Counter(4)
+	ring := netlist.OneHotRing(3)
+	pc, err := pl.Place(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pl.Place(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot/pins disjoint.
+	for name, pin := range pc.OutputPin {
+		for name2, pin2 := range pr.OutputPin {
+			if pin == pin2 {
+				t.Fatalf("pin collision: %s and %s both on %d", name, name2, pin)
+			}
+		}
+	}
+	f := New(geo)
+	configure(t, f, im, region.Frames())
+	l, err := f.Live(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InputPin(pc, "en", 1); err != nil {
+		t.Fatal(err)
+	}
+	refC, _ := netlist.NewSimulator(counter)
+	refC.SetInput("en", 1)
+	refR, _ := netlist.NewSimulator(ring)
+	for step := 0; step < 12; step++ {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("q%d", i)
+			want, _ := refC.Output(name)
+			got, err := l.OutputPin(pc, name)
+			if err != nil || got != want {
+				t.Fatalf("step %d counter %s: got %d want %d (%v)", step, name, got, want, err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("q%d", i)
+			want, _ := refR.Output(name)
+			got, err := l.OutputPin(pr, name)
+			if err != nil || got != want {
+				t.Fatalf("step %d ring %s: got %d want %d (%v)", step, name, got, want, err)
+			}
+		}
+		refC.Step()
+		refR.Step()
+		l.Step()
+	}
+}
+
+func TestWriteFrameValidation(t *testing.T) {
+	geo := device.SmallLX()
+	f := New(geo)
+	if err := f.WriteFrame(-1, make([]uint32, device.FrameWords)); err == nil {
+		t.Error("negative frame accepted")
+	}
+	if err := f.WriteFrame(0, make([]uint32, 3)); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := f.ReadbackFrame(geo.NumFrames()); err == nil {
+		t.Error("out-of-range readback accepted")
+	}
+	if err := f.SetPin(-1, 1); err == nil {
+		t.Error("negative pin accepted")
+	}
+}
+
+func TestImageCloneAndEqual(t *testing.T) {
+	geo := device.SmallLX()
+	im := NewImage(geo)
+	im.Frame(5)[3] = 0xABCD
+	c := im.Clone()
+	if !im.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Frame(5)[3] = 0
+	if im.Equal(c) {
+		t.Fatal("Equal missed a difference")
+	}
+}
+
+func TestLFSROnFabric(t *testing.T) {
+	geo := device.SmallLX()
+	d := netlist.LFSR(8, []int{0, 2, 3, 4})
+	_, p, l := placeAndLoad(t, geo, AppRegion(geo), d)
+	ref, _ := netlist.NewSimulator(d)
+	for i := 0; i < 100; i++ {
+		want, _ := ref.Output("out")
+		got, err := l.OutputPin(p, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("step %d: fabric=%d ref=%d", i, got, want)
+		}
+		ref.Step()
+		l.Step()
+	}
+}

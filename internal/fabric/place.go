@@ -1,0 +1,247 @@
+package fabric
+
+import (
+	"fmt"
+
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+// SlotRef records where a netlist cell was placed.
+type SlotRef struct {
+	Site Site
+	Slot int // LUT or FF slot within the CLB
+}
+
+// Placement is the result of placing a design into a region of an image.
+type Placement struct {
+	Design *netlist.Design
+	Region *Region
+	// LUTAt / FFAt map netlist cells to fabric slots.
+	LUTAt map[netlist.CellID]SlotRef
+	FFAt  map[netlist.CellID]SlotRef
+	// InputPin / OutputPin map pin names to global IOB pins.
+	InputPin  map[string]int
+	OutputPin map[string]int
+}
+
+// Placer assigns successive designs to disjoint slots of one region, so
+// several designs (an application, a shipped PUF circuit, diagnostics)
+// can share a partition. Placement order determines slot assignment, so
+// a fixed sequence of Place calls is deterministic.
+type Placer struct {
+	im     *Image
+	region *Region
+	sites  []Site
+
+	nextLUT, nextFF, nextPin int
+}
+
+// NewPlacer returns a placer with its cursor at the region's first slot.
+func NewPlacer(im *Image, region *Region) *Placer {
+	return &Placer{
+		im:      im,
+		region:  region,
+		sites:   region.Sites(),
+		nextPin: region.PinBase,
+	}
+}
+
+// PlaceDesign places d into the region of image im, writing the
+// configuration bits (LUT truth tables, routing selectors, FF init bits
+// and IOB entries). Cells are assigned to slots in deterministic order, so
+// the same design always produces the same bits — a requirement for the
+// verifier's golden reference.
+func PlaceDesign(im *Image, region *Region, d *netlist.Design) (*Placement, error) {
+	return NewPlacer(im, region).Place(d)
+}
+
+// Place places one design at the placer's cursor and advances it.
+func (pl *Placer) Place(d *netlist.Design) (*Placement, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	im, region := pl.im, pl.region
+	geo := im.Geo
+	sites := pl.sites
+	lutCap := len(sites) * LUTSlotsPerCLB
+	ffCap := len(sites) * FFSlotsPerCLB
+
+	p := &Placement{
+		Design:    d,
+		Region:    region,
+		LUTAt:     make(map[netlist.CellID]SlotRef),
+		FFAt:      make(map[netlist.CellID]SlotRef),
+		InputPin:  make(map[string]int),
+		OutputPin: make(map[string]int),
+	}
+
+	// Pass 1: assign slots and pins.
+	nextLUT, nextFF, nextPin := pl.nextLUT, pl.nextFF, pl.nextPin
+	pinLimit := region.PinBase + region.PinCount
+	for i := 0; i < d.NumCells(); i++ {
+		id := netlist.CellID(i)
+		switch d.Cell(id).Kind {
+		case netlist.KindLUT:
+			if nextLUT >= lutCap {
+				return nil, fmt.Errorf("fabric: region %s out of LUT slots (%d)", region.Name, lutCap)
+			}
+			p.LUTAt[id] = SlotRef{Site: sites[nextLUT/LUTSlotsPerCLB], Slot: nextLUT % LUTSlotsPerCLB}
+			nextLUT++
+		case netlist.KindDFF:
+			if nextFF >= ffCap {
+				return nil, fmt.Errorf("fabric: region %s out of FF slots (%d)", region.Name, ffCap)
+			}
+			p.FFAt[id] = SlotRef{Site: sites[nextFF/FFSlotsPerCLB], Slot: nextFF % FFSlotsPerCLB}
+			nextFF++
+		case netlist.KindInput:
+			if nextPin >= pinLimit {
+				return nil, fmt.Errorf("fabric: region %s out of IOB pins", region.Name)
+			}
+			p.InputPin[d.Cell(id).Name] = nextPin
+			nextPin++
+		}
+	}
+	for _, name := range sortedNames(d.OutputNames()) {
+		if nextPin >= pinLimit {
+			return nil, fmt.Errorf("fabric: region %s out of IOB pins for outputs", region.Name)
+		}
+		p.OutputPin[name] = nextPin
+		nextPin++
+	}
+
+	// selector encodes the net driven by cell src.
+	selector := func(src netlist.CellID) (uint64, error) {
+		c := d.Cell(src)
+		switch c.Kind {
+		case netlist.KindConst:
+			if c.Init == 0 {
+				return SelUnconnected, nil
+			}
+			return SelConst1, nil
+		case netlist.KindLUT:
+			ref := p.LUTAt[src]
+			site := SiteIndex(geo, ref.Site.Row, ref.Site.CLBCol, ref.Site.CLBInCol)
+			return uint64(LUTNet(geo, site, ref.Slot) + selNetBase), nil
+		case netlist.KindDFF:
+			ref := p.FFAt[src]
+			site := SiteIndex(geo, ref.Site.Row, ref.Site.CLBCol, ref.Site.CLBInCol)
+			return uint64(FFNet(geo, site, ref.Slot) + selNetBase), nil
+		case netlist.KindInput:
+			pin := p.InputPin[c.Name]
+			return uint64(PinNet(geo, pin) + selNetBase), nil
+		}
+		return 0, fmt.Errorf("fabric: cell %d has unroutable kind", src)
+	}
+
+	// Pass 2: write configuration bits.
+	for id, ref := range p.LUTAt {
+		cv, err := im.columnView(ref.Site.Row, device.ColCLB, ref.Site.CLBCol)
+		if err != nil {
+			return nil, err
+		}
+		base := ref.Site.CLBInCol*CLBBits + ref.Slot*lutSlotBits
+		cell := d.Cell(id)
+		cv.setBit(base+lutUsedOff, 1)
+		cv.setUint(base+lutTruthOff, 64, cell.Truth)
+		for k, in := range cell.Inputs {
+			sel, err := selector(in)
+			if err != nil {
+				return nil, err
+			}
+			cv.setUint(base+lutSelOff+k*selWidth, selWidth, sel)
+		}
+	}
+	for id, ref := range p.FFAt {
+		cv, err := im.columnView(ref.Site.Row, device.ColCLB, ref.Site.CLBCol)
+		if err != nil {
+			return nil, err
+		}
+		base := ref.Site.CLBInCol*CLBBits + ffBase + ref.Slot*ffSlotBits
+		cell := d.Cell(id)
+		cv.setBit(base+ffUsedOff, 1)
+		cv.setUint(base+ffInitOff, 1, uint64(cell.Init))
+		sel, err := selector(cell.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		cv.setUint(base+ffSelOff, selWidth, sel)
+	}
+	for name, pin := range p.InputPin {
+		if err := writeIOB(im, pin, false, 0); err != nil {
+			return nil, fmt.Errorf("fabric: input %q: %w", name, err)
+		}
+	}
+	for name, pin := range p.OutputPin {
+		src, _ := d.OutputSource(name)
+		sel, err := selector(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeIOB(im, pin, true, sel); err != nil {
+			return nil, fmt.Errorf("fabric: output %q: %w", name, err)
+		}
+	}
+	pl.nextLUT, pl.nextFF, pl.nextPin = nextLUT, nextFF, nextPin
+	return p, nil
+}
+
+func sortedNames(names []string) []string {
+	out := append([]string(nil), names...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WriteLUT writes one LUT slot's configuration directly into an image —
+// the primitive an adversary uses to splice a malicious module into the
+// fabric outside the placer.
+func WriteLUT(im *Image, s Site, slot int, used bool, truth uint64, sels [6]uint64) error {
+	cv, err := im.columnView(s.Row, device.ColCLB, s.CLBCol)
+	if err != nil {
+		return err
+	}
+	if s.CLBInCol < 0 || s.CLBInCol >= im.Geo.SitesPerColumn(device.ColCLB) || slot < 0 || slot >= LUTSlotsPerCLB {
+		return fmt.Errorf("fabric: LUT slot out of range")
+	}
+	base := s.CLBInCol*CLBBits + slot*lutSlotBits
+	u := uint32(0)
+	if used {
+		u = 1
+	}
+	cv.setBit(base+lutUsedOff, u)
+	cv.setUint(base+lutTruthOff, 64, truth)
+	for k, sel := range sels {
+		cv.setUint(base+lutSelOff+k*selWidth, selWidth, sel)
+	}
+	return nil
+}
+
+// WriteIOBPin writes one IOB pin entry — the primitive behind the
+// "connect another computing device" adversary of §7.2: rerouting an
+// internal net to a pad changes the CFG column bits and is therefore
+// visible to attestation.
+func WriteIOBPin(im *Image, pin int, output bool, sel uint64) error {
+	return writeIOB(im, pin, output, sel)
+}
+
+// writeIOB writes one IOB pin entry into the CFG column of the pin's row.
+func writeIOB(im *Image, pin int, output bool, sel uint64) error {
+	row := pin / IOBPinsPerRow
+	cv, err := im.columnView(row, device.ColCFG, 0)
+	if err != nil {
+		return err
+	}
+	base := (pin % IOBPinsPerRow) * iobEntryBits
+	cv.setBit(base+iobUsedOff, 1)
+	dir := uint32(0)
+	if output {
+		dir = 1
+	}
+	cv.setBit(base+iobDirOff, dir)
+	cv.setUint(base+iobSelOff, selWidth, sel)
+	return nil
+}

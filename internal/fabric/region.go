@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"sacha/internal/device"
+)
+
+// Site identifies one CLB site.
+type Site struct {
+	Row      int
+	CLBCol   int // ordinal among the CLB columns of the row
+	CLBInCol int
+}
+
+// Region is a logical partition of the fabric: a set of columns with an
+// associated IOB pin range. StatRegion and DynRegion partition the whole
+// device; AppRegion and NonceRegion are placement sub-views of the dynamic
+// partition.
+type Region struct {
+	Name string
+	geo  *device.Geometry
+
+	CLBCols  [][2]int // (row, clbCol ordinal)
+	BRAMInt  [][2]int // (row, ordinal)
+	BRAMCnt  [][2]int // (row, ordinal)
+	CFGRows  []int    // rows whose CFG column belongs to this region
+	PinBase  int      // first IOB pin owned by the region
+	PinCount int
+}
+
+// Frames returns the sorted linear frame indices of the region.
+func (r *Region) Frames() []int {
+	var out []int
+	add := func(kind device.ColumnKind, cols [][2]int) {
+		for _, rc := range cols {
+			base, n, err := r.geo.ColumnBase(rc[0], kind, rc[1])
+			if err != nil {
+				panic(fmt.Sprintf("fabric: region %s: %v", r.Name, err))
+			}
+			for i := 0; i < n; i++ {
+				out = append(out, base+i)
+			}
+		}
+	}
+	add(device.ColCLB, r.CLBCols)
+	add(device.ColBRAMInterconnect, r.BRAMInt)
+	add(device.ColBRAMContent, r.BRAMCnt)
+	for _, row := range r.CFGRows {
+		base, n, err := r.geo.ColumnBase(row, device.ColCFG, 0)
+		if err != nil {
+			panic(fmt.Sprintf("fabric: region %s: %v", r.Name, err))
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, base+i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Sites returns the CLB sites of the region in placement order.
+func (r *Region) Sites() []Site {
+	sitesPerCol := r.geo.SitesPerColumn(device.ColCLB)
+	out := make([]Site, 0, len(r.CLBCols)*sitesPerCol)
+	for _, rc := range r.CLBCols {
+		for s := 0; s < sitesPerCol; s++ {
+			out = append(out, Site{Row: rc[0], CLBCol: rc[1], CLBInCol: s})
+		}
+	}
+	return out
+}
+
+// CLBCapacity returns the number of CLBs in the region.
+func (r *Region) CLBCapacity() int {
+	return len(r.CLBCols) * r.geo.SitesPerColumn(device.ColCLB)
+}
+
+// statCLBCols returns how many CLB columns of row 0 the static partition
+// occupies. For the XC6VLX240T it is 46, which together with one BRAM
+// column pair and row 0's CFG column yields a StatMem of exactly 2,088
+// frames and therefore the paper's DynMem of 26,400 frames. Other
+// geometries use a quarter of a row.
+func statCLBCols(geo *device.Geometry) int {
+	if geo.Name == "XC6VLX240T" {
+		return 46
+	}
+	n := geo.ColumnsOf(device.ColCLB) / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// StatRegion returns the static partition: the first CLB columns of row 0,
+// the first BRAM column pair of row 0, and row 0's CFG column (clocking and
+// the static design's pins).
+func StatRegion(geo *device.Geometry) *Region {
+	n := statCLBCols(geo)
+	r := &Region{Name: "StatPart", geo: geo, PinBase: 0, PinCount: IOBPinsPerRow}
+	for c := 0; c < n; c++ {
+		r.CLBCols = append(r.CLBCols, [2]int{0, c})
+	}
+	r.BRAMInt = append(r.BRAMInt, [2]int{0, 0})
+	r.BRAMCnt = append(r.BRAMCnt, [2]int{0, 0})
+	r.CFGRows = []int{0}
+	return r
+}
+
+// DynRegion returns the dynamic partition: everything that is not in the
+// static partition.
+func DynRegion(geo *device.Geometry) *Region {
+	n := statCLBCols(geo)
+	clbCols := geo.ColumnsOf(device.ColCLB)
+	bramCols := geo.ColumnsOf(device.ColBRAMInterconnect)
+	r := &Region{
+		Name:     "DynPart",
+		geo:      geo,
+		PinBase:  IOBPinsPerRow,
+		PinCount: (geo.Rows - 1) * IOBPinsPerRow,
+	}
+	for row := 0; row < geo.Rows; row++ {
+		for c := 0; c < clbCols; c++ {
+			if row == 0 && c < n {
+				continue
+			}
+			r.CLBCols = append(r.CLBCols, [2]int{row, c})
+		}
+		for b := 0; b < bramCols; b++ {
+			if row == 0 && b == 0 {
+				continue
+			}
+			r.BRAMInt = append(r.BRAMInt, [2]int{row, b})
+		}
+		for b := 0; b < geo.ColumnsOf(device.ColBRAMContent); b++ {
+			if row == 0 && b == 0 {
+				continue
+			}
+			r.BRAMCnt = append(r.BRAMCnt, [2]int{row, b})
+		}
+		if row != 0 {
+			r.CFGRows = append(r.CFGRows, row)
+		}
+	}
+	return r
+}
+
+// NonceRegion returns the dedicated nonce partition inside the dynamic
+// partition: the last CLB column of the last row, with the top pins of the
+// last row. Reconfiguring only this region updates the nonce without
+// touching the intended application (paper §5.2.2).
+func NonceRegion(geo *device.Geometry) *Region {
+	lastRow := geo.Rows - 1
+	lastCol := geo.ColumnsOf(device.ColCLB) - 1
+	return &Region{
+		Name:     "NoncePart",
+		geo:      geo,
+		CLBCols:  [][2]int{{lastRow, lastCol}},
+		CFGRows:  []int{lastRow},
+		PinBase:  geo.Rows*IOBPinsPerRow - 64,
+		PinCount: 64,
+	}
+}
+
+// AppRegion returns the application sub-view of the dynamic partition:
+// the dynamic partition minus the nonce column and minus the nonce's pins.
+func AppRegion(geo *device.Geometry) *Region {
+	r := DynRegion(geo)
+	r.Name = "AppPart"
+	nonce := NonceRegion(geo)
+	keep := r.CLBCols[:0]
+	for _, rc := range r.CLBCols {
+		if rc != nonce.CLBCols[0] {
+			keep = append(keep, rc)
+		}
+	}
+	r.CLBCols = keep
+	r.PinCount -= nonce.PinCount
+	return r
+}

@@ -1,0 +1,201 @@
+package fifo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sync brings both domains fully up to date (two ticks flush the
+// two-stage synchroniser).
+func syncBoth(f *DualClock) {
+	f.SyncWriteDomain()
+	f.SyncWriteDomain()
+	f.SyncReadDomain()
+	f.SyncReadDomain()
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []int{0, 1, 3, 12, -8} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("capacity %d accepted", bad)
+		}
+	}
+	f, err := New(8)
+	if err != nil || f.Cap() != 8 {
+		t.Fatalf("New(8): %v", err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f, _ := New(4)
+	for i := uint32(0); i < 4; i++ {
+		if err := f.Push(i * 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncBoth(f)
+	for i := uint32(0); i < 4; i++ {
+		v, err := f.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i*10 {
+			t.Fatalf("pop %d = %d", i, v)
+		}
+	}
+	if !f.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestFullAndEmptyFlags(t *testing.T) {
+	f, _ := New(4)
+	syncBoth(f)
+	if !f.Empty() || f.Full() {
+		t.Fatal("fresh FIFO flags wrong")
+	}
+	for i := 0; i < 4; i++ {
+		if err := f.Push(1); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if !f.Full() {
+		t.Fatal("full flag not set at capacity")
+	}
+	if err := f.Push(9); err == nil {
+		t.Fatal("push beyond capacity accepted")
+	}
+	// Reader hasn't synchronised yet: still sees empty.
+	if !f.Empty() {
+		t.Fatal("reader saw writes before synchronisation")
+	}
+	syncBoth(f)
+	if f.Empty() {
+		t.Fatal("reader still empty after sync")
+	}
+}
+
+func TestConservativeNotOptimistic(t *testing.T) {
+	// After the reader drains, the writer must not see space until its
+	// synchroniser catches up — stale flags are allowed to be pessimistic
+	// only.
+	f, _ := New(2)
+	f.Push(1)
+	f.Push(2)
+	syncBoth(f)
+	f.Pop()
+	f.Pop()
+	// Writer has not re-synced: must still report full.
+	if !f.Full() {
+		t.Fatal("writer optimistically saw freed space")
+	}
+	syncBoth(f)
+	if f.Full() {
+		t.Fatal("writer never saw freed space")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	f, _ := New(4)
+	for round := 0; round < 13; round++ {
+		for i := 0; i < 3; i++ {
+			if err := f.Push(uint32(round*3 + i)); err != nil {
+				t.Fatalf("round %d push %d: %v", round, i, err)
+			}
+		}
+		syncBoth(f)
+		for i := 0; i < 3; i++ {
+			v, err := f.Pop()
+			if err != nil {
+				t.Fatalf("round %d pop %d: %v", round, i, err)
+			}
+			if v != uint32(round*3+i) {
+				t.Fatalf("round %d: got %d", round, v)
+			}
+		}
+		syncBoth(f)
+	}
+}
+
+func TestGrayCodeAdjacency(t *testing.T) {
+	// Successive Gray codes differ in exactly one bit — the property that
+	// makes cross-domain pointer sampling safe.
+	for b := uint32(0); b < 1024; b++ {
+		x := gray(b) ^ gray(b+1)
+		if x == 0 || x&(x-1) != 0 {
+			t.Fatalf("gray(%d) and gray(%d) differ in more than one bit", b, b+1)
+		}
+	}
+}
+
+// Property: under a random interleaving of pushes, pops and domain
+// syncs, the FIFO never reorders, drops or duplicates data, and the
+// flags never lie optimistically (no overwrite of unread data, no read
+// of unwritten data).
+func TestQuickRandomInterleaving(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f, _ := New(8)
+		var pushed, popped uint32
+		for step := 0; step < 3000; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				if f.Push(pushed) == nil {
+					if f.Len() > f.Cap() {
+						return false // overwrote unread data
+					}
+					pushed++
+				}
+			case 1:
+				if v, err := f.Pop(); err == nil {
+					if v != popped {
+						return false // reorder/duplicate/drop
+					}
+					popped++
+				}
+			case 2:
+				f.SyncWriteDomain()
+			case 3:
+				f.SyncReadDomain()
+			}
+		}
+		return popped <= pushed
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: everything pushed is eventually popped in order once both
+// domains keep syncing.
+func TestQuickEventualDelivery(t *testing.T) {
+	fn := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f, _ := New(16)
+		n := int(n8)%200 + 1
+		var got []uint32
+		next := uint32(0)
+		for len(got) < n {
+			if next < uint32(n) && rng.Intn(2) == 0 {
+				if f.Push(next) == nil {
+					next++
+				}
+			}
+			if v, err := f.Pop(); err == nil {
+				got = append(got, v)
+			}
+			f.SyncWriteDomain()
+			f.SyncReadDomain()
+		}
+		for i, v := range got {
+			if v != uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package hwattest
+
+import (
+	"testing"
+
+	"sacha/internal/core"
+	"sacha/internal/cpu"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/prover"
+)
+
+func demoProgram(t *testing.T) []uint16 {
+	t.Helper()
+	img, err := cpu.Assemble(`
+		LDI r0, 0
+		LDI r1, 10
+		LDI r2, 1
+	loop:
+		ADD r0, r1
+		SUB r1, r2
+		JNZ r1, loop
+		OUT r0, 0
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func newCombined(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(core.Config{
+		Geo:        device.SmallLX(),
+		App:        netlist.Blinker(8),
+		LabLatency: -1,
+		Seed:       5,
+	}, demoProgram(t), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCombinedHonestAccepted(t *testing.T) {
+	sys := newCombined(t)
+	rep, err := sys.Attest(core.AttestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FPGATrusted || !rep.SoftwareOK || !rep.Accepted {
+		t.Fatalf("honest combined system rejected: %+v", rep)
+	}
+	// The attested program still runs correctly.
+	if err := sys.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.CPU.Out(0) != 55 {
+		t.Fatalf("program output %d", sys.CPU.Out(0))
+	}
+}
+
+func TestMaliciousSoftwareDetected(t *testing.T) {
+	sys := newCombined(t)
+	// The adversary patches one instruction in the processor's code.
+	sys.CPU.Mem[3] = cpu.Encode(cpu.OpNOP, 0, 0, 0)
+	rep, err := sys.Attest(core.AttestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FPGATrusted {
+		t.Fatal("FPGA stage should pass — only the software was tampered")
+	}
+	if rep.SoftwareOK || rep.Accepted {
+		t.Fatal("tampered software accepted")
+	}
+}
+
+func TestUntrustedFPGASkipsSoftwareStage(t *testing.T) {
+	sys := newCombined(t)
+	rep, err := sys.Attest(core.AttestOptions{
+		TamperDevice: func(d *prover.Device) {
+			// Tamper with the FPGA configuration: stage 1 must fail and
+			// stage 2 must not run.
+			frames := sys.FPGA.DynFrames()
+			d.Fabric.Mem.Frame(frames[0])[0] ^= 4
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FPGATrusted {
+		t.Fatal("tampered FPGA trusted")
+	}
+	if rep.SoftwareOK || rep.Accepted {
+		t.Fatal("software stage ran on an untrusted FPGA")
+	}
+}
+
+func TestSoftwareNonceFreshness(t *testing.T) {
+	sys := newCombined(t)
+	t1, err := sys.Module.AttestSoftware(1, len(sys.program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := sys.Module.AttestSoftware(2, len(sys.program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == t2 {
+		t.Fatal("software attestation tag independent of nonce")
+	}
+}
+
+func TestAttestSoftwareValidation(t *testing.T) {
+	sys := newCombined(t)
+	if _, err := sys.Module.AttestSoftware(1, 0); err == nil {
+		t.Error("empty program region accepted")
+	}
+	if _, err := sys.Module.AttestSoftware(1, 1<<20); err == nil {
+		t.Error("oversized program region accepted")
+	}
+}

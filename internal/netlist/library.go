@@ -1,0 +1,192 @@
+package netlist
+
+import "fmt"
+
+// Common truth tables for 2-input LUTs (input 0 = LSB of the index).
+const (
+	TruthXOR2 = 0x6 // a ^ b
+	TruthAND2 = 0x8 // a & b
+	TruthOR2  = 0xE // a | b
+	TruthNOT  = 0x1 // !a (1-input)
+	TruthBUF  = 0x2 // a  (1-input)
+)
+
+// TruthMaj3 is the 3-input majority function.
+const TruthMaj3 = 0xE8
+
+// Counter returns an n-bit binary up-counter with an "en" input and
+// outputs q0..q(n-1). It demonstrates a carry chain of LUTs and DFFs.
+func Counter(n int) *Design {
+	if n < 1 || n > 64 {
+		panic("netlist: counter width out of range")
+	}
+	d := NewDesign(fmt.Sprintf("counter%d", n))
+	carry := d.Input("en") // carry into bit 0 is the enable
+	for i := 0; i < n; i++ {
+		q, setD := d.DFFLoop(0)
+		setD(d.LUT(TruthXOR2, q, carry)) // q_i toggles when carry in is 1
+		if i < n-1 {
+			carry = d.LUT(TruthAND2, q, carry)
+		}
+		d.Output(fmt.Sprintf("q%d", i), q)
+	}
+	return d
+}
+
+// LFSR returns a Fibonacci linear-feedback shift register of the given
+// width with taps (bit indices, 0-based from the output bit). Output pin
+// "out" is the register's bit 0; all bits init to 1 so it never locks up.
+func LFSR(width int, taps []int) *Design {
+	if width < 2 || width > 64 {
+		panic("netlist: LFSR width out of range")
+	}
+	d := NewDesign(fmt.Sprintf("lfsr%d", width))
+	regs := make([]CellID, width)
+	setters := make([]func(CellID), width)
+	for i := range regs {
+		regs[i], setters[i] = d.DFFLoop(1)
+	}
+	// Feedback = XOR of tapped bits.
+	var fb CellID
+	first := true
+	for _, t := range taps {
+		if t < 0 || t >= width {
+			panic("netlist: LFSR tap out of range")
+		}
+		if first {
+			fb = d.LUT(TruthBUF, regs[t])
+			first = false
+		} else {
+			fb = d.LUT(TruthXOR2, fb, regs[t])
+		}
+	}
+	if first {
+		panic("netlist: LFSR needs at least one tap")
+	}
+	// Shift: reg[i] <= reg[i+1], reg[width-1] <= feedback.
+	for i := 0; i < width-1; i++ {
+		setters[i](regs[i+1])
+	}
+	setters[width-1](fb)
+	d.Output("out", regs[0])
+	return d
+}
+
+// NonceRegister returns the SACHa nonce partition design: nBits D
+// flip-flops holding the nonce value in their init bits, each one holding
+// its own state (D = Q). Reconfiguring the partition rewrites the init
+// bits and thus the nonce (paper §5.2.2).
+func NonceRegister(nBits int, nonce uint64) *Design {
+	if nBits < 1 || nBits > 64 {
+		panic("netlist: nonce width out of range")
+	}
+	d := NewDesign(fmt.Sprintf("nonce%d", nBits))
+	for i := 0; i < nBits; i++ {
+		q, setD := d.DFFLoop(uint8(nonce >> uint(i) & 1))
+		setD(q) // hold
+		d.Output(fmt.Sprintf("n%d", i), q)
+	}
+	return d
+}
+
+// Blinker returns a small demo application: an n-bit counter whose top
+// bit drives a "led" output, gated by an "en" input.
+func Blinker(n int) *Design {
+	d := Counter(n)
+	d.Name = fmt.Sprintf("blinker%d", n)
+	top, _ := d.OutputSource(fmt.Sprintf("q%d", n-1))
+	d.Output("led", top)
+	return d
+}
+
+// Majority returns a 3-input majority voter (one LUT), the classic
+// TMR voter used in fault-tolerant FPGA designs.
+func Majority() *Design {
+	d := NewDesign("maj3")
+	a, b, c := d.Input("a"), d.Input("b"), d.Input("c")
+	m := d.LUT(TruthMaj3, a, b, c)
+	d.Output("y", m)
+	return d
+}
+
+// ShiftRegister returns an n-bit serial-in/parallel-out shift register
+// with input "din" and outputs q0..q(n-1); q0 is the newest bit.
+func ShiftRegister(n int) *Design {
+	if n < 1 || n > 64 {
+		panic("netlist: shift register width out of range")
+	}
+	d := NewDesign(fmt.Sprintf("shiftreg%d", n))
+	src := d.Input("din")
+	for i := 0; i < n; i++ {
+		q, setD := d.DFFLoop(0)
+		setD(src)
+		d.Output(fmt.Sprintf("q%d", i), q)
+		src = q
+	}
+	return d
+}
+
+// GrayCounter returns an n-bit Gray-code counter: a binary counter with a
+// combinational binary-to-Gray stage on its outputs g0..g(n-1), gated by
+// "en". Successive states differ in exactly one output bit.
+func GrayCounter(n int) *Design {
+	if n < 2 || n > 32 {
+		panic("netlist: gray counter width out of range")
+	}
+	d := Counter(n)
+	d.Name = fmt.Sprintf("gray%d", n)
+	for i := 0; i < n; i++ {
+		q, _ := d.OutputSource(fmt.Sprintf("q%d", i))
+		if i == n-1 {
+			d.Output(fmt.Sprintf("g%d", i), d.LUT(TruthBUF, q))
+			continue
+		}
+		hi, _ := d.OutputSource(fmt.Sprintf("q%d", i+1))
+		d.Output(fmt.Sprintf("g%d", i), d.LUT(TruthXOR2, q, hi))
+	}
+	return d
+}
+
+// OneHotRing returns an n-stage one-hot ring counter (token rotator):
+// exactly one of q0..q(n-1) is high, advancing each clock.
+func OneHotRing(n int) *Design {
+	if n < 2 || n > 64 {
+		panic("netlist: ring length out of range")
+	}
+	d := NewDesign(fmt.Sprintf("ring%d", n))
+	qs := make([]CellID, n)
+	setters := make([]func(CellID), n)
+	for i := range qs {
+		init := uint8(0)
+		if i == 0 {
+			init = 1
+		}
+		qs[i], setters[i] = d.DFFLoop(init)
+		d.Output(fmt.Sprintf("q%d", i), qs[i])
+	}
+	for i := range qs {
+		setters[i](qs[(i+n-1)%n])
+	}
+	return d
+}
+
+// RippleAdder returns an n-bit ripple-carry adder with inputs a0.., b0..,
+// cin and outputs s0.., cout.
+func RippleAdder(n int) *Design {
+	if n < 1 || n > 32 {
+		panic("netlist: adder width out of range")
+	}
+	d := NewDesign(fmt.Sprintf("adder%d", n))
+	carry := d.Input("cin")
+	for i := 0; i < n; i++ {
+		a := d.Input(fmt.Sprintf("a%d", i))
+		b := d.Input(fmt.Sprintf("b%d", i))
+		axb := d.LUT(TruthXOR2, a, b)
+		sum := d.LUT(TruthXOR2, axb, carry)
+		// carry-out = a&b | carry&(a^b) = Maj3(a, b, carry)
+		carry = d.LUT(TruthMaj3, a, b, carry)
+		d.Output(fmt.Sprintf("s%d", i), sum)
+	}
+	d.Output("cout", carry)
+	return d
+}

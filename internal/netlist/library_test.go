@@ -1,0 +1,109 @@
+package netlist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShiftRegister(t *testing.T) {
+	d := ShiftRegister(4)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []uint8{1, 0, 1, 1, 0, 1}
+	var want [4]uint8
+	for _, bit := range pattern {
+		s.SetInput("din", bit)
+		s.Step()
+		copy(want[1:], want[:3])
+		want[0] = bit
+		for i := 0; i < 4; i++ {
+			got, _ := s.Output(fmt.Sprintf("q%d", i))
+			if got != want[i] {
+				t.Fatalf("after shifting %v: q%d = %d, want %d", pattern, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestGrayCounterAdjacency(t *testing.T) {
+	const n = 4
+	d := GrayCounter(n)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("en", 1)
+	read := func() int {
+		v := 0
+		for i := 0; i < n; i++ {
+			bit, err := s.Output(fmt.Sprintf("g%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v |= int(bit) << uint(i)
+		}
+		return v
+	}
+	seen := map[int]bool{}
+	prev := read()
+	seen[prev] = true
+	for step := 0; step < (1<<n)-1; step++ {
+		s.Step()
+		cur := read()
+		diff := prev ^ cur
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("step %d: %04b -> %04b differs in more than one bit", step, prev, cur)
+		}
+		if seen[cur] && step != (1<<n)-1 {
+			t.Fatalf("state %04b repeated early", cur)
+		}
+		seen[cur] = true
+		prev = cur
+	}
+	if len(seen) != 1<<n {
+		t.Fatalf("visited %d states, want %d", len(seen), 1<<n)
+	}
+}
+
+func TestOneHotRing(t *testing.T) {
+	const n = 5
+	d := OneHotRing(n)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2*n; step++ {
+		hot := -1
+		count := 0
+		for i := 0; i < n; i++ {
+			v, _ := s.Output(fmt.Sprintf("q%d", i))
+			if v == 1 {
+				hot = i
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("step %d: %d hot bits", step, count)
+		}
+		if hot != step%n {
+			t.Fatalf("step %d: token at %d, want %d", step, hot, step%n)
+		}
+		s.Step()
+	}
+}
+
+func TestLibraryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("shiftreg", func() { ShiftRegister(0) })
+	mustPanic("gray", func() { GrayCounter(1) })
+	mustPanic("ring", func() { OneHotRing(1) })
+}

@@ -1,0 +1,365 @@
+// Package netlist describes and simulates LUT-level hardware designs.
+//
+// A Design is a list of cells — external inputs, LUTs of up to six inputs,
+// D flip-flops and output markers — connected by cell indices. The fabric
+// model places designs onto CLB sites and serialises them into
+// configuration bits; this package provides the reference functional
+// simulation that the fabric's bit-level decode must agree with (the
+// semantic-fidelity property in DESIGN.md).
+package netlist
+
+import "fmt"
+
+// CellKind enumerates the supported cell types.
+type CellKind uint8
+
+const (
+	// KindInput is an external input pin.
+	KindInput CellKind = iota
+	// KindLUT is a look-up table of 1..6 inputs.
+	KindLUT
+	// KindDFF is a rising-edge D flip-flop with a configurable init value.
+	KindDFF
+	// KindConst is a constant 0 or 1 driver.
+	KindConst
+)
+
+// MaxLUTInputs is the LUT arity of the modelled fabric (LUT6).
+const MaxLUTInputs = 6
+
+// CellID identifies a cell within a Design.
+type CellID int
+
+// Cell is one node of the netlist. Its output value is identified by its
+// CellID.
+type Cell struct {
+	Kind   CellKind
+	Name   string   // input/output pin name, optional for internal cells
+	Inputs []CellID // LUT inputs or the DFF's D input
+	Truth  uint64   // LUT truth table, bit i = output for input pattern i
+	Init   uint8    // DFF power-on value (0/1), or the constant value
+}
+
+// Design is a named netlist with declared external inputs and outputs.
+type Design struct {
+	Name    string
+	cells   []Cell
+	inputs  map[string]CellID
+	outputs map[string]CellID
+}
+
+// NewDesign returns an empty design.
+func NewDesign(name string) *Design {
+	return &Design{
+		Name:    name,
+		inputs:  make(map[string]CellID),
+		outputs: make(map[string]CellID),
+	}
+}
+
+// NumCells returns the number of cells.
+func (d *Design) NumCells() int { return len(d.cells) }
+
+// Cell returns cell c.
+func (d *Design) Cell(c CellID) Cell { return d.cells[c] }
+
+// Input declares an external input pin and returns its cell.
+func (d *Design) Input(name string) CellID {
+	if _, dup := d.inputs[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate input %q", name))
+	}
+	id := d.add(Cell{Kind: KindInput, Name: name})
+	d.inputs[name] = id
+	return id
+}
+
+// Const adds a constant driver of value v&1.
+func (d *Design) Const(v uint8) CellID {
+	return d.add(Cell{Kind: KindConst, Init: v & 1})
+}
+
+// LUT adds a look-up table with the given truth table and inputs.
+func (d *Design) LUT(truth uint64, inputs ...CellID) CellID {
+	if len(inputs) == 0 || len(inputs) > MaxLUTInputs {
+		panic(fmt.Sprintf("netlist: LUT with %d inputs", len(inputs)))
+	}
+	for _, in := range inputs {
+		d.checkRef(in)
+	}
+	ins := make([]CellID, len(inputs))
+	copy(ins, inputs)
+	return d.add(Cell{Kind: KindLUT, Inputs: ins, Truth: truth})
+}
+
+// DFF adds a D flip-flop fed by dIn with the given power-on init value.
+func (d *Design) DFF(dIn CellID, init uint8) CellID {
+	d.checkRef(dIn)
+	return d.add(Cell{Kind: KindDFF, Inputs: []CellID{dIn}, Init: init & 1})
+}
+
+// DFFLoop adds a D flip-flop whose D input is connected later via the
+// returned setter. This is how feedback loops (counters, LFSRs, hold
+// registers) are built, since cells can otherwise only reference
+// already-created cells. The setter must be called exactly once before
+// the design is simulated or placed.
+func (d *Design) DFFLoop(init uint8) (CellID, func(dIn CellID)) {
+	id := d.add(Cell{Kind: KindDFF, Init: init & 1})
+	bound := false
+	return id, func(dIn CellID) {
+		if bound {
+			panic("netlist: DFFLoop input bound twice")
+		}
+		d.checkRef(dIn)
+		d.cells[id].Inputs = []CellID{dIn}
+		bound = true
+	}
+}
+
+// Validate checks that every DFF has its D input bound.
+func (d *Design) Validate() error {
+	for i, c := range d.cells {
+		if c.Kind == KindDFF && len(c.Inputs) != 1 {
+			return fmt.Errorf("netlist: DFF cell %d in %q has unbound D input", i, d.Name)
+		}
+	}
+	return nil
+}
+
+// Output declares an external output pin driven by src.
+func (d *Design) Output(name string, src CellID) {
+	if _, dup := d.outputs[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate output %q", name))
+	}
+	d.checkRef(src)
+	d.outputs[name] = src
+}
+
+func (d *Design) add(c Cell) CellID {
+	d.cells = append(d.cells, c)
+	return CellID(len(d.cells) - 1)
+}
+
+func (d *Design) checkRef(c CellID) {
+	if c < 0 || int(c) >= len(d.cells) {
+		panic(fmt.Sprintf("netlist: dangling cell reference %d", c))
+	}
+}
+
+// InputNames returns the declared input pin names (unsorted map keys).
+func (d *Design) InputNames() []string {
+	out := make([]string, 0, len(d.inputs))
+	for n := range d.inputs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// OutputNames returns the declared output pin names.
+func (d *Design) OutputNames() []string {
+	out := make([]string, 0, len(d.outputs))
+	for n := range d.outputs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// OutputSource returns the cell driving the named output.
+func (d *Design) OutputSource(name string) (CellID, bool) {
+	id, ok := d.outputs[name]
+	return id, ok
+}
+
+// Stats summarises resource usage of a design.
+type Stats struct {
+	LUTs, DFFs, Inputs, Outputs, Consts int
+}
+
+// Stats returns the cell counts of the design.
+func (d *Design) Stats() Stats {
+	var s Stats
+	for _, c := range d.cells {
+		switch c.Kind {
+		case KindLUT:
+			s.LUTs++
+		case KindDFF:
+			s.DFFs++
+		case KindInput:
+			s.Inputs++
+		case KindConst:
+			s.Consts++
+		}
+	}
+	s.Outputs = len(d.outputs)
+	return s
+}
+
+// Simulator evaluates a design cycle by cycle.
+type Simulator struct {
+	d      *Design
+	values []uint8 // current settled value per cell
+	state  []uint8 // DFF state
+	order  []CellID
+	inVals map[string]uint8
+}
+
+// NewSimulator builds a simulator; it returns an error if the
+// combinational logic contains a cycle.
+func NewSimulator(d *Design) (*Simulator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := topoOrder(d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		d:      d,
+		values: make([]uint8, len(d.cells)),
+		state:  make([]uint8, len(d.cells)),
+		order:  order,
+		inVals: make(map[string]uint8),
+	}
+	for i, c := range d.cells {
+		if c.Kind == KindDFF {
+			s.state[i] = c.Init
+		}
+	}
+	s.settle()
+	return s, nil
+}
+
+// topoOrder orders combinational cells so every LUT's inputs are computed
+// first. DFF outputs are state, so they break cycles.
+func topoOrder(d *Design) ([]CellID, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, len(d.cells))
+	var order []CellID
+	var visit func(CellID) error
+	visit = func(c CellID) error {
+		switch color[c] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("netlist: combinational cycle through cell %d in %q", c, d.Name)
+		}
+		color[c] = grey
+		cell := d.cells[c]
+		if cell.Kind == KindLUT {
+			for _, in := range cell.Inputs {
+				if d.cells[in].Kind != KindDFF { // DFFs are state, not comb deps
+					if err := visit(in); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[c] = black
+		order = append(order, c)
+		return nil
+	}
+	for i := range d.cells {
+		if err := visit(CellID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// SetInput drives an external input for subsequent evaluation.
+func (s *Simulator) SetInput(name string, v uint8) error {
+	if _, ok := s.d.inputs[name]; !ok {
+		return fmt.Errorf("netlist: unknown input %q", name)
+	}
+	s.inVals[name] = v & 1
+	s.settle()
+	return nil
+}
+
+// settle recomputes all combinational values from inputs and DFF state.
+func (s *Simulator) settle() {
+	for _, c := range s.order {
+		cell := s.d.cells[c]
+		switch cell.Kind {
+		case KindInput:
+			s.values[c] = s.inVals[cell.Name]
+		case KindConst:
+			s.values[c] = cell.Init
+		case KindDFF:
+			s.values[c] = s.state[c]
+		case KindLUT:
+			idx := 0
+			for bit, in := range cell.Inputs {
+				if s.values[in] != 0 {
+					idx |= 1 << uint(bit)
+				}
+			}
+			s.values[c] = uint8(cell.Truth >> uint(idx) & 1)
+		}
+	}
+}
+
+// Step applies one rising clock edge: all DFFs latch their D inputs
+// simultaneously, then combinational logic settles.
+func (s *Simulator) Step() {
+	next := make([]uint8, 0, 8)
+	ids := make([]CellID, 0, 8)
+	for i, c := range s.d.cells {
+		if c.Kind == KindDFF {
+			ids = append(ids, CellID(i))
+			next = append(next, s.values[c.Inputs[0]])
+		}
+	}
+	for j, id := range ids {
+		s.state[id] = next[j]
+	}
+	s.settle()
+}
+
+// Value returns the settled value of a cell.
+func (s *Simulator) Value(c CellID) uint8 { return s.values[c] }
+
+// Output returns the value of a named output pin.
+func (s *Simulator) Output(name string) (uint8, error) {
+	src, ok := s.d.outputs[name]
+	if !ok {
+		return 0, fmt.Errorf("netlist: unknown output %q", name)
+	}
+	return s.values[src], nil
+}
+
+// RegisterState returns the current value of every DFF in cell order.
+// The fabric's readback capture exposes exactly this vector.
+func (s *Simulator) RegisterState() []uint8 {
+	var out []uint8
+	for i, c := range s.d.cells {
+		if c.Kind == KindDFF {
+			out = append(out, s.state[i])
+		}
+	}
+	return out
+}
+
+// LoadRegisterState forces DFF state (in cell order), modelling the
+// global set/reset that follows a partial reconfiguration.
+func (s *Simulator) LoadRegisterState(vals []uint8) error {
+	idx := 0
+	for i, c := range s.d.cells {
+		if c.Kind != KindDFF {
+			continue
+		}
+		if idx >= len(vals) {
+			return fmt.Errorf("netlist: register state too short: %d values for design with more DFFs", len(vals))
+		}
+		s.state[i] = vals[idx] & 1
+		idx++
+	}
+	if idx != len(vals) {
+		return fmt.Errorf("netlist: register state too long: %d values, %d DFFs", len(vals), idx)
+	}
+	s.settle()
+	return nil
+}

@@ -1,0 +1,358 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUTTruthTables(t *testing.T) {
+	d := NewDesign("gates")
+	a := d.Input("a")
+	b := d.Input("b")
+	d.Output("xor", d.LUT(TruthXOR2, a, b))
+	d.Output("and", d.LUT(TruthAND2, a, b))
+	d.Output("or", d.LUT(TruthOR2, a, b))
+	d.Output("not", d.LUT(TruthNOT, a))
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b              uint8
+		xor, and, or, not uint8
+	}{
+		{0, 0, 0, 0, 0, 1},
+		{1, 0, 1, 0, 1, 0},
+		{0, 1, 1, 0, 1, 1},
+		{1, 1, 0, 1, 1, 0},
+	} {
+		s.SetInput("a", tc.a)
+		s.SetInput("b", tc.b)
+		for name, want := range map[string]uint8{"xor": tc.xor, "and": tc.and, "or": tc.or, "not": tc.not} {
+			got, err := s.Output(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("a=%d b=%d %s = %d, want %d", tc.a, tc.b, name, got, want)
+			}
+		}
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	d := Counter(4)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("en", 1)
+	read := func() int {
+		v := 0
+		for i := 0; i < 4; i++ {
+			bit, _ := s.Output(fmt.Sprintf("q%d", i))
+			v |= int(bit) << uint(i)
+		}
+		return v
+	}
+	if read() != 0 {
+		t.Fatalf("counter should start at 0, got %d", read())
+	}
+	for want := 1; want < 20; want++ {
+		s.Step()
+		if got := read(); got != want%16 {
+			t.Fatalf("after %d steps: %d, want %d", want, got, want%16)
+		}
+	}
+	// Disable must freeze it.
+	s.SetInput("en", 0)
+	frozen := read()
+	s.Step()
+	if read() != frozen {
+		t.Fatal("counter advanced while disabled")
+	}
+}
+
+func TestLFSRPeriod(t *testing.T) {
+	// 4-bit Fibonacci LFSR with taps [0,1] (x^4 + x^3 + 1 reversed layout)
+	// has maximal period 15.
+	d := LFSR(4, []int{0, 1})
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := s.RegisterState()
+	period := 0
+	for i := 1; i <= 100; i++ {
+		s.Step()
+		same := true
+		for j, v := range s.RegisterState() {
+			if v != start[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			period = i
+			break
+		}
+	}
+	if period != 15 {
+		t.Fatalf("LFSR period = %d, want 15", period)
+	}
+}
+
+func TestNonceRegisterHoldsValue(t *testing.T) {
+	const nonce = 0xDEADBEEFCAFEF00D
+	d := NonceRegister(64, nonce)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func() uint64 {
+		var v uint64
+		for i := 0; i < 64; i++ {
+			bit, _ := s.Output(fmt.Sprintf("n%d", i))
+			v |= uint64(bit) << uint(i)
+		}
+		return v
+	}
+	if read() != nonce {
+		t.Fatalf("nonce = %#x, want %#x", read(), uint64(nonce))
+	}
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if read() != nonce {
+		t.Fatal("nonce register did not hold its value across clocks")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	s, err := NewSimulator(Majority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		s.SetInput("a", uint8(v)&1)
+		s.SetInput("b", uint8(v>>1)&1)
+		s.SetInput("c", uint8(v>>2)&1)
+		got, _ := s.Output("y")
+		ones := v&1 + v>>1&1 + v>>2&1
+		want := uint8(0)
+		if ones >= 2 {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("maj(%03b) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// Property: the ripple adder computes a+b+cin for random operands.
+func TestQuickRippleAdder(t *testing.T) {
+	d := RippleAdder(8)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8, cin bool) bool {
+		ci := 0
+		if cin {
+			ci = 1
+		}
+		s.SetInput("cin", uint8(ci))
+		for i := 0; i < 8; i++ {
+			s.SetInput(fmt.Sprintf("a%d", i), a>>uint(i)&1)
+			s.SetInput(fmt.Sprintf("b%d", i), b>>uint(i)&1)
+		}
+		sum := 0
+		for i := 0; i < 8; i++ {
+			bit, _ := s.Output(fmt.Sprintf("s%d", i))
+			sum |= int(bit) << uint(i)
+		}
+		cout, _ := s.Output("cout")
+		sum |= int(cout) << 8
+		return sum == int(a)+int(b)+ci
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	d := NewDesign("cycle")
+	a := d.Input("a")
+	l1 := d.LUT(TruthBUF, a)
+	// Create a LUT loop via DFFLoop misuse: two LUTs referencing each
+	// other is impossible with the builder, so use a DFF-free self loop
+	// by rewiring through the only legal mechanism — not available.
+	// Instead check that a LUT chain is fine and a grey-node cycle via
+	// manual cell surgery errors out.
+	d.cells[l1].Inputs[0] = l1 // direct self-reference
+	if _, err := NewSimulator(d); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+func TestDFFBreaksCycle(t *testing.T) {
+	// q -> LUT -> q through a DFF must be legal.
+	d := NewDesign("dffloop")
+	q, setD := d.DFFLoop(1)
+	setD(d.LUT(TruthNOT, q))
+	d.Output("q", q)
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := s.Output("q")
+	s.Step()
+	v1, _ := s.Output("q")
+	s.Step()
+	v2, _ := s.Output("q")
+	if v0 != 1 || v1 != 0 || v2 != 1 {
+		t.Fatalf("toggle sequence %d %d %d, want 1 0 1", v0, v1, v2)
+	}
+}
+
+func TestUnboundDFFRejected(t *testing.T) {
+	d := NewDesign("unbound")
+	q, _ := d.DFFLoop(0)
+	d.Output("q", q)
+	if _, err := NewSimulator(d); err == nil {
+		t.Fatal("unbound DFF accepted")
+	}
+}
+
+func TestDFFLoopDoubleBindPanics(t *testing.T) {
+	d := NewDesign("x")
+	q, setD := d.DFFLoop(0)
+	setD(q)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	setD(q)
+}
+
+func TestRegisterStateRoundTrip(t *testing.T) {
+	d := Counter(8)
+	s, _ := NewSimulator(d)
+	s.SetInput("en", 1)
+	for i := 0; i < 37; i++ {
+		s.Step()
+	}
+	st := s.RegisterState()
+	if len(st) != 8 {
+		t.Fatalf("state length %d", len(st))
+	}
+	s2, _ := NewSimulator(d)
+	if err := s2.LoadRegisterState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range st {
+		if s2.RegisterState()[i] != st[i] {
+			t.Fatal("LoadRegisterState mismatch")
+		}
+	}
+	if err := s2.LoadRegisterState(st[:3]); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if err := s2.LoadRegisterState(append(st, 0)); err == nil {
+		t.Fatal("long state accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := RippleAdder(4)
+	st := d.Stats()
+	// 4 bits: a,b inputs ×4 + cin = 9 inputs; 2 XOR + 1 MAJ per bit = 12 LUTs;
+	// outputs: 4 sums + cout = 5.
+	if st.Inputs != 9 || st.LUTs != 12 || st.Outputs != 5 || st.DFFs != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsAndPanics(t *testing.T) {
+	d := NewDesign("e")
+	a := d.Input("a")
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup input", func() { d.Input("a") })
+	mustPanic("lut no inputs", func() { d.LUT(0) })
+	mustPanic("lut 7 inputs", func() { d.LUT(0, a, a, a, a, a, a, a) })
+	mustPanic("dangling ref", func() { d.LUT(TruthBUF, CellID(99)) })
+	d.Output("y", a)
+	mustPanic("dup output", func() { d.Output("y", a) })
+	mustPanic("counter width", func() { Counter(0) })
+	mustPanic("lfsr width", func() { LFSR(1, []int{0}) })
+	mustPanic("lfsr taps", func() { LFSR(4, nil) })
+	mustPanic("lfsr tap range", func() { LFSR(4, []int{9}) })
+	mustPanic("nonce width", func() { NonceRegister(65, 0) })
+	mustPanic("adder width", func() { RippleAdder(0) })
+
+	s, err := NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("zz", 1); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := s.Output("zz"); err == nil {
+		t.Error("unknown output accepted")
+	}
+}
+
+func TestBlinker(t *testing.T) {
+	d := Blinker(3)
+	s, _ := NewSimulator(d)
+	s.SetInput("en", 1)
+	// led = q2, goes high after 4 steps.
+	for i := 0; i < 4; i++ {
+		if led, _ := s.Output("led"); led != 0 {
+			t.Fatalf("led high too early at step %d", i)
+		}
+		s.Step()
+	}
+	if led, _ := s.Output("led"); led != 1 {
+		t.Fatal("led not high after 4 steps")
+	}
+}
+
+// Property: simulation is deterministic — two simulators stepped with the
+// same random input schedule agree on all outputs.
+func TestQuickDeterminism(t *testing.T) {
+	d := Counter(6)
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		s1, _ := NewSimulator(d)
+		s2, _ := NewSimulator(d)
+		for i := 0; i < 50; i++ {
+			s1.SetInput("en", uint8(r1.Intn(2)))
+			s2.SetInput("en", uint8(r2.Intn(2)))
+			s1.Step()
+			s2.Step()
+		}
+		for i := 0; i < 6; i++ {
+			a, _ := s1.Output(fmt.Sprintf("q%d", i))
+			b, _ := s2.Output(fmt.Sprintf("q%d", i))
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

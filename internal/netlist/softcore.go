@@ -1,0 +1,203 @@
+package netlist
+
+import "fmt"
+
+// SoftCore builds a small soft-core processor entirely out of LUTs and
+// flip-flops — the paper's §8 vision of "embedding softcore processors in
+// an FPGA ... allowing the attestation scheme to do a combined
+// verification of the FPGA configuration and the current state of the
+// FPGA application (including the state of the embedded processor)".
+//
+// The SC4 architecture:
+//
+//	PC   4-bit program counter
+//	ACC  8-bit accumulator
+//	ROM  up to 16 instructions, realised as LUT4s over the PC bits
+//	     (one LUT per instruction bit — the program literally *is*
+//	     configuration, so attestation covers the code)
+//
+// Instruction format op[1:0] imm[7:0]:
+//
+//	00 NOP
+//	01 ADDI imm   ACC <- ACC + imm
+//	10 XORI imm   ACC <- ACC ^ imm
+//	11 JMP  imm   PC  <- imm[3:0]
+//
+// Outputs: acc0..acc7 and pc0..pc3. The CAPTURE attestation extension can
+// therefore verify the processor's live state against a verifier-side
+// prediction.
+
+// SC4Op codes.
+const (
+	SC4Nop = iota
+	SC4Addi
+	SC4Xori
+	SC4Jmp
+)
+
+// SC4Instr is one soft-core instruction.
+type SC4Instr struct {
+	Op  int
+	Imm uint8
+}
+
+// SC4Program assembles a program for SoftCore.
+type SC4Program []SC4Instr
+
+// Encode returns the 10-bit instruction words.
+func (p SC4Program) Encode() ([]uint16, error) {
+	if len(p) > 16 {
+		return nil, fmt.Errorf("netlist: SC4 program of %d instructions exceeds 16", len(p))
+	}
+	out := make([]uint16, len(p))
+	for i, ins := range p {
+		if ins.Op < 0 || ins.Op > 3 {
+			return nil, fmt.Errorf("netlist: SC4 opcode %d invalid", ins.Op)
+		}
+		if ins.Op == SC4Jmp && ins.Imm > 15 {
+			return nil, fmt.Errorf("netlist: SC4 jump target %d beyond 4-bit PC", ins.Imm)
+		}
+		out[i] = uint16(ins.Op)<<8 | uint16(ins.Imm)
+	}
+	return out, nil
+}
+
+// SoftCore builds the SC4 design for the given program. Unused ROM slots
+// are NOPs.
+func SoftCore(program SC4Program) *Design {
+	words, err := program.Encode()
+	if err != nil {
+		panic(err)
+	}
+	d := NewDesign("sc4")
+
+	// State registers.
+	pc := make([]CellID, 4)
+	pcSet := make([]func(CellID), 4)
+	for i := range pc {
+		pc[i], pcSet[i] = d.DFFLoop(0)
+	}
+	acc := make([]CellID, 8)
+	accSet := make([]func(CellID), 8)
+	for i := range acc {
+		acc[i], accSet[i] = d.DFFLoop(0)
+	}
+
+	// Instruction ROM: bit j of the current instruction is a LUT4 over
+	// the PC whose truth table is column j of the program.
+	romBit := func(j int) CellID {
+		var truth uint64
+		for addr, w := range words {
+			if w>>uint(j)&1 == 1 {
+				truth |= 1 << uint(addr)
+			}
+		}
+		return d.LUT(truth, pc[0], pc[1], pc[2], pc[3])
+	}
+	imm := make([]CellID, 8)
+	for j := range imm {
+		imm[j] = romBit(j)
+	}
+	op0 := romBit(8)
+	op1 := romBit(9)
+
+	// ALU: sum = ACC + imm (ripple), axor = ACC ^ imm.
+	carry := d.Const(0)
+	sum := make([]CellID, 8)
+	axor := make([]CellID, 8)
+	for i := 0; i < 8; i++ {
+		axb := d.LUT(TruthXOR2, acc[i], imm[i])
+		sum[i] = d.LUT(TruthXOR2, axb, carry)
+		carry = d.LUT(TruthMaj3, acc[i], imm[i], carry)
+		axor[i] = axb
+	}
+
+	// Accumulator update mux: per bit, a LUT5 over
+	// (op0, op1, acc_i, sum_i, xor_i):
+	//	op=00 or 11 -> acc_i; op=01 -> sum_i; op=10 -> xor_i.
+	var accTruth uint64
+	for idx := 0; idx < 32; idx++ {
+		o0 := idx & 1
+		o1 := idx >> 1 & 1
+		a := idx >> 2 & 1
+		s := idx >> 3 & 1
+		x := idx >> 4 & 1
+		var v int
+		switch o1<<1 | o0 {
+		case SC4Addi:
+			v = s
+		case SC4Xori:
+			v = x
+		default:
+			v = a
+		}
+		if v == 1 {
+			accTruth |= 1 << uint(idx)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		accSet[i](d.LUT(accTruth, op0, op1, acc[i], sum[i], axor[i]))
+	}
+
+	// PC update: inc = PC + 1; next = (op==11) ? imm[3:0] : inc.
+	// isJmp = op0 & op1.
+	isJmp := d.LUT(TruthAND2, op0, op1)
+	pcCarry := d.Const(1)
+	for i := 0; i < 4; i++ {
+		inc := d.LUT(TruthXOR2, pc[i], pcCarry)
+		pcCarry = d.LUT(TruthAND2, pc[i], pcCarry)
+		// mux: LUT3(isJmp, inc_i, imm_i): isJmp ? imm : inc.
+		// index bits: b0=isJmp, b1=inc, b2=imm.
+		var t uint64
+		for idx := 0; idx < 8; idx++ {
+			j := idx & 1
+			in := idx >> 1 & 1
+			im := idx >> 2 & 1
+			v := in
+			if j == 1 {
+				v = im
+			}
+			if v == 1 {
+				t |= 1 << uint(idx)
+			}
+		}
+		pcSet[i](d.LUT(t, isJmp, inc, imm[i]))
+	}
+
+	for i := 0; i < 8; i++ {
+		d.Output(fmt.Sprintf("acc%d", i), acc[i])
+	}
+	for i := 0; i < 4; i++ {
+		d.Output(fmt.Sprintf("pc%d", i), pc[i])
+	}
+	return d
+}
+
+// SC4Reference interprets a program for n cycles and returns the expected
+// (ACC, PC) — the golden model the netlist implementation is verified
+// against.
+func SC4Reference(program SC4Program, cycles int) (acc uint8, pc uint8) {
+	words, err := program.Encode()
+	if err != nil {
+		panic(err)
+	}
+	rom := make([]uint16, 16)
+	copy(rom, words)
+	for i := 0; i < cycles; i++ {
+		w := rom[pc&0xF]
+		op := int(w >> 8 & 3)
+		imm := uint8(w)
+		switch op {
+		case SC4Addi:
+			acc += imm
+		case SC4Xori:
+			acc ^= imm
+		}
+		if op == SC4Jmp {
+			pc = imm & 0xF
+		} else {
+			pc = (pc + 1) & 0xF
+		}
+	}
+	return acc, pc
+}

@@ -1,0 +1,157 @@
+// Package pose implements the Perito–Tsudik proofs-of-secure-erasure and
+// secure code update protocol [ESORICS'10] on the bounded-memory embedded
+// CPU — the mechanism that inspired SACHa (paper §2.2) and the baseline
+// it is compared against.
+//
+// The verifier sends data filling the prover's *entire* memory; because
+// the memory is bounded, any previously resident (possibly malicious)
+// code is necessarily erased. The device then proves it by returning a
+// MAC over the full memory content and a verifier nonce, computed by a
+// small immutable ROM routine (modelled natively — the ROM is immutable
+// by assumption, so native modelling is exact).
+package pose
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sacha/internal/cmac"
+	"sacha/internal/cpu"
+)
+
+// Device is a PoSE-capable embedded device: a bounded-memory CPU plus an
+// immutable ROM holding the communication/MAC routine and the key.
+type Device struct {
+	M *cpu.Machine
+
+	key [16]byte
+	// skipRanges, when non-empty, models a *cheating* device that
+	// pretends to overwrite but preserves resident code in the given
+	// [start, end) word ranges — used by tests to show why the bounded
+	// memory model catches it.
+	skipRanges [][2]int
+}
+
+// NewDevice returns a device with the given memory size and ROM key.
+func NewDevice(memWords int, key [16]byte) (*Device, error) {
+	m, err := cpu.New(memWords)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{M: m, key: key}, nil
+}
+
+// Cheat makes the device preserve the given word range across fills,
+// modelling malware that refuses to be erased.
+func (d *Device) Cheat(start, end int) {
+	d.skipRanges = append(d.skipRanges, [2]int{start, end})
+}
+
+// ReceiveFill is the ROM's receive-and-write routine: the payload must
+// cover the entire memory, or the bounded-memory argument does not hold.
+func (d *Device) ReceiveFill(words []uint16) error {
+	if len(words) != len(d.M.Mem) {
+		return fmt.Errorf("pose: fill of %d words does not cover the %d-word memory", len(words), len(d.M.Mem))
+	}
+	for i, w := range words {
+		preserved := false
+		for _, r := range d.skipRanges {
+			if i >= r[0] && i < r[1] {
+				preserved = true
+				break
+			}
+		}
+		if !preserved {
+			d.M.Mem[i] = w
+		}
+	}
+	return nil
+}
+
+// Checksum is the ROM's attestation routine: MAC over nonce plus the
+// entire memory content.
+func (d *Device) Checksum(nonce uint64) ([16]byte, error) {
+	mac, err := cmac.New(d.key[:])
+	if err != nil {
+		return [16]byte{}, err
+	}
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	mac.Update(nb[:])
+	mac.Update(d.M.MemBytes())
+	return mac.Sum(), nil
+}
+
+// Execute resets the CPU and runs the freshly installed code.
+func (d *Device) Execute(maxCycles int64) error {
+	d.M.Reset()
+	return d.M.Run(maxCycles)
+}
+
+// Verifier holds the shared key and the known memory size of the device
+// (the protocol's central assumption).
+type Verifier struct {
+	Key      [16]byte
+	MemWords int
+}
+
+// Report is the outcome of one secure code update.
+type Report struct {
+	Accepted bool
+	// Image is the memory image that was installed (code + random fill).
+	Image []uint16
+}
+
+// SecureCodeUpdate runs the full protocol: build an image that embeds the
+// code and fills the rest of the memory with verifier randomness, install
+// it, and check the returned proof of secure erasure.
+func (v *Verifier) SecureCodeUpdate(d *Device, code []uint16, rng *rand.Rand) (*Report, error) {
+	if len(code) > v.MemWords {
+		return nil, fmt.Errorf("pose: code of %d words exceeds device memory (%d)", len(code), v.MemWords)
+	}
+	image := make([]uint16, v.MemWords)
+	copy(image, code)
+	for i := len(code); i < v.MemWords; i++ {
+		image[i] = uint16(rng.Intn(1 << 16))
+	}
+	if err := d.ReceiveFill(image); err != nil {
+		return nil, err
+	}
+	nonce := rng.Uint64()
+	got, err := d.Checksum(nonce)
+	if err != nil {
+		return nil, err
+	}
+
+	mac, err := cmac.New(v.Key[:])
+	if err != nil {
+		return nil, err
+	}
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	mac.Update(nb[:])
+	mac.Update(imageBytes(image))
+	want := mac.Sum()
+	return &Report{Accepted: cmac.Equal(got, want), Image: image}, nil
+}
+
+func imageBytes(words []uint16) []byte {
+	out := make([]byte, 0, len(words)*2)
+	for _, w := range words {
+		out = append(out, byte(w>>8), byte(w))
+	}
+	return out
+}
+
+// ProtocolTime is the analytic duration of one PoSE round over a link of
+// the given bit rate: transferring the full memory plus the MAC
+// computation at the device's (modest) speed. Used by the baseline
+// comparison bench.
+func ProtocolTime(memWords int, linkBitsPerSec int64, macBytesPerSec int64) time.Duration {
+	bytes := int64(memWords) * 2
+	transfer := time.Duration(bytes * 8 * int64(time.Second) / linkBitsPerSec)
+	macTime := time.Duration(bytes * int64(time.Second) / macBytesPerSec)
+	return transfer + macTime
+}

@@ -1,0 +1,133 @@
+package pose
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sacha/internal/cpu"
+)
+
+var key = [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+func TestHonestSecureCodeUpdate(t *testing.T) {
+	d, err := NewDevice(512, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{Key: key, MemWords: 512}
+	code, err := cpu.Assemble(`
+		LDI r0, 40
+		LDI r1, 2
+		ADD r0, r1
+		OUT r0, 0
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.SecureCodeUpdate(d, code, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatal("honest update rejected")
+	}
+	// The installed code must actually run.
+	if err := d.Execute(100); err != nil {
+		t.Fatal(err)
+	}
+	if d.M.Out(0) != 42 {
+		t.Fatalf("installed code produced %d", d.M.Out(0))
+	}
+}
+
+func TestResidentMalwareErased(t *testing.T) {
+	d, _ := NewDevice(256, key)
+	// Pre-infect: malware at the top of memory.
+	for i := 200; i < 256; i++ {
+		d.M.Mem[i] = 0xEEEE
+	}
+	v := &Verifier{Key: key, MemWords: 256}
+	code, _ := cpu.Assemble("HALT")
+	rep, err := v.SecureCodeUpdate(d, code, rand.New(rand.NewSource(2)))
+	if err != nil || !rep.Accepted {
+		t.Fatalf("update failed: %v", err)
+	}
+	for i := 200; i < 256; i++ {
+		if d.M.Mem[i] == 0xEEEE {
+			t.Fatalf("malware word survived at %d", i)
+		}
+	}
+}
+
+func TestCheatingDeviceDetected(t *testing.T) {
+	// A device that preserves resident code cannot produce the right
+	// checksum: the preserved range differs from the verifier's image.
+	d, _ := NewDevice(256, key)
+	for i := 100; i < 120; i++ {
+		d.M.Mem[i] = 0xBAD0
+	}
+	d.Cheat(100, 120)
+	v := &Verifier{Key: key, MemWords: 256}
+	code, _ := cpu.Assemble("HALT")
+	rep, err := v.SecureCodeUpdate(d, code, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("cheating device passed the proof of secure erasure")
+	}
+}
+
+func TestWrongKeyDetected(t *testing.T) {
+	other := key
+	other[0] ^= 1
+	d, _ := NewDevice(128, other)
+	v := &Verifier{Key: key, MemWords: 128}
+	code, _ := cpu.Assemble("HALT")
+	rep, err := v.SecureCodeUpdate(d, code, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("device with wrong key accepted")
+	}
+}
+
+func TestFillMustCoverMemory(t *testing.T) {
+	d, _ := NewDevice(128, key)
+	if err := d.ReceiveFill(make([]uint16, 64)); err == nil {
+		t.Fatal("partial fill accepted — bounded memory argument broken")
+	}
+	v := &Verifier{Key: key, MemWords: 128}
+	if _, err := v.SecureCodeUpdate(d, make([]uint16, 500), rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("oversized code accepted")
+	}
+}
+
+func TestNonceFreshness(t *testing.T) {
+	// Two updates with the same image but different nonces must produce
+	// different checksums.
+	d, _ := NewDevice(128, key)
+	image := make([]uint16, 128)
+	d.ReceiveFill(image)
+	c1, _ := d.Checksum(1)
+	c2, _ := d.Checksum(2)
+	if c1 == c2 {
+		t.Fatal("checksum independent of nonce — replayable")
+	}
+}
+
+func TestProtocolTime(t *testing.T) {
+	// 4K words over 1 Mbit/s with a 1 MB/s MAC: 8192 bytes -> ~65.5 ms
+	// transfer + ~8.2 ms MAC.
+	got := ProtocolTime(4096, 1_000_000, 1_000_000)
+	if got < 70*time.Millisecond || got > 80*time.Millisecond {
+		t.Fatalf("ProtocolTime = %v", got)
+	}
+	// Larger memory must take longer.
+	if ProtocolTime(8192, 1_000_000, 1_000_000) <= got {
+		t.Fatal("protocol time not monotone in memory size")
+	}
+}

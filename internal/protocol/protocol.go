@@ -1,0 +1,302 @@
+// Package protocol defines the SACHa wire messages.
+//
+// The attestation runs as a repetition of three commands sent from the
+// verifier to the prover (paper §6.1):
+//
+//	ICAP_config(frame)      — write one configuration frame
+//	ICAP_readback(frame_nb) — read one frame back, step the MAC
+//	MAC_checksum            — finalise the MAC and return the tag
+//
+// plus the responses (frame sendback, MAC value). Two extension messages
+// support the paper's future-work items: AppStep clocks the dynamic
+// application a given number of cycles (for the register-state CAPTURE
+// attestation), and SigChecksum requests an ECDSA signature instead of a
+// MAC when no key was pre-shared.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sacha/internal/device"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+const (
+	// MsgICAPConfig carries one configuration frame: index + 81 words.
+	MsgICAPConfig MsgType = iota + 1
+	// MsgICAPConfigBatch carries up to 255 frames in one packet (the
+	// §6.1 BRAM-buffer ↔ message-count trade-off): count, then per frame
+	// an index + 81 words. The prover rejects batches beyond its frame
+	// buffer.
+	MsgICAPConfigBatch
+	// MsgICAPReadback requests readback of one frame: index.
+	MsgICAPReadback
+	// MsgMACChecksum requests MAC finalisation.
+	MsgMACChecksum
+	// MsgAppStep clocks the dynamic application N cycles (extension).
+	MsgAppStep
+	// MsgSigChecksum requests an ECDSA signature over the readback
+	// transcript instead of a MAC (extension).
+	MsgSigChecksum
+
+	// MsgFrameData is the prover's frame sendback: index + 81 words.
+	MsgFrameData
+	// MsgMACValue is the prover's 16-byte AES-CMAC tag.
+	MsgMACValue
+	// MsgSigValue is the prover's ECDSA signature (variable length).
+	MsgSigValue
+	// MsgAck acknowledges a command with no data response.
+	MsgAck
+	// MsgError reports a prover-side failure.
+	MsgError
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgICAPConfig:
+		return "ICAP_config"
+	case MsgICAPConfigBatch:
+		return "ICAP_config_batch"
+	case MsgICAPReadback:
+		return "ICAP_readback"
+	case MsgMACChecksum:
+		return "MAC_checksum"
+	case MsgAppStep:
+		return "App_step"
+	case MsgSigChecksum:
+		return "Sig_checksum"
+	case MsgFrameData:
+		return "Frame_data"
+	case MsgMACValue:
+		return "MAC_value"
+	case MsgSigValue:
+		return "Sig_value"
+	case MsgAck:
+		return "Ack"
+	case MsgError:
+		return "Error"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is a decoded protocol message.
+type Message struct {
+	Type       MsgType
+	FrameIndex uint32        // ICAPConfig, ICAPReadback, FrameData
+	Words      []uint32      // ICAPConfig, FrameData: 81 frame words
+	Steps      uint32        // AppStep
+	Arg        uint32        // MACChecksum/SigChecksum reserved arg; MACValue sequence
+	MAC        [16]byte      // MACValue
+	Sig        []byte        // SigValue
+	Err        string        // Error
+	Batch      []FrameRecord // ICAPConfigBatch
+}
+
+// FrameRecord is one addressed frame within a batch message.
+type FrameRecord struct {
+	Index uint32
+	Words []uint32
+}
+
+// Wire sizes of the fixed-layout messages, in bytes. These are the
+// payload sizes behind the paper's Table 3 per-action wire times:
+// a 328-byte frame sendback (A8 = 2,928 ns), 5-byte commands
+// (A9 = 344 ns) and a 21-byte MAC sendback (A10 = 472 ns).
+const (
+	SizeICAPConfig   = 1 + 4 + 4*device.FrameWords // 329
+	SizeICAPReadback = 1 + 4                       // 5
+	SizeMACChecksum  = 1 + 4                       // 5
+	SizeFrameData    = 1 + 3 + 4*device.FrameWords // 328 (24-bit index)
+	SizeMACValue     = 1 + 16 + 4                  // 21
+)
+
+// Encode serialises the message.
+func (m *Message) Encode() ([]byte, error) {
+	out := []byte{byte(m.Type)}
+	switch m.Type {
+	case MsgICAPConfig:
+		if len(m.Words) != device.FrameWords {
+			return nil, fmt.Errorf("protocol: %v with %d words", m.Type, len(m.Words))
+		}
+		out = binary.BigEndian.AppendUint32(out, m.FrameIndex)
+		for _, w := range m.Words {
+			out = binary.BigEndian.AppendUint32(out, w)
+		}
+	case MsgFrameData:
+		// The frame sendback packs the index into 24 bits, giving the
+		// 328-byte payload behind the paper's A8 timing.
+		if len(m.Words) != device.FrameWords {
+			return nil, fmt.Errorf("protocol: %v with %d words", m.Type, len(m.Words))
+		}
+		if m.FrameIndex >= 1<<24 {
+			return nil, fmt.Errorf("protocol: frame index %d exceeds 24 bits", m.FrameIndex)
+		}
+		out = append(out, byte(m.FrameIndex>>16), byte(m.FrameIndex>>8), byte(m.FrameIndex))
+		for _, w := range m.Words {
+			out = binary.BigEndian.AppendUint32(out, w)
+		}
+	case MsgICAPConfigBatch:
+		if len(m.Batch) == 0 || len(m.Batch) > 255 {
+			return nil, fmt.Errorf("protocol: batch of %d frames", len(m.Batch))
+		}
+		out = append(out, byte(len(m.Batch)))
+		for _, fr := range m.Batch {
+			if len(fr.Words) != device.FrameWords {
+				return nil, fmt.Errorf("protocol: batch frame %d has %d words", fr.Index, len(fr.Words))
+			}
+			out = binary.BigEndian.AppendUint32(out, fr.Index)
+			for _, w := range fr.Words {
+				out = binary.BigEndian.AppendUint32(out, w)
+			}
+		}
+	case MsgICAPReadback:
+		out = binary.BigEndian.AppendUint32(out, m.FrameIndex)
+	case MsgMACChecksum, MsgSigChecksum:
+		out = binary.BigEndian.AppendUint32(out, m.Arg)
+	case MsgAck:
+		// type byte only
+	case MsgAppStep:
+		out = binary.BigEndian.AppendUint32(out, m.Steps)
+	case MsgMACValue:
+		out = append(out, m.MAC[:]...)
+		out = binary.BigEndian.AppendUint32(out, m.Arg)
+	case MsgSigValue:
+		out = binary.BigEndian.AppendUint16(out, uint16(len(m.Sig)))
+		out = append(out, m.Sig...)
+	case MsgError:
+		if len(m.Err) > 1024 {
+			return nil, fmt.Errorf("protocol: error string too long")
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(len(m.Err)))
+		out = append(out, m.Err...)
+	default:
+		return nil, fmt.Errorf("protocol: cannot encode %v", m.Type)
+	}
+	return out, nil
+}
+
+// Decode parses a message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("protocol: empty message")
+	}
+	m := &Message{Type: MsgType(data[0])}
+	body := data[1:]
+	need := func(n int) error {
+		if len(body) != n {
+			return fmt.Errorf("protocol: %v message has %d body bytes, want %d", m.Type, len(body), n)
+		}
+		return nil
+	}
+	switch m.Type {
+	case MsgICAPConfig:
+		if err := need(4 + 4*device.FrameWords); err != nil {
+			return nil, err
+		}
+		m.FrameIndex = binary.BigEndian.Uint32(body)
+		m.Words = make([]uint32, device.FrameWords)
+		for i := range m.Words {
+			m.Words[i] = binary.BigEndian.Uint32(body[4+4*i:])
+		}
+	case MsgFrameData:
+		if err := need(3 + 4*device.FrameWords); err != nil {
+			return nil, err
+		}
+		m.FrameIndex = uint32(body[0])<<16 | uint32(body[1])<<8 | uint32(body[2])
+		m.Words = make([]uint32, device.FrameWords)
+		for i := range m.Words {
+			m.Words[i] = binary.BigEndian.Uint32(body[3+4*i:])
+		}
+	case MsgICAPConfigBatch:
+		if len(body) < 1 {
+			return nil, fmt.Errorf("protocol: empty batch")
+		}
+		count := int(body[0])
+		per := 4 + 4*device.FrameWords
+		if len(body) != 1+count*per {
+			return nil, fmt.Errorf("protocol: batch of %d frames has %d body bytes", count, len(body))
+		}
+		body = body[1:]
+		m.Batch = make([]FrameRecord, count)
+		for i := 0; i < count; i++ {
+			rec := FrameRecord{
+				Index: binary.BigEndian.Uint32(body),
+				Words: make([]uint32, device.FrameWords),
+			}
+			for w := range rec.Words {
+				rec.Words[w] = binary.BigEndian.Uint32(body[4+4*w:])
+			}
+			m.Batch[i] = rec
+			body = body[per:]
+		}
+	case MsgICAPReadback:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		m.FrameIndex = binary.BigEndian.Uint32(body)
+	case MsgMACChecksum, MsgSigChecksum:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		m.Arg = binary.BigEndian.Uint32(body)
+	case MsgAck:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+	case MsgAppStep:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		m.Steps = binary.BigEndian.Uint32(body)
+	case MsgMACValue:
+		if err := need(16 + 4); err != nil {
+			return nil, err
+		}
+		copy(m.MAC[:], body)
+		m.Arg = binary.BigEndian.Uint32(body[16:])
+	case MsgSigValue:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("protocol: short Sig_value")
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) != 2+n {
+			return nil, fmt.Errorf("protocol: Sig_value length mismatch")
+		}
+		m.Sig = append([]byte(nil), body[2:]...)
+	case MsgError:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("protocol: short Error")
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) != 2+n {
+			return nil, fmt.Errorf("protocol: Error length mismatch")
+		}
+		m.Err = string(body[2:])
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", data[0])
+	}
+	return m, nil
+}
+
+// Convenience constructors.
+
+// Config builds an ICAP_config message.
+func Config(frameIndex int, words []uint32) *Message {
+	return &Message{Type: MsgICAPConfig, FrameIndex: uint32(frameIndex), Words: words}
+}
+
+// Readback builds an ICAP_readback message.
+func Readback(frameIndex int) *Message {
+	return &Message{Type: MsgICAPReadback, FrameIndex: uint32(frameIndex)}
+}
+
+// Checksum builds a MAC_checksum message.
+func Checksum() *Message { return &Message{Type: MsgMACChecksum} }
+
+// Errorf builds an Error message.
+func Errorf(format string, args ...any) *Message {
+	return &Message{Type: MsgError, Err: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,400 @@
+// Package prover implements the SACHa device: the FPGA with its static
+// partition logic (Fig. 10) and the external boot flash.
+//
+// The static partition's behaviour — RX FSM, frame BRAM buffer, ICAP
+// program, readback FIFO, AES-CMAC, TX FSM — is modelled natively here,
+// while its *configuration* occupies real StatMem frames (so the MAC and
+// the golden comparison genuinely cover it). The dynamic partition is pure
+// configuration: whatever the verifier configures there is decoded and
+// executed by the fabric model.
+package prover
+
+import (
+	"fmt"
+	"io"
+
+	"sacha/internal/bitstream"
+	"sacha/internal/channel"
+	"sacha/internal/cmac"
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/fifo"
+	"sacha/internal/icap"
+	"sacha/internal/protocol"
+	"sacha/internal/signature"
+	"sacha/internal/sim"
+	"sacha/internal/timing"
+)
+
+// KeySource produces the device's MAC key (paper §5.2.1: a key register
+// in the proof of concept, a key-generating PUF in the full design).
+type KeySource interface {
+	// Key returns the 16-byte AES key.
+	Key() ([16]byte, error)
+	// Describe names the source for reports.
+	Describe() string
+}
+
+// RegisterKey is the proof-of-concept key register in the static
+// partition.
+type RegisterKey [16]byte
+
+// Key returns the register value.
+func (k RegisterKey) Key() ([16]byte, error) { return k, nil }
+
+// Describe names the source.
+func (RegisterKey) Describe() string { return "StatPart key register" }
+
+// Config assembles a Device.
+type Config struct {
+	Geo *device.Geometry
+	// BootMem is the non-volatile boot flash content: the static
+	// partition's frames. Its capacity is exactly the static bitstream —
+	// deliberately too small to stash the dynamic partial bitstream
+	// (paper §5.2.1).
+	BootMem *bitstream.Partial
+	// Key is the MAC key source.
+	Key KeySource
+	// Signer, if set, enables the signature-mode extension.
+	Signer *signature.Signer
+	// RestrictConfigToDyn makes the ICAP controller reject configuration
+	// writes into the static partition, the policy of Chaves et al.
+	// (paper §4.3: "partial configuration updates can only take place in
+	// a predetermined restricted area"). SACHa does not need it — the
+	// readback MAC catches everything — but the option allows a direct
+	// comparison with that related work.
+	RestrictConfigToDyn bool
+}
+
+// Device is one SACHa prover.
+type Device struct {
+	Geo    *device.Geometry
+	Fabric *fabric.Fabric
+	Port   *icap.Port
+
+	// Clock domains of the static partition (Fig. 10).
+	RXClock, ICAPClock, TXClock *sim.Clock
+	// Timeline accumulates the device-side virtual time (ICAP and MAC
+	// work; wire time is charged by the channel).
+	Timeline *sim.Timeline
+
+	bootMem *bitstream.Partial
+	keySrc  KeySource
+	signer  *signature.Signer
+	model   *timing.Model
+
+	mac        *cmac.MAC
+	macActive  bool
+	transcript *signature.Transcript
+	rbFIFO     *fifo.DualClock // readback FIFO crossing ICAP → TX (Fig. 10)
+
+	dynRegion *fabric.Region
+	dynSet    map[int]bool // dynamic frame set for RestrictConfigToDyn
+	restrict  bool
+	appLive   *fabric.Live
+	appEpoch  int64
+	poweredOn bool
+}
+
+// New builds a device. It enforces the bounded-BootMem invariant: the
+// boot flash must not be able to hold the dynamic partial bitstream.
+func New(cfg Config) (*Device, error) {
+	if cfg.Geo == nil || cfg.BootMem == nil || cfg.Key == nil {
+		return nil, fmt.Errorf("prover: geometry, BootMem and key source are required")
+	}
+	dyn := fabric.DynRegion(cfg.Geo)
+	if cfg.BootMem.SizeBytes() >= len(dyn.Frames())*device.FrameBytes {
+		return nil, fmt.Errorf("prover: BootMem of %d bytes could store the partial bitstream — violates the bounded-memory assumption", cfg.BootMem.SizeBytes())
+	}
+	fab := fabric.New(cfg.Geo)
+	icapClk := sim.NewClock("icap", sim.ICAPClockHz)
+	d := &Device{
+		Geo:        cfg.Geo,
+		Fabric:     fab,
+		Port:       icap.New(fab, icapClk),
+		RXClock:    sim.NewClock("rx", sim.RXClockHz),
+		ICAPClock:  icapClk,
+		TXClock:    sim.NewClock("tx", sim.TXClockHz),
+		Timeline:   sim.NewTimeline(),
+		bootMem:    cfg.BootMem,
+		keySrc:     cfg.Key,
+		signer:     cfg.Signer,
+		model:      timing.NewModel(cfg.Geo),
+		transcript: signature.NewTranscript(),
+		dynRegion:  dyn,
+		restrict:   cfg.RestrictConfigToDyn,
+	}
+	if d.restrict {
+		d.dynSet = make(map[int]bool)
+		for _, idx := range dyn.Frames() {
+			d.dynSet[idx] = true
+		}
+	}
+	rb, err := fifo.New(256) // BRAM-backed, deep enough for one frame burst
+	if err != nil {
+		return nil, err
+	}
+	d.rbFIFO = rb
+	return d, nil
+}
+
+// crossDomains streams words through the readback FIFO, alternating
+// ICAP-domain pushes with TX-domain pops as the two clocks tick — the
+// clock-domain crossing between the ICAP program and the TX FSM.
+func (d *Device) crossDomains(words []uint32) []uint32 {
+	out := make([]uint32, 0, len(words))
+	i := 0
+	for len(out) < len(words) {
+		if i < len(words) {
+			if err := d.rbFIFO.Push(words[i]); err == nil {
+				i++
+				d.ICAPClock.Tick(1)
+			}
+		}
+		d.rbFIFO.SyncWriteDomain()
+		d.rbFIFO.SyncReadDomain()
+		if v, err := d.rbFIFO.Pop(); err == nil {
+			out = append(out, v)
+			d.TXClock.Tick(1)
+		}
+	}
+	return out
+}
+
+// SetKeySource swaps the device's key source — the device-side effect of
+// the verifier shipping a fresh PUF circuit in the dynamic partition
+// (paper §5.2.1, second option: key rotation).
+func (d *Device) SetKeySource(src KeySource) {
+	d.keySrc = src
+	d.macActive = false
+}
+
+// PowerOn loads the static partition from BootMem into the volatile
+// configuration memory, as the configuration controller does at startup.
+func (d *Device) PowerOn() error {
+	for _, fr := range d.bootMem.Frames {
+		if err := d.Fabric.WriteFrame(fr.Index, fr.Words); err != nil {
+			return fmt.Errorf("prover: boot: %w", err)
+		}
+	}
+	d.poweredOn = true
+	d.macActive = false
+	return nil
+}
+
+// frameBytes serialises frame words for MAC/transcript absorption
+// (big-endian, matching the verifier).
+func frameBytes(words []uint32) []byte {
+	out := make([]byte, 0, len(words)*4)
+	for _, w := range words {
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out
+}
+
+// Handle processes one verifier command and returns the response message,
+// or nil for commands without a response (ICAP_config).
+func (d *Device) Handle(m *protocol.Message) (*protocol.Message, error) {
+	if !d.poweredOn {
+		return nil, fmt.Errorf("prover: device not powered on")
+	}
+	switch m.Type {
+	case protocol.MsgICAPConfig:
+		return nil, d.handleConfig(m)
+	case protocol.MsgICAPConfigBatch:
+		return nil, d.handleConfigBatch(m)
+	case protocol.MsgICAPReadback:
+		return d.handleReadback(m)
+	case protocol.MsgMACChecksum:
+		return d.handleChecksum()
+	case protocol.MsgSigChecksum:
+		return d.handleSigChecksum()
+	case protocol.MsgAppStep:
+		return d.handleAppStep(m)
+	default:
+		return nil, fmt.Errorf("prover: unexpected message %v", m.Type)
+	}
+}
+
+func (d *Device) handleConfig(m *protocol.Message) error {
+	if d.restrict && !d.dynSet[int(m.FrameIndex)] {
+		return fmt.Errorf("prover: frame %d outside the dynamic partition (restricted controller)", m.FrameIndex)
+	}
+	stream, err := icap.ConfigFrameStream(d.Geo, int(m.FrameIndex), m.Words)
+	if err != nil {
+		return err
+	}
+	if err := d.Port.Write(stream); err != nil {
+		return err
+	}
+	d.Timeline.Add("icap-config", d.model.ActionTime(timing.A2))
+	return nil
+}
+
+// FrameBufferFrames is the static partition's packet-buffer capacity in
+// frames. The §6.1 trade-off allows batching configuration frames, but
+// the buffer must stay far too small for the partial bitstream, or the
+// bounded-memory argument collapses.
+const FrameBufferFrames = 16
+
+func (d *Device) handleConfigBatch(m *protocol.Message) error {
+	if len(m.Batch) > FrameBufferFrames {
+		return fmt.Errorf("prover: batch of %d frames exceeds the %d-frame buffer", len(m.Batch), FrameBufferFrames)
+	}
+	for _, fr := range m.Batch {
+		if d.restrict && !d.dynSet[int(fr.Index)] {
+			return fmt.Errorf("prover: frame %d outside the dynamic partition (restricted controller)", fr.Index)
+		}
+		stream, err := icap.ConfigFrameStream(d.Geo, int(fr.Index), fr.Words)
+		if err != nil {
+			return err
+		}
+		if err := d.Port.Write(stream); err != nil {
+			return err
+		}
+	}
+	// The batched ICAP program amortises the per-packet overhead across
+	// the batch (one command preamble, k+1 frames through FDRI).
+	d.Timeline.Add("icap-config", timing.PrvBatchConfigTime(len(m.Batch)))
+	return nil
+}
+
+func (d *Device) handleReadback(m *protocol.Message) (*protocol.Message, error) {
+	if !d.macActive {
+		key, err := d.keySrc.Key()
+		if err != nil {
+			return nil, fmt.Errorf("prover: key source: %w", err)
+		}
+		mac, err := cmac.New(key[:])
+		if err != nil {
+			return nil, err
+		}
+		d.mac = mac
+		d.macActive = true
+		d.transcript.Reset()
+		d.Timeline.Add("mac-init", d.model.ActionTime(timing.A5))
+	}
+	cmd, err := icap.ReadbackCmdStream(d.Geo, int(m.FrameIndex))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Port.Write(cmd); err != nil {
+		return nil, err
+	}
+	data, err := d.Port.Read(icap.ReadbackWords)
+	if err != nil {
+		return nil, err
+	}
+	frame := d.crossDomains(data[device.FrameWords:]) // drop the pad frame, cross into the TX domain
+	d.Timeline.Add("icap-readback", d.model.ActionTime(timing.A4))
+
+	raw := frameBytes(frame)
+	d.mac.Update(raw)
+	d.transcript.Absorb(raw)
+	d.Timeline.Add("mac-update", d.model.ActionTime(timing.A6))
+
+	return &protocol.Message{
+		Type:       protocol.MsgFrameData,
+		FrameIndex: m.FrameIndex,
+		Words:      frame,
+	}, nil
+}
+
+func (d *Device) handleChecksum() (*protocol.Message, error) {
+	if !d.macActive {
+		return nil, fmt.Errorf("prover: MAC_checksum before any readback")
+	}
+	tag := d.mac.Sum()
+	d.macActive = false
+	d.Timeline.Add("mac-finalize", d.model.ActionTime(timing.A7))
+	return &protocol.Message{Type: protocol.MsgMACValue, MAC: tag}, nil
+}
+
+func (d *Device) handleSigChecksum() (*protocol.Message, error) {
+	if d.signer == nil {
+		return nil, fmt.Errorf("prover: signature mode not provisioned")
+	}
+	if !d.macActive {
+		return nil, fmt.Errorf("prover: Sig_checksum before any readback")
+	}
+	sig, err := d.signer.Sign(d.transcript.Digest())
+	if err != nil {
+		return nil, err
+	}
+	// The MAC state is consumed alongside the signature.
+	d.mac.Sum()
+	d.macActive = false
+	return &protocol.Message{Type: protocol.MsgSigValue, Sig: sig}, nil
+}
+
+func (d *Device) handleAppStep(m *protocol.Message) (*protocol.Message, error) {
+	live, err := d.appView()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < m.Steps; i++ {
+		if err := live.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return &protocol.Message{Type: protocol.MsgAck}, nil
+}
+
+// appView returns the decoded dynamic partition, re-decoding after any
+// reconfiguration.
+func (d *Device) appView() (*fabric.Live, error) {
+	if d.appLive == nil || d.appEpoch != d.Fabric.Epoch() {
+		live, err := d.Fabric.Live(d.dynRegion)
+		if err != nil {
+			return nil, err
+		}
+		d.appLive = live
+		d.appEpoch = d.Fabric.Epoch()
+	}
+	return d.appLive, nil
+}
+
+// App returns the live dynamic partition for local experimentation
+// (examples drive the configured application through this).
+func (d *Device) App() (*fabric.Live, error) { return d.appView() }
+
+// HandleBytes decodes, handles and encodes. Prover-side failures become
+// Error messages rather than hard faults, as a deployed device must not
+// crash on malformed input.
+func (d *Device) HandleBytes(req []byte) ([]byte, error) {
+	m, err := protocol.Decode(req)
+	if err != nil {
+		return protocol.Errorf("decode: %v", err).Encode()
+	}
+	resp, err := d.Handle(m)
+	if err != nil {
+		return protocol.Errorf("%v", err).Encode()
+	}
+	if resp == nil {
+		return nil, nil
+	}
+	return resp.Encode()
+}
+
+// Serve answers commands from the endpoint until it closes.
+func (d *Device) Serve(ep channel.Endpoint) error {
+	for {
+		req, err := ep.Recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		resp, err := d.HandleBytes(req)
+		if err != nil {
+			return err
+		}
+		if resp == nil {
+			continue
+		}
+		if err := ep.Send(resp); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package prover
+
+import (
+	"math/rand"
+
+	"sacha/internal/puf"
+)
+
+// PUFKey derives the MAC key from the device's PUF at every use — the
+// key never exists outside the device and cannot be cloned (paper
+// §5.2.1, first option: PUF in the static partition; with a non-zero
+// CircuitID, the second option: a PUF circuit shipped in the dynamic
+// partition).
+type PUFKey struct {
+	Phys   *puf.Physical
+	Helper puf.HelperData
+	// Rng drives the readout noise; defaults to a fixed-seed source.
+	Rng *rand.Rand
+}
+
+// Key re-extracts the key from a fresh noisy PUF readout.
+func (p *PUFKey) Key() ([16]byte, error) {
+	rng := p.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(p.Phys.DeviceID)))
+	}
+	return puf.Extract(p.Phys, p.Helper, rng)
+}
+
+// Describe names the source.
+func (p *PUFKey) Describe() string {
+	if p.Phys.CircuitID == 0 {
+		return "StatPart PUF"
+	}
+	return "DynPart PUF"
+}

@@ -1,0 +1,203 @@
+// Package puf models the weak key-generating PUF of the SACHa scheme.
+//
+// SACHa derives the MAC key from a weak Physical(ly) Unclonable Function
+// so that the key never leaves the device and cannot be extracted from the
+// configuration bitstream (paper §5.2.1). The paper assumes an ideal
+// key-generating PUF; this model goes one step further and includes the
+// machinery a real deployment needs — a noisy SRAM-style fingerprint and a
+// repetition-code fuzzy extractor — so that the enrollment step described
+// in the paper is exercised end to end.
+//
+// Two placements are supported, matching the two options in the paper:
+// a PUF fixed in the static partition at provisioning time, or a fresh PUF
+// circuit shipped by the verifier inside the dynamic bitstream (which lets
+// the verifier rotate keys). Both reduce to a (device, circuit) pair in the
+// verifier's enrollment database.
+package puf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sacha/internal/cmac"
+)
+
+// KeyBits is the number of extracted key bits (AES-128 key).
+const KeyBits = 128
+
+// Repetition is the repetition-code length per key bit. With a raw
+// bit-error probability of a few percent, 15-fold majority voting brings
+// the per-bit failure rate below 1e-6.
+const Repetition = 15
+
+// RawBits is the number of raw PUF response bits consumed per key.
+const RawBits = KeyBits * Repetition
+
+// Physical is the physical fingerprint of one device's PUF cells. The
+// reference response is a deterministic function of the device identity
+// and the PUF circuit identity; every readout adds fresh noise.
+type Physical struct {
+	DeviceID  uint64
+	CircuitID uint64 // 0 for the provisioned StatPart PUF
+	// NoiseProb is the probability that a raw cell reads inverted,
+	// in units of 1/10000 (e.g. 500 = 5%).
+	NoiseProb int
+}
+
+// reference returns the noiseless raw response, derived by expanding the
+// (device, circuit) identity with the AES-CMAC PRF in counter mode.
+func (p *Physical) reference() []byte {
+	var key [16]byte
+	binary.BigEndian.PutUint64(key[0:8], p.DeviceID)
+	binary.BigEndian.PutUint64(key[8:16], p.CircuitID)
+	out := make([]byte, RawBits/8)
+	var ctr [16]byte
+	copy(ctr[:], "SACHa-PUF-cells!")
+	for i := 0; i < len(out); i += cmac.Size {
+		binary.BigEndian.PutUint32(ctr[12:16], uint32(i))
+		tag, err := cmac.Compute(key[:], ctr[:])
+		if err != nil {
+			panic(err) // 16-byte key, cannot fail
+		}
+		copy(out[i:], tag[:])
+	}
+	return out
+}
+
+// Readout reads the raw PUF response with fresh noise drawn from rng.
+func (p *Physical) Readout(rng *rand.Rand) []byte {
+	r := p.reference()
+	for i := 0; i < RawBits; i++ {
+		if rng.Intn(10000) < p.NoiseProb {
+			r[i/8] ^= 1 << (uint(i) % 8)
+		}
+	}
+	return r
+}
+
+// HelperData is the public fuzzy-extractor helper produced at enrollment.
+// It reveals nothing about the key without the PUF response.
+type HelperData struct {
+	Offset []byte // RawBits/8 bytes: reference XOR repetition-encoded seed
+}
+
+// Enrollment is the result of enrolling one PUF circuit.
+type Enrollment struct {
+	Helper HelperData
+	Key    [16]byte // the extracted AES key, stored by the verifier
+}
+
+// Enroll runs the one-time enrollment (paper: "each PUF circuit ... needs
+// to have gone through an enrollment phase before the deployment"). It
+// draws a random seed, computes helper data from a noiseless reference
+// readout, and returns the helper plus the derived key.
+func Enroll(p *Physical, rng *rand.Rand) Enrollment {
+	seed := make([]byte, KeyBits/8)
+	rng.Read(seed)
+	code := encodeRepetition(seed)
+	ref := p.reference()
+	offset := make([]byte, len(ref))
+	for i := range ref {
+		offset[i] = ref[i] ^ code[i]
+	}
+	return Enrollment{
+		Helper: HelperData{Offset: offset},
+		Key:    deriveKey(seed, p.DeviceID, p.CircuitID),
+	}
+}
+
+// Extract reconstructs the key on the device from a noisy readout and the
+// helper data. It fails only if some repetition block accumulated more
+// than Repetition/2 bit errors.
+func Extract(p *Physical, helper HelperData, rng *rand.Rand) ([16]byte, error) {
+	if len(helper.Offset) != RawBits/8 {
+		return [16]byte{}, fmt.Errorf("puf: helper data has %d bytes, want %d", len(helper.Offset), RawBits/8)
+	}
+	r := p.Readout(rng)
+	noisy := make([]byte, len(r))
+	for i := range r {
+		noisy[i] = r[i] ^ helper.Offset[i]
+	}
+	seed := decodeRepetition(noisy)
+	return deriveKey(seed, p.DeviceID, p.CircuitID), nil
+}
+
+// encodeRepetition expands each seed bit into Repetition code bits.
+func encodeRepetition(seed []byte) []byte {
+	out := make([]byte, RawBits/8)
+	for i := 0; i < KeyBits; i++ {
+		bit := seed[i/8] >> (uint(i) % 8) & 1
+		for j := 0; j < Repetition; j++ {
+			k := i*Repetition + j
+			out[k/8] |= bit << (uint(k) % 8)
+		}
+	}
+	return out
+}
+
+// decodeRepetition majority-decodes each Repetition-bit block.
+func decodeRepetition(code []byte) []byte {
+	out := make([]byte, KeyBits/8)
+	for i := 0; i < KeyBits; i++ {
+		ones := 0
+		for j := 0; j < Repetition; j++ {
+			k := i*Repetition + j
+			ones += int(code[k/8] >> (uint(k) % 8) & 1)
+		}
+		if ones*2 > Repetition {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+// deriveKey turns the extracted seed into the AES key with a CMAC-based
+// KDF bound to the device and circuit identity.
+func deriveKey(seed []byte, deviceID, circuitID uint64) [16]byte {
+	var label [32]byte
+	copy(label[:], "SACHa-KDF")
+	binary.BigEndian.PutUint64(label[16:24], deviceID)
+	binary.BigEndian.PutUint64(label[24:32], circuitID)
+	tag, err := cmac.Compute(seed, label[:])
+	if err != nil {
+		panic(err)
+	}
+	return tag
+}
+
+// Database is the verifier-side enrollment database: it maps a
+// (device, circuit) pair to the enrolled key (paper: "the Vrf needs to
+// keep a database of PUF circuits and corresponding keys").
+type Database struct {
+	mu   sync.RWMutex
+	keys map[[2]uint64][16]byte
+}
+
+// NewDatabase returns an empty enrollment database.
+func NewDatabase() *Database {
+	return &Database{keys: make(map[[2]uint64][16]byte)}
+}
+
+// Store records the key for a (device, circuit) pair.
+func (db *Database) Store(deviceID, circuitID uint64, key [16]byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.keys[[2]uint64{deviceID, circuitID}] = key
+}
+
+// Lookup returns the enrolled key for a (device, circuit) pair.
+func (db *Database) Lookup(deviceID, circuitID uint64) ([16]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	k, ok := db.keys[[2]uint64{deviceID, circuitID}]
+	return k, ok
+}
+
+// Len returns the number of enrolled circuits.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.keys)
+}

@@ -1,0 +1,193 @@
+package puf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnrollExtractNoiseless(t *testing.T) {
+	p := &Physical{DeviceID: 42, NoiseProb: 0}
+	rng := rand.New(rand.NewSource(1))
+	e := Enroll(p, rng)
+	got, err := Extract(p, e.Helper, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e.Key {
+		t.Fatal("noiseless extraction does not reproduce the enrolled key")
+	}
+}
+
+func TestEnrollExtractWithNoise(t *testing.T) {
+	// 5% raw bit error rate — the fuzzy extractor must still recover the
+	// key across many readouts.
+	p := &Physical{DeviceID: 7, NoiseProb: 500}
+	rng := rand.New(rand.NewSource(2))
+	e := Enroll(p, rng)
+	for trial := 0; trial < 50; trial++ {
+		got, err := Extract(p, e.Helper, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e.Key {
+			t.Fatalf("trial %d: key mismatch under 5%% noise", trial)
+		}
+	}
+}
+
+func TestDifferentDevicesDifferentKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Enroll(&Physical{DeviceID: 1}, rng)
+	b := Enroll(&Physical{DeviceID: 2}, rng)
+	if a.Key == b.Key {
+		t.Fatal("two devices enrolled to the same key")
+	}
+}
+
+func TestCloneWithoutPUFFails(t *testing.T) {
+	// An adversary that copies the helper data onto a different physical
+	// device must not obtain the enrolled key (unclonability).
+	rng := rand.New(rand.NewSource(4))
+	victim := &Physical{DeviceID: 10, NoiseProb: 200}
+	clone := &Physical{DeviceID: 11, NoiseProb: 200}
+	e := Enroll(victim, rng)
+	got, err := Extract(clone, e.Helper, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == e.Key {
+		t.Fatal("clone device extracted the victim's key")
+	}
+}
+
+func TestCircuitRotationChangesKey(t *testing.T) {
+	// The DynPart-PUF option: the verifier ships a new PUF circuit, which
+	// must yield a fresh key on the same device.
+	rng := rand.New(rand.NewSource(5))
+	c0 := Enroll(&Physical{DeviceID: 9, CircuitID: 0}, rng)
+	c1 := Enroll(&Physical{DeviceID: 9, CircuitID: 1}, rng)
+	if c0.Key == c1.Key {
+		t.Fatal("rotating the PUF circuit did not change the key")
+	}
+}
+
+func TestExtractBadHelper(t *testing.T) {
+	p := &Physical{DeviceID: 1}
+	if _, err := Extract(p, HelperData{Offset: make([]byte, 3)}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("short helper data accepted")
+	}
+}
+
+func TestHelperDataLeaksNothingTrivially(t *testing.T) {
+	// The helper data must not equal the reference response or the code
+	// (i.e. offset construction actually happened).
+	p := &Physical{DeviceID: 12}
+	rng := rand.New(rand.NewSource(6))
+	e := Enroll(p, rng)
+	ref := p.reference()
+	same := 0
+	for i := range ref {
+		if ref[i] == e.Helper.Offset[i] {
+			same++
+		}
+	}
+	if same == len(ref) {
+		t.Fatal("helper data equals raw reference — key would leak")
+	}
+}
+
+func TestRepetitionCodec(t *testing.T) {
+	seed := make([]byte, KeyBits/8)
+	for i := range seed {
+		seed[i] = byte(i*37 + 1)
+	}
+	code := encodeRepetition(seed)
+	if len(code) != RawBits/8 {
+		t.Fatalf("code length %d", len(code))
+	}
+	back := decodeRepetition(code)
+	for i := range seed {
+		if back[i] != seed[i] {
+			t.Fatalf("repetition round-trip failed at byte %d", i)
+		}
+	}
+}
+
+// Property: the repetition code corrects up to (Repetition-1)/2 errors in
+// every block.
+func TestQuickRepetitionCorrectsErrors(t *testing.T) {
+	f := func(seedVal int64) bool {
+		rng := rand.New(rand.NewSource(seedVal))
+		seed := make([]byte, KeyBits/8)
+		rng.Read(seed)
+		code := encodeRepetition(seed)
+		// Flip exactly t = (Repetition-1)/2 random bits in each block.
+		tErr := (Repetition - 1) / 2
+		for b := 0; b < KeyBits; b++ {
+			perm := rng.Perm(Repetition)[:tErr]
+			for _, j := range perm {
+				k := b*Repetition + j
+				code[k/8] ^= 1 << (uint(k) % 8)
+			}
+		}
+		back := decodeRepetition(code)
+		for i := range seed {
+			if back[i] != seed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadoutIsNoisy(t *testing.T) {
+	p := &Physical{DeviceID: 5, NoiseProb: 1000} // 10%
+	rng := rand.New(rand.NewSource(8))
+	ref := p.reference()
+	r := p.Readout(rng)
+	diff := 0
+	for i := 0; i < RawBits; i++ {
+		if (ref[i/8]^r[i/8])>>(uint(i)%8)&1 == 1 {
+			diff++
+		}
+	}
+	// Expect roughly 10% of RawBits flipped; allow generous bounds.
+	if diff < RawBits/20 || diff > RawBits/4 {
+		t.Fatalf("noise out of expected range: %d/%d flips", diff, RawBits)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	if db.Len() != 0 {
+		t.Fatal("new database not empty")
+	}
+	key := [16]byte{1, 2, 3}
+	db.Store(1, 0, key)
+	db.Store(1, 1, [16]byte{9})
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	got, ok := db.Lookup(1, 0)
+	if !ok || got != key {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := db.Lookup(2, 0); ok {
+		t.Fatal("lookup of unknown device succeeded")
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	p := &Physical{DeviceID: 77, CircuitID: 3}
+	a := p.reference()
+	b := p.reference()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("reference readout not deterministic")
+		}
+	}
+}

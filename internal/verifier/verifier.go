@@ -1,0 +1,361 @@
+// Package verifier implements the SACHa verifier: the protocol driver of
+// Fig. 9 and the two-stage verdict — the MAC proves authenticity and
+// integrity of the transported frames, the masked bitstream comparison
+// (B_Prv == B_Vrf) proves the device holds exactly the golden
+// configuration.
+package verifier
+
+import (
+	"fmt"
+	"io"
+
+	"sacha/internal/channel"
+	"sacha/internal/cmac"
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/protocol"
+	"sacha/internal/signature"
+	"sacha/internal/sim"
+	"sacha/internal/timing"
+	"sacha/internal/trace"
+)
+
+// MaxConfigBatch caps batched configuration at four frames per packet:
+// 4 × 328 bytes plus headers is the most that fits a standard Ethernet
+// MTU (larger batches would need jumbo frames).
+const MaxConfigBatch = 4
+
+// Options tune one attestation run.
+type Options struct {
+	// Offset is the starting frame address i of the ascending modular
+	// readback order (paper Fig. 9). Ignored if Permutation is set.
+	Offset int
+	// Permutation, if non-nil, is the explicit readback order. It may be
+	// any permutation and may visit frames multiple times (paper §6.1).
+	Permutation []int
+	// AppSteps, if non-zero, clocks the configured application that many
+	// cycles after configuration and verifies the flip-flop state as
+	// well as the configuration (the paper's §8 CAPTURE extension). The
+	// masked comparison is then replaced by a raw comparison against a
+	// verifier-side prediction.
+	AppSteps uint32
+	// SignatureMode uses the ECDSA extension instead of the MAC.
+	SignatureMode bool
+	// ConfigBatch sends that many frames per ICAP_config_batch packet
+	// (0 or 1 = one frame per packet, the paper's proof of concept). The
+	// prover bounds accepted batches by its frame buffer.
+	ConfigBatch int
+	// Trace, if non-nil, receives a Fig. 9-style protocol trace.
+	Trace io.Writer
+	// Events, if non-nil, records every protocol step with its modelled
+	// duration (the machine-readable Fig. 9).
+	Events *trace.Log
+}
+
+// Report is the outcome of one attestation.
+type Report struct {
+	// MACOK: H_Prv equals H_Vrf (frames authentic and untampered in
+	// transit). In signature mode this is the signature check.
+	MACOK bool
+	// ConfigOK: masked received bitstream equals masked golden bitstream.
+	ConfigOK bool
+	// Accepted is the overall verdict.
+	Accepted bool
+	// Mismatches lists frame indices whose masked content differed.
+	Mismatches []int
+	// FramesConfigured and FramesRead count protocol actions.
+	FramesConfigured, FramesRead int
+}
+
+// Verifier drives attestations against one enrolled device.
+type Verifier struct {
+	Geo *device.Geometry
+	// Key is the enrolled MAC key (from the PUF enrollment database).
+	Key [16]byte
+	// Msk is the register-capture mask applied before comparison.
+	Msk *fabric.Image
+	// SigVerifier checks signature-mode responses (extension).
+	SigVerifier *signature.Verifier
+	// Timeline accumulates verifier-side software time.
+	Timeline *sim.Timeline
+
+	model *timing.Model
+}
+
+// New returns a verifier for the geometry and enrolled key.
+func New(geo *device.Geometry, key [16]byte) *Verifier {
+	return &Verifier{
+		Geo:      geo,
+		Key:      key,
+		Msk:      fabric.GenerateMask(geo),
+		Timeline: sim.NewTimeline(),
+		model:    timing.NewModel(geo),
+	}
+}
+
+// frameBytes mirrors the prover's frame serialisation.
+func frameBytes(words []uint32) []byte {
+	out := make([]byte, 0, len(words)*4)
+	for _, w := range words {
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out
+}
+
+// ReadbackOrder expands the options into the concrete frame order: every
+// frame exactly once, ascending from the offset modulo the frame count,
+// unless an explicit permutation is given.
+func (v *Verifier) ReadbackOrder(opts Options) []int {
+	if opts.Permutation != nil {
+		return opts.Permutation
+	}
+	n := v.Geo.NumFrames()
+	order := make([]int, n)
+	start := ((opts.Offset % n) + n) % n
+	for k := range order {
+		order[k] = (start + k) % n
+	}
+	return order
+}
+
+// Attest runs the full SACHa protocol of Fig. 9 against the prover at the
+// other end of ep. golden is the full-device golden image (static
+// partition content plus the intended dynamic configuration); dynFrames
+// lists the dynamic frames to configure, in transmission order.
+func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames []int, opts Options) (*Report, error) {
+	trc := func(format string, args ...any) {
+		if opts.Trace != nil {
+			fmt.Fprintf(opts.Trace, format+"\n", args...)
+		}
+	}
+	rep := &Report{}
+	if opts.SignatureMode && v.SigVerifier == nil {
+		return nil, fmt.Errorf("verifier: signature mode without an enrolled public key")
+	}
+	if len(dynFrames) == 0 {
+		return nil, fmt.Errorf("verifier: no dynamic frames to configure")
+	}
+
+	// Phase 1: dynamic configuration — the verifier overwrites the
+	// entire DynMem (bounded-memory model), one frame per packet or in
+	// batches (§6.1 trade-off).
+	batch := opts.ConfigBatch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > MaxConfigBatch {
+		batch = MaxConfigBatch
+	}
+	for start := 0; start < len(dynFrames); start += batch {
+		end := start + batch
+		if end > len(dynFrames) {
+			end = len(dynFrames)
+		}
+		var msg []byte
+		var err error
+		if end-start == 1 {
+			msg, err = protocol.Config(dynFrames[start], golden.Frame(dynFrames[start])).Encode()
+		} else {
+			m := &protocol.Message{Type: protocol.MsgICAPConfigBatch}
+			for _, idx := range dynFrames[start:end] {
+				m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(idx), Words: golden.Frame(idx)})
+			}
+			msg, err = m.Encode()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ep.Send(msg); err != nil {
+			return nil, err
+		}
+		v.Timeline.Add("vrf-sw", timing.VrfConfigOverhead())
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindConfig, dynFrames[start],
+				v.model.ActionTime(timing.A1)+v.model.ActionTime(timing.A2), "")
+		}
+		rep.FramesConfigured += end - start
+	}
+	trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
+		dynFrames[0], dynFrames[len(dynFrames)-1], len(dynFrames))
+
+	// Optional CAPTURE extension: clock the application deterministically
+	// before reading back, and predict the state locally.
+	var prediction *fabric.Fabric
+	if opts.AppSteps > 0 {
+		var err error
+		prediction, err = v.predict(golden, opts.AppSteps)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := (&protocol.Message{Type: protocol.MsgAppStep, Steps: opts.AppSteps}).Encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := ep.Send(msg); err != nil {
+			return nil, err
+		}
+		resp, err := v.recv(ep)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgAck {
+			return nil, fmt.Errorf("verifier: AppStep answered with %v (%s)", resp.Type, resp.Err)
+		}
+		trc("command: App_step(%d)", opts.AppSteps)
+	}
+
+	// Phase 2: full configuration readback in the chosen order.
+	order := v.ReadbackOrder(opts)
+	mac, err := cmac.New(v.Key[:])
+	if err != nil {
+		return nil, err
+	}
+	transcript := signature.NewTranscript()
+	received := make(map[int][]uint32, v.Geo.NumFrames())
+	first, last := order[0], order[len(order)-1]
+	for _, idx := range order {
+		msg, err := protocol.Readback(idx).Encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := ep.Send(msg); err != nil {
+			return nil, err
+		}
+		v.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
+		resp, err := v.recv(ep)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgFrameData {
+			return nil, fmt.Errorf("verifier: readback of frame %d answered with %v (%s)", idx, resp.Type, resp.Err)
+		}
+		if resp.FrameIndex != uint32(idx) {
+			return nil, fmt.Errorf("verifier: asked for frame %d, got %d", idx, resp.FrameIndex)
+		}
+		raw := frameBytes(resp.Words)
+		mac.Update(raw)
+		transcript.Absorb(raw)
+		received[idx] = resp.Words
+		rep.FramesRead++
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindReadback, idx,
+				v.model.ActionTime(timing.A3)+v.model.ActionTime(timing.A4)+v.model.ActionTime(timing.A6), "")
+			opts.Events.Add(trace.KindFrameData, idx, v.model.ActionTime(timing.A8), "frame sendback")
+		}
+	}
+	trc("command: ICAP_readback(%d)..ICAP_readback(%d)  [%d frames, order offset %d mod %d]",
+		first, last, len(order), first, v.Geo.NumFrames())
+
+	// Phase 3: checksum.
+	if opts.SignatureMode {
+		msg, _ := (&protocol.Message{Type: protocol.MsgSigChecksum}).Encode()
+		if err := ep.Send(msg); err != nil {
+			return nil, err
+		}
+		resp, err := v.recv(ep)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgSigValue {
+			return nil, fmt.Errorf("verifier: Sig_checksum answered with %v (%s)", resp.Type, resp.Err)
+		}
+		rep.MACOK = v.SigVerifier.Verify(transcript.Digest(), resp.Sig)
+		trc("command: Sig_checksum  ->  signature %d bytes, valid=%v", len(resp.Sig), rep.MACOK)
+	} else {
+		msg, _ := protocol.Checksum().Encode()
+		if err := ep.Send(msg); err != nil {
+			return nil, err
+		}
+		resp, err := v.recv(ep)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgMACValue {
+			return nil, fmt.Errorf("verifier: MAC_checksum answered with %v (%s)", resp.Type, resp.Err)
+		}
+		hVrf := mac.Sum()
+		rep.MACOK = cmac.Equal(resp.MAC, hVrf)
+		trc("command: MAC_checksum  ->  H_Prv == H_Vrf: %v", rep.MACOK)
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindChecksum, -1,
+				v.model.ActionTime(timing.A9)+v.model.ActionTime(timing.A7), "finalize")
+			opts.Events.Add(trace.KindMACValue, -1, v.model.ActionTime(timing.A10),
+				fmt.Sprintf("H_Prv == H_Vrf: %v", rep.MACOK))
+		}
+	}
+
+	// Phase 4: bitstream comparison — masked against the golden image,
+	// or raw against the stepped prediction in CAPTURE mode.
+	expected := golden
+	useMask := true
+	if prediction != nil {
+		useMask = false
+	}
+	rep.ConfigOK = true
+	for idx := 0; idx < v.Geo.NumFrames(); idx++ {
+		words, ok := received[idx]
+		if !ok {
+			rep.ConfigOK = false
+			rep.Mismatches = append(rep.Mismatches, idx)
+			continue
+		}
+		var want []uint32
+		if prediction != nil {
+			w, err := prediction.ReadbackFrame(idx)
+			if err != nil {
+				return nil, err
+			}
+			want = w
+		} else {
+			want = expected.Frame(idx)
+		}
+		var bPrv, bVrf []uint32
+		if useMask {
+			bPrv = fabric.ApplyMask(words, v.Msk.Frame(idx))
+			bVrf = fabric.ApplyMask(want, v.Msk.Frame(idx))
+		} else {
+			bPrv, bVrf = words, want
+		}
+		for w := range bPrv {
+			if bPrv[w] != bVrf[w] {
+				rep.ConfigOK = false
+				rep.Mismatches = append(rep.Mismatches, idx)
+				break
+			}
+		}
+	}
+	trc("verdict: B_Prv == B_Vrf: %v  (%d mismatching frames)", rep.ConfigOK, len(rep.Mismatches))
+
+	rep.Accepted = rep.MACOK && rep.ConfigOK
+	return rep, nil
+}
+
+// predict builds the verifier-side state prediction for the CAPTURE
+// extension: configure a local fabric with the golden image exactly as
+// the device is configured, then clock the dynamic partition.
+func (v *Verifier) predict(golden *fabric.Image, steps uint32) (*fabric.Fabric, error) {
+	fab := fabric.New(v.Geo)
+	for idx := 0; idx < v.Geo.NumFrames(); idx++ {
+		if err := fab.WriteFrame(idx, golden.Frame(idx)); err != nil {
+			return nil, err
+		}
+	}
+	live, err := fab.Live(fabric.DynRegion(v.Geo))
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < steps; i++ {
+		if err := live.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return fab, nil
+}
+
+func (v *Verifier) recv(ep channel.Endpoint) (*protocol.Message, error) {
+	raw, err := ep.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("verifier: %w", err)
+	}
+	return protocol.Decode(raw)
+}

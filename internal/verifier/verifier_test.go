@@ -1,0 +1,232 @@
+package verifier
+
+import (
+	"io"
+	"testing"
+
+	"sacha/internal/channel"
+	"sacha/internal/cmac"
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/protocol"
+)
+
+func TestReadbackOrderOffset(t *testing.T) {
+	v := New(device.SmallLX(), [16]byte{})
+	n := v.Geo.NumFrames()
+	order := v.ReadbackOrder(Options{Offset: 5})
+	if len(order) != n {
+		t.Fatalf("order length %d", len(order))
+	}
+	if order[0] != 5 || order[n-1] != 4 {
+		t.Fatalf("order endpoints %d..%d", order[0], order[n-1])
+	}
+	seen := make([]bool, n)
+	for _, idx := range order {
+		if seen[idx] {
+			t.Fatalf("frame %d visited twice", idx)
+		}
+		seen[idx] = true
+	}
+	// Negative offsets wrap too.
+	order = v.ReadbackOrder(Options{Offset: -1})
+	if order[0] != n-1 {
+		t.Fatalf("negative offset start %d", order[0])
+	}
+	// Offsets beyond n wrap.
+	order = v.ReadbackOrder(Options{Offset: n + 3})
+	if order[0] != 3 {
+		t.Fatalf("wrapped offset start %d", order[0])
+	}
+}
+
+func TestReadbackOrderPermutationPassthrough(t *testing.T) {
+	v := New(device.SmallLX(), [16]byte{})
+	perm := []int{3, 1, 2, 2, 0} // repeats allowed (paper §6.1)
+	got := v.ReadbackOrder(Options{Permutation: perm, Offset: 99})
+	if len(got) != len(perm) {
+		t.Fatal("permutation not passed through")
+	}
+	for i := range perm {
+		if got[i] != perm[i] {
+			t.Fatal("permutation altered")
+		}
+	}
+}
+
+// serveScript runs a scripted prover: the handler returns the response
+// (nil for none) and whether to close the connection afterwards, letting
+// tests model arbitrary prover misbehaviour.
+func serveScript(t *testing.T, handler func(m *protocol.Message) (*protocol.Message, bool)) channel.Endpoint {
+	t.Helper()
+	vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+	go func() {
+		for {
+			raw, err := prvEP.Recv()
+			if err != nil {
+				return
+			}
+			m, err := protocol.Decode(raw)
+			if err != nil {
+				return
+			}
+			resp, stop := handler(m)
+			if resp != nil {
+				enc, err := resp.Encode()
+				if err != nil {
+					return
+				}
+				if prvEP.Send(enc) != nil {
+					return
+				}
+			}
+			if stop {
+				prvEP.Close()
+				return
+			}
+		}
+	}()
+	return vrfEP
+}
+
+func attestAgainst(t *testing.T, handler func(m *protocol.Message) (*protocol.Message, bool)) (*Report, error) {
+	t.Helper()
+	geo := device.SmallLX()
+	v := New(geo, [16]byte{})
+	golden := fabric.NewImage(geo)
+	dyn := fabric.DynRegion(geo).Frames()
+	ep := serveScript(t, handler)
+	defer ep.Close()
+	// Limit the readback to a handful of frames via a short permutation
+	// so misbehaviour tests stay fast.
+	return v.Attest(ep, golden, dyn[:3], Options{Permutation: []int{0, 1, 2}})
+}
+
+func TestWrongFrameIndexRejected(t *testing.T) {
+	_, err := attestAgainst(t, func(m *protocol.Message) (*protocol.Message, bool) {
+		switch m.Type {
+		case protocol.MsgICAPReadback:
+			return &protocol.Message{
+				Type:       protocol.MsgFrameData,
+				FrameIndex: m.FrameIndex + 1, // wrong frame
+				Words:      make([]uint32, device.FrameWords),
+			}, false
+		case protocol.MsgMACChecksum:
+			return &protocol.Message{Type: protocol.MsgMACValue}, false
+		}
+		return nil, false
+	})
+	if err == nil {
+		t.Fatal("mismatched frame index accepted")
+	}
+}
+
+func TestErrorResponseSurfaces(t *testing.T) {
+	_, err := attestAgainst(t, func(m *protocol.Message) (*protocol.Message, bool) {
+		if m.Type == protocol.MsgICAPReadback {
+			return protocol.Errorf("device on fire"), false
+		}
+		return nil, false
+	})
+	if err == nil {
+		t.Fatal("prover Error response not surfaced")
+	}
+}
+
+func TestChannelDropDetected(t *testing.T) {
+	// The prover drops the connection at the first readback; the
+	// verifier must fail with an error rather than hang.
+	_, err := attestAgainst(t, func(m *protocol.Message) (*protocol.Message, bool) {
+		return nil, m.Type == protocol.MsgICAPReadback
+	})
+	if err == nil {
+		t.Fatal("dropped connection not reported")
+	}
+}
+
+func TestIncompleteReadbackRejected(t *testing.T) {
+	// A prover that answers correctly, but a verifier order covering only
+	// 3 of the device's frames: the remaining frames must be reported as
+	// mismatches (never received).
+	geo := device.SmallLX()
+	v := New(geo, [16]byte{})
+	golden := fabric.NewImage(geo)
+	dyn := fabric.DynRegion(geo).Frames()
+
+	ep := serveScript(t, func(m *protocol.Message) (*protocol.Message, bool) {
+		switch m.Type {
+		case protocol.MsgICAPReadback:
+			return &protocol.Message{
+				Type:       protocol.MsgFrameData,
+				FrameIndex: m.FrameIndex,
+				Words:      make([]uint32, device.FrameWords),
+			}, false
+		case protocol.MsgMACChecksum:
+			// Tag over three zero frames with the zero key — compute what
+			// the verifier will compute so the MAC check passes and the
+			// coverage check is what must fire.
+			return &protocol.Message{Type: protocol.MsgMACValue, MAC: macOverZeroFrames(3)}, false
+		}
+		return nil, false
+	})
+	defer ep.Close()
+	rep, err := v.Attest(ep, golden, dyn[:3], Options{Permutation: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConfigOK {
+		t.Fatal("incomplete readback accepted")
+	}
+	if len(rep.Mismatches) != geo.NumFrames()-3 {
+		t.Fatalf("mismatches %d, want %d", len(rep.Mismatches), geo.NumFrames()-3)
+	}
+}
+
+func macOverZeroFrames(n int) [16]byte {
+	m, err := cmac.New(make([]byte, 16))
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, device.FrameBytes)
+	for i := 0; i < n; i++ {
+		m.Update(buf)
+	}
+	return m.Sum()
+}
+
+func TestSignatureModeWithoutKeyRejected(t *testing.T) {
+	geo := device.SmallLX()
+	v := New(geo, [16]byte{}) // no SigVerifier
+	golden := fabric.NewImage(geo)
+	ep := serveScript(t, func(m *protocol.Message) (*protocol.Message, bool) { return nil, false })
+	defer ep.Close()
+	_, err := v.Attest(ep, golden, fabric.DynRegion(geo).Frames()[:1],
+		Options{Permutation: []int{0}, SignatureMode: true})
+	if err == nil {
+		t.Fatal("signature mode without enrolled key accepted")
+	}
+}
+
+func TestMACMismatchReported(t *testing.T) {
+	// A prover returning a garbage MAC over otherwise perfect zero
+	// frames must fail the MAC check but pass nothing else silently.
+	rep, err := attestAgainst(t, func(m *protocol.Message) (*protocol.Message, bool) {
+		switch m.Type {
+		case protocol.MsgICAPReadback:
+			return &protocol.Message{Type: protocol.MsgFrameData, FrameIndex: m.FrameIndex, Words: make([]uint32, device.FrameWords)}, false
+		case protocol.MsgMACChecksum:
+			return &protocol.Message{Type: protocol.MsgMACValue, MAC: [16]byte{0xBA, 0xD0}}, false
+		}
+		return nil, false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MACOK {
+		t.Fatal("garbage MAC accepted")
+	}
+	if rep.Accepted {
+		t.Fatal("run accepted despite MAC failure")
+	}
+	_ = io.Discard
+}
