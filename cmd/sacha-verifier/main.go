@@ -1,4 +1,4 @@
-// Command sacha-verifier drives one attestation against a TCP prover:
+// Command sacha-verifier drives attestations against TCP provers:
 //
 //	sacha-verifier -connect 127.0.0.1:4242 -device SmallLX -app blinker16 \
 //	               -build 1 -key 000102…0f -nonce 42 -offset 137
@@ -6,6 +6,17 @@
 // The -device, -build and -key values must match the prover's
 // provisioning; -app selects the intended application configured into the
 // dynamic partition.
+//
+// By default the verifier runs the fault-tolerant transport: every
+// command is wrapped in an idempotent sequence envelope, responses are
+// awaited up to -timeout and re-sent up to -retries times with
+// exponential backoff from -backoff. -plain disables all of it and
+// speaks the paper's bare lab protocol (then -timeout, if set, is
+// enforced as a raw per-message socket deadline instead).
+//
+// -connect accepts a comma-separated list of provers; they are attested
+// through a worker pool of -concurrency connections, and the exit status
+// reflects the whole sweep.
 package main
 
 import (
@@ -14,17 +25,27 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"sacha/internal/apps"
 	"sacha/internal/channel"
 	"sacha/internal/core"
 	"sacha/internal/device"
+	"sacha/internal/fabric"
 	"sacha/internal/verifier"
 )
 
+type target struct {
+	addr string
+	rep  *verifier.Report
+	err  error
+	wall time.Duration
+}
+
 func main() {
-	connect := flag.String("connect", "127.0.0.1:4242", "prover address")
+	connect := flag.String("connect", "127.0.0.1:4242", "prover address(es), comma-separated")
 	devName := flag.String("device", "SmallLX", "device geometry")
 	appName := flag.String("app", "blinker16", "intended application")
 	buildID := flag.Uint64("build", 1, "static bitstream build ID")
@@ -34,6 +55,11 @@ func main() {
 	batch := flag.Int("batch", 1, "frames per configuration packet (1..4)")
 	steps := flag.Uint("steps", 0, "CAPTURE extension: clock the application N cycles and attest its state")
 	trace := flag.Bool("trace", false, "print the protocol trace")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-message response timeout")
+	retries := flag.Int("retries", 5, "re-sends per message before giving up")
+	backoff := flag.Duration("backoff", 20*time.Millisecond, "base retry backoff (doubles per retry)")
+	plain := flag.Bool("plain", false, "disable the fault-tolerant transport (paper's bare protocol)")
+	concurrency := flag.Int("concurrency", 4, "concurrent connections when attesting several provers")
 	flag.Parse()
 
 	geo, err := device.ByName(*devName)
@@ -53,37 +79,117 @@ func main() {
 	golden, dynFrames, err := core.BuildGolden(geo, app, *buildID, *nonce)
 	fatal(err)
 
-	ep, err := channel.Dial(*connect)
-	fatal(err)
-	defer ep.Close()
+	addrs := strings.Split(*connect, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
 
-	v := verifier.New(geo, key)
-	opts := verifier.Options{
-		Offset:      *offset,
-		ConfigBatch: *batch,
-		AppSteps:    uint32(*steps),
+	targets := make([]target, len(addrs))
+	workers := *concurrency
+	if workers < 1 {
+		workers = 1
 	}
-	if *trace {
-		opts.Trace = os.Stderr
+	if workers > len(addrs) {
+		workers = len(addrs)
 	}
-	start := time.Now()
-	rep, err := v.Attest(ep, golden, dynFrames, opts)
-	fatal(err)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				targets[i] = attestOne(addrs[i], geo, key, golden, dynFrames, verifierOptions(
+					*offset, *batch, uint32(*steps), *trace && len(addrs) == 1,
+					*plain, *timeout, *retries, *backoff))
+			}
+		}()
+	}
+	for i := range addrs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 
 	fmt.Printf("device:            %s\n", geo.Name)
 	fmt.Printf("application:       %s\n", *appName)
 	fmt.Printf("nonce:             %#x\n", *nonce)
-	fmt.Printf("frames configured: %d\n", rep.FramesConfigured)
-	fmt.Printf("frames read back:  %d\n", rep.FramesRead)
-	fmt.Printf("H_Prv == H_Vrf:    %v\n", rep.MACOK)
-	fmt.Printf("B_Prv == B_Vrf:    %v\n", rep.ConfigOK)
-	fmt.Printf("wall time:         %v\n", time.Since(start).Round(time.Millisecond))
-	if rep.Accepted {
-		fmt.Println("verdict:           ACCEPTED — device attested")
-	} else {
-		fmt.Printf("verdict:           REJECTED (%d mismatching frames)\n", len(rep.Mismatches))
+	allOK := true
+	for _, tg := range targets {
+		if len(addrs) > 1 {
+			fmt.Printf("--- %s\n", tg.addr)
+		}
+		if tg.err != nil {
+			allOK = false
+			if verifier.IsTransport(tg.err) {
+				fmt.Printf("verdict:           UNREACHABLE — %v\n", tg.err)
+			} else {
+				fmt.Printf("verdict:           ERROR — %v\n", tg.err)
+			}
+			continue
+		}
+		rep := tg.rep
+		fmt.Printf("frames configured: %d\n", rep.FramesConfigured)
+		fmt.Printf("frames read back:  %d\n", rep.FramesRead)
+		fmt.Printf("H_Prv == H_Vrf:    %v\n", rep.MACOK)
+		fmt.Printf("B_Prv == B_Vrf:    %v\n", rep.ConfigOK)
+		fmt.Printf("retries:           %d (%d transport faults)\n", rep.Retries, rep.TransportFaults)
+		fmt.Printf("wall time:         %v\n", tg.wall.Round(time.Millisecond))
+		if rep.Accepted {
+			fmt.Println("verdict:           ACCEPTED — device attested")
+		} else {
+			allOK = false
+			fmt.Printf("verdict:           REJECTED (%d mismatching frames)\n", len(rep.Mismatches))
+		}
+	}
+	if !allOK {
 		os.Exit(1)
 	}
+}
+
+func verifierOptions(offset, batch int, steps uint32, trace, plain bool, timeout time.Duration, retries int, backoff time.Duration) verifier.Options {
+	opts := verifier.Options{
+		Offset:      offset,
+		ConfigBatch: batch,
+		AppSteps:    steps,
+	}
+	if trace {
+		opts.Trace = os.Stderr
+	}
+	if !plain {
+		opts.Retry = verifier.RetryPolicy{
+			Timeout:    timeout,
+			MaxRetries: retries,
+			Backoff:    backoff,
+			MaxBackoff: 16 * backoff,
+			Seed:       time.Now().UnixNano(),
+		}
+	}
+	return opts
+}
+
+func attestOne(addr string, geo *device.Geometry, key [16]byte, golden *fabric.Image, dynFrames []int, opts verifier.Options) target {
+	tg := target{addr: addr}
+	ep, err := channel.Dial(addr)
+	if err != nil {
+		// A prover we cannot even dial is the canonical unreachable case —
+		// type it like any other transport failure so the sweep reports
+		// UNREACHABLE, not a generic error.
+		tg.err = &verifier.TransportError{Op: "dial " + addr, Attempts: 1, Err: err}
+		return tg
+	}
+	defer ep.Close()
+	var link channel.Endpoint = ep
+	if !opts.Retry.Enabled() {
+		// Plain mode has no retry layer; fall back to raw per-message
+		// socket deadlines so a dead prover cannot hang the sweep.
+		link = channel.NewDeadline(ep, 2*time.Second, 2*time.Second)
+	}
+	v := verifier.New(geo, key)
+	start := time.Now()
+	tg.rep, tg.err = v.Attest(link, golden, dynFrames, opts)
+	tg.wall = time.Since(start)
+	return tg
 }
 
 func fatal(err error) {

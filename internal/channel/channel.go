@@ -61,7 +61,7 @@ func (q *queue) push(m []byte) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return fmt.Errorf("channel: send on closed channel")
+		return fmt.Errorf("channel: send on closed channel: %w", ErrClosed)
 	}
 	q.items = append(q.items, m)
 	q.cond.Signal()

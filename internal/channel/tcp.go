@@ -3,9 +3,12 @@ package channel
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
+	"time"
 )
 
 // maxTCPMessage bounds a single message on the TCP transport (a frame
@@ -15,9 +18,10 @@ const maxTCPMessage = 1 << 20
 // TCPEndpoint adapts a net.Conn into an Endpoint with length-prefixed
 // messages (big-endian uint32 length + payload).
 type TCPEndpoint struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed atomic.Bool
 }
 
 // NewTCP wraps an established connection.
@@ -38,41 +42,114 @@ func Dial(addr string) (*TCPEndpoint, error) {
 	return NewTCP(conn), nil
 }
 
+// mapNetErr translates net-level failures into the package's typed
+// errors: local close becomes ErrClosed, expired deadlines ErrTimeout.
+func (e *TCPEndpoint) mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if e.closed.Load() || errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
 // Send writes one length-prefixed message and flushes it.
 func (e *TCPEndpoint) Send(msg []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	if len(msg) > maxTCPMessage {
 		return fmt.Errorf("channel: message of %d bytes exceeds limit", len(msg))
+	}
+	if len(msg) == 0 {
+		return ErrZeroLength
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
 	if _, err := e.w.Write(hdr[:]); err != nil {
-		return err
+		return e.mapNetErr(err)
 	}
 	if _, err := e.w.Write(msg); err != nil {
-		return err
+		return e.mapNetErr(err)
 	}
-	return e.w.Flush()
+	return e.mapNetErr(e.w.Flush())
 }
 
 // Recv reads one length-prefixed message.
 func (e *TCPEndpoint) Recv() ([]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(e.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			err = io.EOF
 		}
-		return nil, err
+		return nil, e.mapNetErr(err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		// No protocol message is empty (every message carries at least a
+		// type byte); an all-zero header means a desynchronised or
+		// malicious peer.
+		return nil, ErrZeroLength
+	}
 	if n > maxTCPMessage {
 		return nil, fmt.Errorf("channel: message of %d bytes exceeds limit", n)
 	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(e.r, msg); err != nil {
-		return nil, err
+		return nil, e.mapNetErr(err)
 	}
 	return msg, nil
 }
 
-// Close closes the connection.
-func (e *TCPEndpoint) Close() error { return e.conn.Close() }
+// Close closes the connection. Later Send/Recv calls return ErrClosed.
+func (e *TCPEndpoint) Close() error {
+	e.closed.Store(true)
+	return e.conn.Close()
+}
+
+// DeadlineEndpoint enforces per-message send and receive timeouts on a
+// TCPEndpoint by arming the connection deadlines around each operation.
+// Expired deadlines surface as ErrTimeout. A zero timeout leaves that
+// direction unbounded.
+type DeadlineEndpoint struct {
+	Inner                    *TCPEndpoint
+	SendTimeout, RecvTimeout time.Duration
+}
+
+// NewDeadline wraps ep with per-message timeouts.
+func NewDeadline(ep *TCPEndpoint, sendTimeout, recvTimeout time.Duration) *DeadlineEndpoint {
+	return &DeadlineEndpoint{Inner: ep, SendTimeout: sendTimeout, RecvTimeout: recvTimeout}
+}
+
+// Send transmits one message, bounded by SendTimeout.
+func (e *DeadlineEndpoint) Send(msg []byte) error {
+	if e.SendTimeout > 0 {
+		if err := e.Inner.conn.SetWriteDeadline(time.Now().Add(e.SendTimeout)); err != nil {
+			return e.Inner.mapNetErr(err)
+		}
+		defer e.Inner.conn.SetWriteDeadline(time.Time{})
+	}
+	return e.Inner.Send(msg)
+}
+
+// Recv returns one message, bounded by RecvTimeout.
+func (e *DeadlineEndpoint) Recv() ([]byte, error) {
+	if e.RecvTimeout > 0 {
+		if err := e.Inner.conn.SetReadDeadline(time.Now().Add(e.RecvTimeout)); err != nil {
+			return nil, e.Inner.mapNetErr(err)
+		}
+		defer e.Inner.conn.SetReadDeadline(time.Time{})
+	}
+	return e.Inner.Recv()
+}
+
+// Close closes the wrapped endpoint.
+func (e *DeadlineEndpoint) Close() error { return e.Inner.Close() }

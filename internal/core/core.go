@@ -291,6 +291,10 @@ type AttestOptions struct {
 	// TamperDevice, if non-nil, runs after configuration completes and
 	// before readback — the adversary's window.
 	TamperDevice func(*prover.Device)
+	// WrapVerifierChannel, if non-nil, wraps the verifier-side endpoint
+	// before the protocol runs — the hook fault-tolerance experiments use
+	// to put a channel.FaultEndpoint between verifier and device.
+	WrapVerifierChannel func(channel.Endpoint) channel.Endpoint
 }
 
 // Attest runs one full attestation over a simulated lab channel and
@@ -354,7 +358,12 @@ func (s *System) AttestAgainst(serve func(channel.Endpoint) error, opts AttestOp
 		serveErr <- serve(prvEP)
 	}()
 
-	rep, err := s.Verifier.Attest(vrfEP, golden, s.DynFrames(), opts.Opts)
+	var vep channel.Endpoint = vrfEP
+	if opts.WrapVerifierChannel != nil {
+		vep = opts.WrapVerifierChannel(vep)
+	}
+	rep, err := s.Verifier.Attest(vep, golden, s.DynFrames(), opts.Opts)
+	vep.Close()
 	vrfEP.Close()
 	if sErr := <-serveErr; sErr != nil && err == nil {
 		return rep, fmt.Errorf("core: prover: %w", sErr)

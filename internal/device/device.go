@@ -299,8 +299,10 @@ func ByName(name string) (*Geometry, error) {
 		return SmallLX(), nil
 	case "BigLX", "biglx":
 		return BigLX(), nil
+	case "TinyLX", "tinylx":
+		return TinyLX(), nil
 	}
-	return nil, fmt.Errorf("device: unknown device %q (available: XC6VLX240T, SmallLX, BigLX)", name)
+	return nil, fmt.Errorf("device: unknown device %q (available: XC6VLX240T, SmallLX, BigLX, TinyLX)", name)
 }
 
 // XC6VLX240T returns the geometry modelling the paper's device.
@@ -344,6 +346,30 @@ func SmallLX() *Geometry {
 		},
 		ICAPs: 1,
 		DCMs:  4,
+	}
+}
+
+// TinyLX returns a deliberately minimal synthetic device: 112 frames
+// total, sized so a full-device attestation finishes in milliseconds.
+// It is the target of choice for fault-injection sweeps, fleet tests and
+// loopback demos where SmallLX is still three orders of magnitude too
+// slow to run hundreds of times. The column mix keeps every invariant
+// the fabric model needs: the CLB columns hold the 64-bit nonce register
+// (8 sites x 8 FF slots), the CFG column's 4 frames cover the IOB pin
+// table, and the BRAM columns exist so region accounting matches the
+// real parts.
+func TinyLX() *Geometry {
+	return &Geometry{
+		Name: "TinyLX",
+		Rows: 2,
+		Columns: []ColumnSpec{
+			{Kind: ColCLB, Count: 4, Frames: 12, Sites: 8},
+			{Kind: ColBRAMInterconnect, Count: 1, Frames: 2, Sites: 26},
+			{Kind: ColBRAMContent, Count: 1, Frames: 2, Sites: 26},
+			{Kind: ColCFG, Count: 1, Frames: 4},
+		},
+		ICAPs: 1,
+		DCMs:  1,
 	}
 }
 

@@ -1,0 +1,79 @@
+package protocol
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sacha/internal/device"
+)
+
+// fuzzSeeds returns one valid wire form per message type plus a few
+// near-valid mutants, so the fuzzer starts from deep protocol states.
+func fuzzSeeds(t interface{ Fatal(...any) }) [][]byte {
+	words := make([]uint32, device.FrameWords)
+	for i := range words {
+		words[i] = uint32(i * 0x01010101)
+	}
+	inner, err := Readback(17).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []*Message{
+		Config(137, words),
+		{Type: MsgICAPConfigBatch, Batch: []FrameRecord{{Index: 1, Words: words}, {Index: 2, Words: words}}},
+		Readback(28487),
+		Checksum(),
+		{Type: MsgSigChecksum, Arg: 5},
+		{Type: MsgAppStep, Steps: 1000},
+		{Type: MsgFrameData, FrameIndex: 12345, Words: words},
+		{Type: MsgMACValue, MAC: [16]byte{1, 2, 3}, Arg: 9},
+		{Type: MsgSigValue, Sig: bytes.Repeat([]byte{0xAB}, 71)},
+		Errorf("bad FAR %d", 9),
+		{Type: MsgAck},
+		WrapReq(42, inner),
+		WrapResp(42, inner),
+	}
+	seeds := make([][]byte, 0, len(msgs)+4)
+	for _, m := range msgs {
+		wire, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, wire)
+	}
+	seeds = append(seeds,
+		nil,
+		[]byte{0},
+		[]byte{byte(MsgSeqReq), 0, 0, 0, 1, 0, 0, 0, 0},
+		[]byte{byte(MsgError), 0xFF, 0xFF},
+	)
+	return seeds
+}
+
+// FuzzProtocolDecode checks that Decode never panics on arbitrary bytes
+// and that every accepted message survives an Encode→Decode round trip
+// unchanged — the invariant the retry layer relies on when it re-sends a
+// cached wire image.
+func FuzzProtocolDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v (input %x)", err, data)
+		}
+		back, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v (input %x)", err, data)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("round trip not stable:\nfirst  %+v\nsecond %+v\ninput %x", m, back, data)
+		}
+	})
+}

@@ -17,6 +17,7 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"sacha/internal/device"
 )
@@ -52,6 +53,19 @@ const (
 	MsgAck
 	// MsgError reports a prover-side failure.
 	MsgError
+
+	// MsgSeqReq is the reliable-transport request envelope: a sequence
+	// number plus a CRC-32 over the sequence number and the embedded
+	// message. The verifier's retry layer wraps every command in it; the
+	// prover answers each distinct sequence number exactly once and
+	// replays the cached response for duplicates, making re-sends
+	// idempotent (a readback is MACed once however often the request is
+	// duplicated on the wire).
+	MsgSeqReq
+	// MsgSeqResp is the matching response envelope. Commands without a
+	// response of their own (ICAP_config) are acknowledged with an
+	// embedded Ack.
+	MsgSeqResp
 )
 
 func (t MsgType) String() string {
@@ -78,6 +92,10 @@ func (t MsgType) String() string {
 		return "Ack"
 	case MsgError:
 		return "Error"
+	case MsgSeqReq:
+		return "Seq_req"
+	case MsgSeqResp:
+		return "Seq_resp"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -93,7 +111,12 @@ type Message struct {
 	Sig        []byte        // SigValue
 	Err        string        // Error
 	Batch      []FrameRecord // ICAPConfigBatch
+	Seq        uint32        // SeqReq, SeqResp: envelope sequence number
+	Inner      []byte        // SeqReq, SeqResp: embedded encoded message
 }
+
+// MaxErrLen bounds the Error message string on the wire.
+const MaxErrLen = 1024
 
 // FrameRecord is one addressed frame within a batch message.
 type FrameRecord struct {
@@ -167,11 +190,18 @@ func (m *Message) Encode() ([]byte, error) {
 		out = binary.BigEndian.AppendUint16(out, uint16(len(m.Sig)))
 		out = append(out, m.Sig...)
 	case MsgError:
-		if len(m.Err) > 1024 {
+		if len(m.Err) > MaxErrLen {
 			return nil, fmt.Errorf("protocol: error string too long")
 		}
 		out = binary.BigEndian.AppendUint16(out, uint16(len(m.Err)))
 		out = append(out, m.Err...)
+	case MsgSeqReq, MsgSeqResp:
+		if len(m.Inner) == 0 {
+			return nil, fmt.Errorf("protocol: empty %v envelope", m.Type)
+		}
+		out = binary.BigEndian.AppendUint32(out, m.Seq)
+		out = binary.BigEndian.AppendUint32(out, seqCRC(m.Seq, m.Inner))
+		out = append(out, m.Inner...)
 	default:
 		return nil, fmt.Errorf("protocol: cannot encode %v", m.Type)
 	}
@@ -215,6 +245,9 @@ func Decode(data []byte) (*Message, error) {
 			return nil, fmt.Errorf("protocol: empty batch")
 		}
 		count := int(body[0])
+		if count == 0 {
+			return nil, fmt.Errorf("protocol: batch of zero frames")
+		}
 		per := 4 + 4*device.FrameWords
 		if len(body) != 1+count*per {
 			return nil, fmt.Errorf("protocol: batch of %d frames has %d body bytes", count, len(body))
@@ -274,7 +307,20 @@ func Decode(data []byte) (*Message, error) {
 		if len(body) != 2+n {
 			return nil, fmt.Errorf("protocol: Error length mismatch")
 		}
+		if n > MaxErrLen {
+			return nil, fmt.Errorf("protocol: error string too long")
+		}
 		m.Err = string(body[2:])
+	case MsgSeqReq, MsgSeqResp:
+		if len(body) < 9 {
+			return nil, fmt.Errorf("protocol: short %v envelope", m.Type)
+		}
+		m.Seq = binary.BigEndian.Uint32(body)
+		sum := binary.BigEndian.Uint32(body[4:])
+		m.Inner = append([]byte(nil), body[8:]...)
+		if sum != seqCRC(m.Seq, m.Inner) {
+			return nil, fmt.Errorf("protocol: %v envelope CRC mismatch", m.Type)
+		}
 	default:
 		return nil, fmt.Errorf("protocol: unknown message type %d", data[0])
 	}
@@ -296,7 +342,31 @@ func Readback(frameIndex int) *Message {
 // Checksum builds a MAC_checksum message.
 func Checksum() *Message { return &Message{Type: MsgMACChecksum} }
 
-// Errorf builds an Error message.
+// Errorf builds an Error message, truncating to the wire limit.
 func Errorf(format string, args ...any) *Message {
-	return &Message{Type: MsgError, Err: fmt.Sprintf(format, args...)}
+	s := fmt.Sprintf(format, args...)
+	if len(s) > MaxErrLen {
+		s = s[:MaxErrLen]
+	}
+	return &Message{Type: MsgError, Err: s}
+}
+
+// seqCRC is the envelope checksum: CRC-32 (IEEE) over the big-endian
+// sequence number followed by the embedded message, so corruption of
+// either is detected at the transport layer — a flipped frame bit must
+// trigger a re-send, never silently poison the readback MAC.
+func seqCRC(seq uint32, inner []byte) uint32 {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], seq)
+	return crc32.Update(crc32.ChecksumIEEE(hdr[:]), crc32.IEEETable, inner)
+}
+
+// WrapReq wraps an encoded command in a request envelope.
+func WrapReq(seq uint32, inner []byte) *Message {
+	return &Message{Type: MsgSeqReq, Seq: seq, Inner: inner}
+}
+
+// WrapResp wraps an encoded response in a response envelope.
+func WrapResp(seq uint32, inner []byte) *Message {
+	return &Message{Type: MsgSeqResp, Seq: seq, Inner: inner}
 }

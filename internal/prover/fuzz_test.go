@@ -1,0 +1,96 @@
+package prover
+
+import (
+	"sync"
+	"testing"
+
+	"sacha/internal/device"
+	"sacha/internal/protocol"
+)
+
+// The fuzzed device is shared across iterations (device construction and
+// power-on dominate the per-exec cost otherwise). That makes the target
+// stateful — deliberately so: sequences of inputs exercise the envelope
+// cache and MAC state machine, which single-shot inputs cannot reach.
+var (
+	fuzzDevOnce sync.Once
+	fuzzDev     *Device
+	fuzzDevErr  error
+)
+
+func fuzzDevice() (*Device, error) {
+	fuzzDevOnce.Do(func() {
+		geo := device.SmallLX()
+		d, err := New(Config{
+			Geo:     geo,
+			BootMem: testBootMem(geo),
+			Key:     RegisterKey{1, 2, 3},
+		})
+		if err != nil {
+			fuzzDevErr = err
+			return
+		}
+		if err := d.PowerOn(); err != nil {
+			fuzzDevErr = err
+			return
+		}
+		fuzzDev = d
+	})
+	return fuzzDev, fuzzDevErr
+}
+
+// FuzzHandleBytes feeds arbitrary bytes to the device's wire entry point.
+// A deployed device must never crash or hard-fail on hostile input: every
+// response must be nil (fire-and-forget command) or a well-formed
+// protocol message.
+func FuzzHandleBytes(f *testing.F) {
+	words := make([]uint32, device.FrameWords)
+	for i := range words {
+		words[i] = uint32(i)
+	}
+	seed := func(m *protocol.Message) {
+		wire, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	seed(protocol.Readback(0))
+	seed(protocol.Readback(1 << 22))
+	seed(protocol.Config(3700, words)) // out of range for SmallLX
+	seed(protocol.Config(100, words))
+	seed(protocol.Checksum())
+	seed(&protocol.Message{Type: protocol.MsgAppStep, Steps: 2})
+	seed(&protocol.Message{Type: protocol.MsgSigChecksum})
+	seed(&protocol.Message{Type: protocol.MsgICAPConfigBatch,
+		Batch: []protocol.FrameRecord{{Index: 100, Words: words}}})
+	rb, err := protocol.Readback(0).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed(protocol.WrapReq(1, rb))
+	seed(protocol.WrapReq(0xFFFFFFFF, rb))
+	// Responses the device should never receive, and raw garbage.
+	seed(&protocol.Message{Type: protocol.MsgMACValue})
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+	f.Add([]byte{byte(protocol.MsgSeqReq), 0, 0, 0, 1, 0, 0, 0, 0, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := fuzzDevice()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := d.HandleBytes(data)
+		if err != nil {
+			t.Fatalf("input %x: hard failure %v", data, err)
+		}
+		if resp == nil {
+			return
+		}
+		if _, err := protocol.Decode(resp); err != nil {
+			t.Fatalf("input %x: malformed response %x: %v", data, resp, err)
+		}
+	})
+}

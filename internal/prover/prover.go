@@ -10,6 +10,7 @@
 package prover
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -94,6 +95,15 @@ type Device struct {
 	appLive   *fabric.Live
 	appEpoch  int64
 	poweredOn bool
+
+	// Reliable-transport state: the last envelope sequence number seen
+	// and the cached encoded response for it. Re-sending the cached
+	// response makes duplicated or replayed requests idempotent — in
+	// particular a duplicated ICAP_readback must not step the MAC twice,
+	// or transport flakiness would masquerade as a compromised device.
+	seqSeen bool
+	seqLast uint32
+	seqResp []byte
 }
 
 // New builds a device. It enforces the bounded-BootMem invariant: the
@@ -179,6 +189,8 @@ func (d *Device) PowerOn() error {
 	}
 	d.poweredOn = true
 	d.macActive = false
+	d.seqSeen = false
+	d.seqResp = nil
 	return nil
 }
 
@@ -327,7 +339,15 @@ func (d *Device) handleSigChecksum() (*protocol.Message, error) {
 	return &protocol.Message{Type: protocol.MsgSigValue, Sig: sig}, nil
 }
 
+// MaxAppSteps bounds one App_step command. A command asking for more
+// cycles is rejected rather than wedging the device in a multi-second
+// clocking loop — the verifier splits longer runs into several commands.
+const MaxAppSteps = 1 << 20
+
 func (d *Device) handleAppStep(m *protocol.Message) (*protocol.Message, error) {
+	if m.Steps > MaxAppSteps {
+		return nil, fmt.Errorf("prover: App_step of %d cycles exceeds the %d-cycle limit", m.Steps, MaxAppSteps)
+	}
 	live, err := d.appView()
 	if err != nil {
 		return nil, err
@@ -366,6 +386,9 @@ func (d *Device) HandleBytes(req []byte) ([]byte, error) {
 	if err != nil {
 		return protocol.Errorf("decode: %v", err).Encode()
 	}
+	if m.Type == protocol.MsgSeqReq {
+		return d.handleSeqReq(m)
+	}
 	resp, err := d.Handle(m)
 	if err != nil {
 		return protocol.Errorf("%v", err).Encode()
@@ -376,14 +399,78 @@ func (d *Device) HandleBytes(req []byte) ([]byte, error) {
 	return resp.Encode()
 }
 
-// Serve answers commands from the endpoint until it closes.
+// handleSeqReq executes one enveloped command with at-most-once
+// semantics: each sequence number is executed exactly once, a duplicate
+// of the last request replays the cached response, and older (replayed)
+// sequence numbers are answered with an Error the verifier discards.
+func (d *Device) handleSeqReq(m *protocol.Message) ([]byte, error) {
+	if d.seqSeen {
+		if m.Seq == d.seqLast {
+			return d.seqResp, nil
+		}
+		if m.Seq < d.seqLast {
+			return protocol.WrapResp(m.Seq,
+				mustEncode(protocol.Errorf("stale sequence %d (current %d)", m.Seq, d.seqLast))).Encode()
+		}
+	}
+	var resp *protocol.Message
+	inner, err := protocol.Decode(m.Inner)
+	if err != nil {
+		resp = protocol.Errorf("decode: %v", err)
+	} else if r, err := d.Handle(inner); err != nil {
+		resp = protocol.Errorf("%v", err)
+	} else if r == nil {
+		resp = &protocol.Message{Type: protocol.MsgAck}
+	} else {
+		resp = r
+	}
+	enc, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	wire, err := protocol.WrapResp(m.Seq, enc).Encode()
+	if err != nil {
+		return nil, err
+	}
+	d.seqSeen, d.seqLast, d.seqResp = true, m.Seq, wire
+	return wire, nil
+}
+
+// mustEncode encodes messages whose construction cannot fail (Error
+// strings are truncated to the wire limit by Errorf).
+func mustEncode(m *protocol.Message) []byte {
+	enc, err := m.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return enc
+}
+
+// sessionOver classifies endpoint errors that mean the peer is gone —
+// the clean end of a session, not a device fault.
+func sessionOver(err error) bool {
+	return err == io.EOF || errors.Is(err, channel.ErrClosed) || errors.Is(err, channel.ErrReset)
+}
+
+// Serve answers commands from the endpoint until it closes. A peer that
+// disappears (EOF, closed or reset endpoint) ends the session cleanly:
+// the device outlives any one verifier connection.
+//
+// Each session starts with fresh transport state: a half-accumulated MAC
+// or a cached sequence envelope left behind by a torn-down connection
+// would otherwise poison the next verifier's run (its first readback
+// continuing the dead session's checksum). The configuration memory
+// itself is untouched — only a power cycle reloads BootMem.
 func (d *Device) Serve(ep channel.Endpoint) error {
+	d.macActive = false
+	d.seqSeen = false
+	d.seqResp = nil
 	for {
 		req, err := ep.Recv()
-		if err == io.EOF {
-			return nil
-		}
 		if err != nil {
+			if sessionOver(err) {
+				return nil
+			}
 			return err
 		}
 		resp, err := d.HandleBytes(req)
@@ -394,6 +481,9 @@ func (d *Device) Serve(ep channel.Endpoint) error {
 			continue
 		}
 		if err := ep.Send(resp); err != nil {
+			if sessionOver(err) {
+				return nil
+			}
 			return err
 		}
 	}

@@ -252,19 +252,6 @@ func TestHandleBytesTurnsFailuresIntoErrors(t *testing.T) {
 	}
 }
 
-func TestHandleBytesFuzz(t *testing.T) {
-	// The device must never crash on malformed input, whatever arrives.
-	d := newDevice(t)
-	rng := rand.New(rand.NewSource(99))
-	for i := 0; i < 2000; i++ {
-		buf := make([]byte, rng.Intn(40))
-		rng.Read(buf)
-		if _, err := d.HandleBytes(buf); err != nil {
-			t.Fatalf("input %x: hard failure %v", buf, err)
-		}
-	}
-}
-
 func TestServeClosesCleanly(t *testing.T) {
 	d := newDevice(t)
 	a, b := channel.SimPair(channel.SimConfig{})

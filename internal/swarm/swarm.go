@@ -3,11 +3,17 @@
 // (swarm attestation of many embedded devices serving one task).
 //
 // Each device is an independently provisioned core.System with its own
-// PUF enrollment; the manager attests them sequentially or concurrently
-// and aggregates a fleet health report.
+// PUF enrollment; the manager sweeps them through a bounded worker pool
+// with per-device deadlines and aggregates a fleet health report that
+// keeps transport failures (Unreachable) strictly apart from rejected
+// attestations (Compromised) — mistaking a flaky link for a compromised
+// device would trigger pointless re-provisioning, and the converse would
+// hide real attacks behind "network trouble".
 package swarm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,6 +33,21 @@ type DeviceResult struct {
 // Healthy reports whether the device attested successfully.
 func (r DeviceResult) Healthy() bool {
 	return r.Err == nil && r.Report != nil && r.Report.Accepted
+}
+
+// Unreachable reports whether the sweep could not complete the protocol
+// with the device for transport reasons: retry budget exhausted, link
+// reset, or the per-device deadline expired. An unreachable device has
+// no verdict — it is neither healthy nor compromised.
+func (r DeviceResult) Unreachable() bool {
+	return r.Err != nil && (verifier.IsTransport(r.Err) ||
+		errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled))
+}
+
+// Compromised reports whether the protocol completed and the verifier
+// rejected the device (MAC or bitstream mismatch).
+func (r DeviceResult) Compromised() bool {
+	return r.Err == nil && r.Report != nil && !r.Report.Accepted
 }
 
 // Fleet is a set of provisioned devices under one verifier operator.
@@ -66,47 +87,118 @@ func (f *Fleet) System(deviceID uint64) (*core.System, bool) {
 // Report aggregates a fleet sweep.
 type Report struct {
 	Results []DeviceResult
-	// Healthy and Compromised partition the fleet by verdict.
-	Healthy, Compromised []uint64
+	// Healthy, Compromised, Unreachable and Failed partition the fleet:
+	// accepted verdicts, rejected verdicts, transport failures, and
+	// non-transport errors (e.g. a local golden-image build failure).
+	Healthy, Compromised, Unreachable, Failed []uint64
 	// Elapsed is the wall time of the sweep.
 	Elapsed time.Duration
 }
 
-// AttestAll attests every device. With parallel=true the sweeps run
-// concurrently (each device has its own channel and verifier state).
-func (f *Fleet) AttestAll(parallel bool, opts func(deviceID uint64) core.AttestOptions) *Report {
+// SweepConfig bounds a fleet sweep.
+type SweepConfig struct {
+	// Concurrency is the worker-pool size; at most Concurrency devices
+	// are attested at any moment. Values < 1 default to min(8, fleet).
+	Concurrency int
+	// PerDeviceTimeout bounds each device's attestation; expired devices
+	// are reported Unreachable. Zero means no per-device deadline.
+	PerDeviceTimeout time.Duration
+}
+
+// DefaultConcurrency is the worker-pool size used when SweepConfig does
+// not specify one.
+const DefaultConcurrency = 8
+
+// Sweep attests every device through a bounded worker pool. The context
+// cancels the whole sweep: devices not yet started when ctx is done are
+// reported Unreachable with ctx's error.
+func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID uint64) core.AttestOptions) *Report {
 	if opts == nil {
 		opts = func(uint64) core.AttestOptions { return core.AttestOptions{} }
 	}
+	workers := cfg.Concurrency
+	if workers < 1 {
+		workers = DefaultConcurrency
+	}
+	if workers > len(f.order) {
+		workers = len(f.order)
+	}
 	start := time.Now()
 	results := make([]DeviceResult, len(f.order))
-	run := func(i int, id uint64) {
-		t0 := time.Now()
-		rep, err := f.systems[id].Attest(opts(id))
-		results[i] = DeviceResult{DeviceID: id, Report: rep, Err: err, Elapsed: time.Since(t0)}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				id := f.order[i]
+				results[i] = f.attestOne(ctx, cfg, id, opts(id))
+			}
+		}()
 	}
-	if parallel {
-		var wg sync.WaitGroup
-		for i, id := range f.order {
-			wg.Add(1)
-			go func(i int, id uint64) {
-				defer wg.Done()
-				run(i, id)
-			}(i, id)
-		}
-		wg.Wait()
-	} else {
-		for i, id := range f.order {
-			run(i, id)
-		}
+	for i := range f.order {
+		jobs <- i
 	}
+	close(jobs)
+	wg.Wait()
+
 	out := &Report{Results: results, Elapsed: time.Since(start)}
 	for _, r := range results {
-		if r.Healthy() {
+		switch {
+		case r.Healthy():
 			out.Healthy = append(out.Healthy, r.DeviceID)
-		} else {
+		case r.Compromised():
 			out.Compromised = append(out.Compromised, r.DeviceID)
+		case r.Unreachable():
+			out.Unreachable = append(out.Unreachable, r.DeviceID)
+		default:
+			out.Failed = append(out.Failed, r.DeviceID)
 		}
 	}
 	return out
+}
+
+// attestOne runs a single device attestation under the sweep's deadline
+// discipline.
+func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, id uint64, o core.AttestOptions) DeviceResult {
+	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		return DeviceResult{DeviceID: id, Err: err}
+	}
+	dctx := ctx
+	if cfg.PerDeviceTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, cfg.PerDeviceTimeout)
+		defer cancel()
+	}
+	type outcome struct {
+		rep *verifier.Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := f.systems[id].Attest(o)
+		done <- outcome{rep, err}
+	}()
+	select {
+	case oc := <-done:
+		return DeviceResult{DeviceID: id, Report: oc.rep, Err: oc.err, Elapsed: time.Since(t0)}
+	case <-dctx.Done():
+		// The attestation goroutine finishes on its own (the simulated
+		// protocol always terminates; a TCP one hits its own timeouts)
+		// and its result is discarded — the deadline verdict stands.
+		return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: device %d: %w", id, dctx.Err()), Elapsed: time.Since(t0)}
+	}
+}
+
+// AttestAll attests every device. With parallel=true the sweep uses the
+// default bounded worker pool; sequential otherwise. It is the
+// context-free convenience form of Sweep.
+func (f *Fleet) AttestAll(parallel bool, opts func(deviceID uint64) core.AttestOptions) *Report {
+	conc := 1
+	if parallel {
+		conc = DefaultConcurrency
+	}
+	return f.Sweep(context.Background(), SweepConfig{Concurrency: conc}, opts)
 }

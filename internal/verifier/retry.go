@@ -1,0 +1,244 @@
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sacha/internal/channel"
+	"sacha/internal/protocol"
+)
+
+// RetryPolicy makes an attestation survive an unreliable transport. When
+// enabled (Timeout > 0) the verifier wraps every command in a sequence
+// envelope (protocol.MsgSeqReq), waits up to Timeout for the matching
+// response, and re-sends up to MaxRetries times with exponential backoff
+// plus jitter. Re-sends are idempotent: the prover executes each sequence
+// number at most once and replays the cached response for duplicates.
+//
+// The zero value disables the reliable transport entirely; the verifier
+// then speaks the paper's bare protocol and blocks on a lossy link.
+type RetryPolicy struct {
+	// Timeout bounds the wait for each response; it also switches the
+	// reliable transport on.
+	Timeout time.Duration
+	// MaxRetries is the number of re-sends after the first attempt.
+	MaxRetries int
+	// Backoff is the sleep before the first re-send; it doubles each
+	// retry up to MaxBackoff. Defaults to 5ms / 250ms when unset.
+	Backoff, MaxBackoff time.Duration
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// Enabled reports whether the reliable transport is active.
+func (p RetryPolicy) Enabled() bool { return p.Timeout > 0 }
+
+// DefaultRetryPolicy is a reasonable starting point for a real network.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 500 * time.Millisecond, MaxRetries: 6,
+		Backoff: 10 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+}
+
+// TransportError is the typed failure of the transport layer: the retry
+// budget was exhausted (or, with retries disabled, a single exchange
+// failed) without the protocol itself rejecting anything. It is how the
+// verifier distinguishes "could not talk to the device" from "the device
+// is compromised" — a fleet manager must never conflate the two.
+type TransportError struct {
+	// Op names the protocol step that failed, e.g. "ICAP_readback(17)".
+	Op string
+	// Attempts is how many sends were made before giving up.
+	Attempts int
+	// Err is the underlying cause (channel.ErrTimeout, io.EOF, ...).
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("verifier: transport failure at %s after %d attempt(s): %v", e.Op, e.Attempts, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransport reports whether err is (or wraps) a TransportError.
+func IsTransport(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+type recvResult struct {
+	raw []byte
+	err error
+}
+
+// session drives the message exchanges of one attestation. In plain mode
+// it reproduces the paper's lockstep protocol exactly; in reliable mode
+// it adds the envelope, response matching, timeouts and retries.
+type session struct {
+	ep  channel.Endpoint
+	pol RetryPolicy
+	rep *Report
+
+	seq     uint32
+	rng     *rand.Rand
+	recvCh  chan recvResult
+	recvErr error
+}
+
+func newSession(ep channel.Endpoint, pol RetryPolicy, rep *Report) *session {
+	s := &session{ep: ep, pol: pol, rep: rep}
+	if !pol.Enabled() {
+		return s
+	}
+	if s.pol.Backoff <= 0 {
+		s.pol.Backoff = 5 * time.Millisecond
+	}
+	if s.pol.MaxBackoff < s.pol.Backoff {
+		s.pol.MaxBackoff = 250 * time.Millisecond
+		if s.pol.MaxBackoff < s.pol.Backoff {
+			s.pol.MaxBackoff = s.pol.Backoff
+		}
+	}
+	s.rng = rand.New(rand.NewSource(pol.Seed))
+	s.recvCh = make(chan recvResult, 64)
+	// The pump decouples the blocking Endpoint.Recv from the timeout
+	// select. It exits on the first receive error, which for every
+	// transport here means the connection is gone for good; the error is
+	// delivered once and remembered in recvErr.
+	go func() {
+		for {
+			raw, err := s.ep.Recv()
+			s.recvCh <- recvResult{raw: raw, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// reliable reports whether the session wraps commands in envelopes.
+func (s *session) reliable() bool { return s.pol.Enabled() }
+
+// exchange sends one command and returns the prover's response message.
+// wantResp is only consulted in plain mode, where ICAP_config has no
+// response; in reliable mode every command is acknowledged.
+func (s *session) exchange(req *protocol.Message, op string, wantResp bool) (*protocol.Message, error) {
+	enc, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if !s.reliable() {
+		if err := s.ep.Send(enc); err != nil {
+			return nil, &TransportError{Op: op, Attempts: 1, Err: err}
+		}
+		if !wantResp {
+			return nil, nil
+		}
+		raw, err := s.ep.Recv()
+		if err != nil {
+			return nil, &TransportError{Op: op, Attempts: 1, Err: err}
+		}
+		resp, err := protocol.Decode(raw)
+		if err != nil {
+			return nil, &TransportError{Op: op, Attempts: 1, Err: err}
+		}
+		return resp, nil
+	}
+
+	s.seq++
+	wire, err := protocol.WrapReq(s.seq, enc).Encode()
+	if err != nil {
+		return nil, err
+	}
+	attempts := s.pol.MaxRetries + 1
+	var lastErr error = channel.ErrTimeout
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			s.rep.Retries++
+			s.sleepBackoff(a)
+		}
+		if s.recvErr != nil {
+			// The connection is gone; further sends cannot be answered.
+			return nil, &TransportError{Op: op, Attempts: a, Err: s.recvErr}
+		}
+		if err := s.ep.Send(wire); err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := s.await()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if s.recvErr != nil || errors.Is(err, io.EOF) || errors.Is(err, channel.ErrClosed) || errors.Is(err, channel.ErrReset) {
+			return nil, &TransportError{Op: op, Attempts: a + 1, Err: err}
+		}
+	}
+	return nil, &TransportError{Op: op, Attempts: attempts, Err: lastErr}
+}
+
+// await waits for the response matching the current sequence number,
+// discarding (and counting) everything else: corrupted envelopes, stale
+// responses to earlier duplicates, unwrapped Error messages a prover
+// emits for undecodable input.
+func (s *session) await() (*protocol.Message, error) {
+	timer := time.NewTimer(s.pol.Timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-s.recvCh:
+			if r.err != nil {
+				s.recvErr = r.err
+				return nil, r.err
+			}
+			env, err := protocol.Decode(r.raw)
+			if err != nil || env.Type != protocol.MsgSeqResp || env.Seq != s.seq {
+				s.rep.TransportFaults++
+				continue
+			}
+			resp, err := protocol.Decode(env.Inner)
+			if err != nil {
+				s.rep.TransportFaults++
+				continue
+			}
+			return resp, nil
+		case <-timer.C:
+			return nil, channel.ErrTimeout
+		}
+	}
+}
+
+// sleepBackoff sleeps before the attempt-th re-send: exponential from
+// Backoff, capped at MaxBackoff, with jitter in [d/2, d) so a fleet of
+// verifiers does not re-send in lockstep.
+func (s *session) sleepBackoff(attempt int) {
+	d := s.pol.Backoff
+	for i := 1; i < attempt && d < s.pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.pol.MaxBackoff {
+		d = s.pol.MaxBackoff
+	}
+	if d > 1 {
+		d = d/2 + time.Duration(s.rng.Int63n(int64(d/2)))
+	}
+	time.Sleep(d)
+}
+
+// sendConfig ships one configuration message. In plain mode it is
+// fire-and-forget (the paper's protocol); in reliable mode the prover
+// acknowledges it, so a dropped frame is re-sent instead of silently
+// producing a mis-configured device and a false mismatch verdict.
+func (s *session) sendConfig(m *protocol.Message, op string) error {
+	resp, err := s.exchange(m, op, false)
+	if err != nil {
+		return err
+	}
+	if s.reliable() && resp.Type != protocol.MsgAck {
+		return fmt.Errorf("verifier: %s answered with %v (%s)", op, resp.Type, resp.Err)
+	}
+	return nil
+}

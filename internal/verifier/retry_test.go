@@ -1,0 +1,238 @@
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sacha/internal/bitstream"
+	"sacha/internal/channel"
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/prover"
+)
+
+// testPolicy is a fast retry policy for the simulated link.
+func testPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 50 * time.Millisecond, MaxRetries: 5,
+		Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Seed: 1}
+}
+
+// faultyProverSession boots a real prover device, serves it on a SimPair
+// and returns the verifier-side endpoint wrapped in the fault injector,
+// plus everything needed to attest it.
+func faultyProverSession(t *testing.T, cfg channel.FaultConfig) (*Verifier, channel.Endpoint, *fabric.Image, []int) {
+	t.Helper()
+	geo := device.SmallLX()
+	statFrames := fabric.StatRegion(geo).Frames()
+	boot := fabric.NewImage(geo)
+	fabric.FillStatic(boot, statFrames, 1)
+	key := prover.RegisterKey{9, 9, 9}
+	dev, err := prover.New(prover.Config{
+		Geo:     geo,
+		BootMem: bitstream.FromImage(boot, statFrames),
+		Key:     key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+
+	vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+	go dev.Serve(prvEP)
+	faulty := channel.NewFault(vrfEP, cfg)
+	t.Cleanup(func() { faulty.Close() })
+
+	// The golden image: booted static partition, zeroed dynamic partition
+	// (which is exactly what the test configures).
+	golden := fabric.NewImage(geo)
+	fabric.FillStatic(golden, statFrames, 1)
+	var k [16]byte = key
+	return New(geo, k), faulty, golden, fabric.DynRegion(geo).Frames()
+}
+
+// attestFew runs a 3-config / 3-readback attestation — enough protocol
+// steps for fault scripts, fast enough to run under retries.
+func attestFew(t *testing.T, cfg channel.FaultConfig, pol RetryPolicy) (*Report, error) {
+	t.Helper()
+	v, ep, golden, dyn := faultyProverSession(t, cfg)
+	return v.Attest(ep, golden, dyn[:3], Options{Permutation: []int{0, 1, 2}, Retry: pol})
+}
+
+// requireMACOK asserts the protocol completed with a clean MAC and at
+// least one retry — transport recovery, not luck.
+func requireMACOK(t *testing.T, rep *Report, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+	if !rep.MACOK {
+		t.Fatal("MAC rejected on an honest device — a transport fault leaked into the verdict")
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries counted despite injected faults")
+	}
+}
+
+func TestRetryRecoversFromDroppedCommand(t *testing.T) {
+	// Sends 0..2 are configs, 3..5 readbacks, 6 the checksum. Drop a
+	// config and a readback.
+	rep, err := attestFew(t, channel.FaultConfig{Script: []channel.FaultOp{
+		{Dir: channel.DirSend, Index: 1, Kind: channel.FaultDrop},
+		{Dir: channel.DirSend, Index: 4, Kind: channel.FaultDrop},
+	}}, testPolicy())
+	requireMACOK(t, rep, err)
+	if rep.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2", rep.Retries)
+	}
+}
+
+func TestRetryRecoversFromDroppedResponse(t *testing.T) {
+	rep, err := attestFew(t, channel.FaultConfig{Script: []channel.FaultOp{
+		{Dir: channel.DirRecv, Index: 3, Kind: channel.FaultDrop},
+	}}, testPolicy())
+	requireMACOK(t, rep, err)
+}
+
+func TestRetryRecoversFromCorruptedResponse(t *testing.T) {
+	// A frame-sendback response with a flipped bit: the envelope CRC must
+	// catch it, the verifier discard and re-request, and the replayed
+	// cached response keep the MAC intact. Silent acceptance of the
+	// corrupted frame would flip the verdict — the one outcome the
+	// transport layer exists to prevent.
+	rep, err := attestFew(t, channel.FaultConfig{Seed: 3, Script: []channel.FaultOp{
+		{Dir: channel.DirRecv, Index: 4, Kind: channel.FaultCorrupt},
+	}}, testPolicy())
+	requireMACOK(t, rep, err)
+	if rep.TransportFaults == 0 {
+		t.Fatal("corrupted response not counted as a transport fault")
+	}
+}
+
+func TestRetryRecoversFromCorruptedCommand(t *testing.T) {
+	// The corrupted command reaches the prover, which answers with a
+	// decode Error (or a CRC-rejected envelope); either way the verifier
+	// must re-send rather than fail or accept.
+	rep, err := attestFew(t, channel.FaultConfig{Seed: 4, Script: []channel.FaultOp{
+		{Dir: channel.DirSend, Index: 3, Kind: channel.FaultCorrupt},
+	}}, testPolicy())
+	requireMACOK(t, rep, err)
+}
+
+func TestRetryRecoversFromDuplicatedCommand(t *testing.T) {
+	// The duplicate hits the prover's sequence cache; the extra cached
+	// response is discarded by sequence matching on the next exchange.
+	rep, err := attestFew(t, channel.FaultConfig{Script: []channel.FaultOp{
+		{Dir: channel.DirSend, Index: 3, Kind: channel.FaultDuplicate},
+		{Dir: channel.DirSend, Index: 5, Kind: channel.FaultDuplicate},
+	}}, testPolicy())
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+	if !rep.MACOK {
+		t.Fatal("duplicated readback corrupted the MAC — request not idempotent")
+	}
+}
+
+func TestRetryBudgetExhaustionIsTyped(t *testing.T) {
+	// A dead link (every message dropped) must exhaust the budget and
+	// surface as a TransportError wrapping a timeout — never as a verdict.
+	pol := RetryPolicy{Timeout: 10 * time.Millisecond, MaxRetries: 2, Backoff: time.Millisecond}
+	rep, err := attestFew(t, channel.FaultConfig{DropProb: 1}, pol)
+	if rep != nil && err == nil {
+		t.Fatal("dead link produced a verdict")
+	}
+	if !IsTransport(err) {
+		t.Fatalf("got %v, want TransportError", err)
+	}
+	if !errors.Is(err, channel.ErrTimeout) {
+		t.Fatalf("cause %v, want ErrTimeout", err)
+	}
+	var te *TransportError
+	errors.As(err, &te)
+	if te.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", te.Attempts)
+	}
+}
+
+func TestRetriesDisabledFailsFast(t *testing.T) {
+	// MaxRetries 0: one attempt per message; a single dropped command must
+	// fail the attestation with a typed transport error.
+	pol := RetryPolicy{Timeout: 20 * time.Millisecond, MaxRetries: 0, Backoff: time.Millisecond}
+	_, err := attestFew(t, channel.FaultConfig{Script: []channel.FaultOp{
+		{Dir: channel.DirSend, Index: 3, Kind: channel.FaultDrop},
+	}}, pol)
+	if !IsTransport(err) {
+		t.Fatalf("got %v, want TransportError", err)
+	}
+}
+
+func TestConnectionResetIsTyped(t *testing.T) {
+	_, err := attestFew(t, channel.FaultConfig{Script: []channel.FaultOp{
+		{Dir: channel.DirSend, Index: 2, Kind: channel.FaultReset},
+	}}, testPolicy())
+	if !IsTransport(err) {
+		t.Fatalf("got %v, want TransportError", err)
+	}
+	if !errors.Is(err, channel.ErrReset) {
+		t.Fatalf("cause %v, want ErrReset", err)
+	}
+}
+
+func TestLossyLotterySurvived(t *testing.T) {
+	// The acceptance mix — 10% drop, 1% corruption — over the whole
+	// scripted run, seeded for reproducibility.
+	rep, err := attestFew(t, channel.FaultConfig{
+		Seed: 42, DropProb: 0.10, CorruptProb: 0.01,
+	}, testPolicy())
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+	if !rep.MACOK {
+		t.Fatal("lossy link flipped the MAC verdict")
+	}
+}
+
+func TestTransportErrorFormatting(t *testing.T) {
+	te := &TransportError{Op: "ICAP_readback(17)", Attempts: 3, Err: channel.ErrTimeout}
+	msg := te.Error()
+	for _, want := range []string{"ICAP_readback(17)", "3", "timeout"} {
+		if !contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	if !IsTransport(fmt.Errorf("wrapped: %w", te)) {
+		t.Fatal("IsTransport fails through wrapping")
+	}
+	if IsTransport(errors.New("plain")) {
+		t.Fatal("IsTransport false positive")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBackoffBounds(t *testing.T) {
+	// Backoff doubles, caps at MaxBackoff and jitters within [d/2, d).
+	// Construct the session directly: newSession would start a recv pump.
+	s := &session{pol: RetryPolicy{Timeout: time.Second, Backoff: 2 * time.Millisecond,
+		MaxBackoff: 8 * time.Millisecond, Seed: 7}, rng: rand.New(rand.NewSource(7))}
+	for attempt := 1; attempt <= 6; attempt++ {
+		start := time.Now()
+		s.sleepBackoff(attempt)
+		d := time.Since(start)
+		if d > 50*time.Millisecond {
+			t.Fatalf("attempt %d slept %v, cap is 8ms", attempt, d)
+		}
+	}
+}

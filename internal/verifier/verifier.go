@@ -50,6 +50,10 @@ type Options struct {
 	// Events, if non-nil, records every protocol step with its modelled
 	// duration (the machine-readable Fig. 9).
 	Events *trace.Log
+	// Retry, when enabled, runs the protocol over the reliable transport:
+	// per-message timeouts, bounded re-sends with backoff, idempotent
+	// envelopes. The zero value speaks the paper's bare protocol.
+	Retry RetryPolicy
 }
 
 // Report is the outcome of one attestation.
@@ -65,6 +69,12 @@ type Report struct {
 	Mismatches []int
 	// FramesConfigured and FramesRead count protocol actions.
 	FramesConfigured, FramesRead int
+	// Retries counts message re-sends by the reliable transport; zero on
+	// a clean link. TransportFaults counts received messages that were
+	// discarded (corrupted envelopes, stale duplicates). Together they
+	// make link flakiness observable and distinguishable from a MAC
+	// rejection.
+	Retries, TransportFaults int
 }
 
 // Verifier drives attestations against one enrolled device.
@@ -135,6 +145,7 @@ func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames [
 	if len(dynFrames) == 0 {
 		return nil, fmt.Errorf("verifier: no dynamic frames to configure")
 	}
+	sess := newSession(ep, opts.Retry, rep)
 
 	// Phase 1: dynamic configuration — the verifier overwrites the
 	// entire DynMem (bounded-memory model), one frame per packet or in
@@ -151,21 +162,16 @@ func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames [
 		if end > len(dynFrames) {
 			end = len(dynFrames)
 		}
-		var msg []byte
-		var err error
+		var m *protocol.Message
 		if end-start == 1 {
-			msg, err = protocol.Config(dynFrames[start], golden.Frame(dynFrames[start])).Encode()
+			m = protocol.Config(dynFrames[start], golden.Frame(dynFrames[start]))
 		} else {
-			m := &protocol.Message{Type: protocol.MsgICAPConfigBatch}
+			m = &protocol.Message{Type: protocol.MsgICAPConfigBatch}
 			for _, idx := range dynFrames[start:end] {
 				m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(idx), Words: golden.Frame(idx)})
 			}
-			msg, err = m.Encode()
 		}
-		if err != nil {
-			return nil, err
-		}
-		if err := ep.Send(msg); err != nil {
+		if err := sess.sendConfig(m, fmt.Sprintf("ICAP_config(%d)", dynFrames[start])); err != nil {
 			return nil, err
 		}
 		v.Timeline.Add("vrf-sw", timing.VrfConfigOverhead())
@@ -187,14 +193,7 @@ func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames [
 		if err != nil {
 			return nil, err
 		}
-		msg, err := (&protocol.Message{Type: protocol.MsgAppStep, Steps: opts.AppSteps}).Encode()
-		if err != nil {
-			return nil, err
-		}
-		if err := ep.Send(msg); err != nil {
-			return nil, err
-		}
-		resp, err := v.recv(ep)
+		resp, err := sess.exchange(&protocol.Message{Type: protocol.MsgAppStep, Steps: opts.AppSteps}, "App_step", true)
 		if err != nil {
 			return nil, err
 		}
@@ -214,15 +213,8 @@ func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames [
 	received := make(map[int][]uint32, v.Geo.NumFrames())
 	first, last := order[0], order[len(order)-1]
 	for _, idx := range order {
-		msg, err := protocol.Readback(idx).Encode()
-		if err != nil {
-			return nil, err
-		}
-		if err := ep.Send(msg); err != nil {
-			return nil, err
-		}
 		v.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
-		resp, err := v.recv(ep)
+		resp, err := sess.exchange(protocol.Readback(idx), fmt.Sprintf("ICAP_readback(%d)", idx), true)
 		if err != nil {
 			return nil, err
 		}
@@ -248,11 +240,7 @@ func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames [
 
 	// Phase 3: checksum.
 	if opts.SignatureMode {
-		msg, _ := (&protocol.Message{Type: protocol.MsgSigChecksum}).Encode()
-		if err := ep.Send(msg); err != nil {
-			return nil, err
-		}
-		resp, err := v.recv(ep)
+		resp, err := sess.exchange(&protocol.Message{Type: protocol.MsgSigChecksum}, "Sig_checksum", true)
 		if err != nil {
 			return nil, err
 		}
@@ -262,11 +250,7 @@ func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames [
 		rep.MACOK = v.SigVerifier.Verify(transcript.Digest(), resp.Sig)
 		trc("command: Sig_checksum  ->  signature %d bytes, valid=%v", len(resp.Sig), rep.MACOK)
 	} else {
-		msg, _ := protocol.Checksum().Encode()
-		if err := ep.Send(msg); err != nil {
-			return nil, err
-		}
-		resp, err := v.recv(ep)
+		resp, err := sess.exchange(protocol.Checksum(), "MAC_checksum", true)
 		if err != nil {
 			return nil, err
 		}
@@ -350,12 +334,4 @@ func (v *Verifier) predict(golden *fabric.Image, steps uint32) (*fabric.Fabric, 
 		}
 	}
 	return fab, nil
-}
-
-func (v *Verifier) recv(ep channel.Endpoint) (*protocol.Message, error) {
-	raw, err := ep.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("verifier: %w", err)
-	}
-	return protocol.Decode(raw)
 }
