@@ -6,6 +6,7 @@
 package sacha_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -376,6 +377,90 @@ func BenchmarkSwarmSweep(b *testing.B) {
 			b.Fatalf("unhealthy fleet: %v", rep.Compromised)
 		}
 	}
+}
+
+// BenchmarkPlanReuse separates the per-class plan build from the
+// per-device run on one system: "cold" rebuilds the plan inside every
+// attestation (the pre-split behaviour), "shared" builds the plan once
+// and drives only per-session Runs — no prediction, no mask generation,
+// no message re-encoding in the loop.
+func BenchmarkPlanReuse(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		sys := newSmall(b, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := sys.Attest(core.AttestOptions{})
+			if err != nil || !rep.Accepted {
+				b.Fatalf("attestation failed: %v", err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		sys := newSmall(b, nil)
+		plan, err := sys.Plan(42, verifier.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := sys.AttestWithPlan(plan, core.AttestOptions{})
+			if err != nil || !rep.Accepted {
+				b.Fatalf("attestation failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkFleetPlan compares a fleet sweep that builds one plan per
+// device (cold) against the shared-plan sweep (one build per device
+// class), reporting the golden-image builds each sweep pays.
+func BenchmarkFleetPlan(b *testing.B) {
+	newFleet := func(b *testing.B) *swarm.Fleet {
+		b.Helper()
+		fleet, err := swarm.NewFleet(6, func(id uint64) (*core.System, error) {
+			return core.NewSystem(core.Config{
+				Geo:        device.SmallLX(),
+				App:        netlist.Blinker(8),
+				KeyMode:    core.KeyStatPUF,
+				DeviceID:   id,
+				LabLatency: -1,
+				Seed:       int64(id),
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fleet
+	}
+	b.Run("cold-plan", func(b *testing.B) {
+		fleet := newFleet(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := fleet.Sweep(context.Background(), swarm.SweepConfig{Concurrency: 4}, nil)
+			if len(rep.Healthy) != fleet.Size() {
+				b.Fatalf("unhealthy fleet: %v", rep.Compromised)
+			}
+		}
+		// Without SharePlans every device builds its own plan inside
+		// Attest: fleet-size golden-image builds per sweep.
+		b.ReportMetric(float64(fleet.Size()), "plan-builds/sweep")
+	})
+	b.Run("shared-plan", func(b *testing.B) {
+		fleet := newFleet(b)
+		nonce := uint64(0xBEEF)
+		built := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := fleet.Sweep(context.Background(), swarm.SweepConfig{
+				Concurrency: 4, SharePlans: true, Nonce: &nonce,
+			}, nil)
+			if len(rep.Healthy) != fleet.Size() {
+				b.Fatalf("unhealthy fleet: %v", rep.Compromised)
+			}
+			built = rep.PlansBuilt
+		}
+		b.ReportMetric(float64(built), "plan-builds/sweep")
+	})
 }
 
 // BenchmarkPlaceAndDecode measures the golden-image pipeline: place an

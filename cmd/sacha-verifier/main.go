@@ -15,8 +15,11 @@
 // enforced as a raw per-message socket deadline instead).
 //
 // -connect accepts a comma-separated list of provers; they are attested
-// through a worker pool of -concurrency connections, and the exit status
-// reflects the whole sweep.
+// through a worker pool of -concurrency connections. All targets share
+// one nonce and one precomputed attestation.Plan — the golden-image work
+// (message encoding, mask generation, CAPTURE prediction) is paid once
+// for the whole sweep, not per prover. The exit status reflects the
+// whole sweep.
 package main
 
 import (
@@ -30,16 +33,15 @@ import (
 	"time"
 
 	"sacha/internal/apps"
+	"sacha/internal/attestation"
 	"sacha/internal/channel"
 	"sacha/internal/core"
 	"sacha/internal/device"
-	"sacha/internal/fabric"
-	"sacha/internal/verifier"
 )
 
 type target struct {
 	addr string
-	rep  *verifier.Report
+	rep  *attestation.Report
 	err  error
 	wall time.Duration
 }
@@ -79,6 +81,19 @@ func main() {
 	golden, dynFrames, err := core.BuildGolden(geo, app, *buildID, *nonce)
 	fatal(err)
 
+	// One plan for the whole sweep: the pre-encoded messages, the
+	// validated readback order and the masked (or predicted) comparison
+	// frames are shared read-only by every worker below.
+	plan, err := attestation.NewPlan(attestation.Spec{
+		Geo:         geo,
+		Golden:      golden,
+		DynFrames:   dynFrames,
+		Offset:      *offset,
+		AppSteps:    uint32(*steps),
+		ConfigBatch: *batch,
+	})
+	fatal(err)
+
 	addrs := strings.Split(*connect, ",")
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
@@ -99,8 +114,8 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				targets[i] = attestOne(addrs[i], geo, key, golden, dynFrames, verifierOptions(
-					*offset, *batch, uint32(*steps), *trace && len(addrs) == 1,
+				targets[i] = attestOne(addrs[i], plan, runOptions(
+					key, *trace && len(addrs) == 1,
 					*plain, *timeout, *retries, *backoff))
 			}
 		}()
@@ -121,7 +136,7 @@ func main() {
 		}
 		if tg.err != nil {
 			allOK = false
-			if verifier.IsTransport(tg.err) {
+			if attestation.IsTransport(tg.err) {
 				fmt.Printf("verdict:           UNREACHABLE — %v\n", tg.err)
 			} else {
 				fmt.Printf("verdict:           ERROR — %v\n", tg.err)
@@ -147,17 +162,13 @@ func main() {
 	}
 }
 
-func verifierOptions(offset, batch int, steps uint32, trace, plain bool, timeout time.Duration, retries int, backoff time.Duration) verifier.Options {
-	opts := verifier.Options{
-		Offset:      offset,
-		ConfigBatch: batch,
-		AppSteps:    steps,
-	}
+func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries int, backoff time.Duration) attestation.RunOpts {
+	opts := attestation.RunOpts{Key: key}
 	if trace {
 		opts.Trace = os.Stderr
 	}
 	if !plain {
-		opts.Retry = verifier.RetryPolicy{
+		opts.Retry = attestation.RetryPolicy{
 			Timeout:    timeout,
 			MaxRetries: retries,
 			Backoff:    backoff,
@@ -168,14 +179,14 @@ func verifierOptions(offset, batch int, steps uint32, trace, plain bool, timeout
 	return opts
 }
 
-func attestOne(addr string, geo *device.Geometry, key [16]byte, golden *fabric.Image, dynFrames []int, opts verifier.Options) target {
+func attestOne(addr string, plan *attestation.Plan, opts attestation.RunOpts) target {
 	tg := target{addr: addr}
 	ep, err := channel.Dial(addr)
 	if err != nil {
 		// A prover we cannot even dial is the canonical unreachable case —
 		// type it like any other transport failure so the sweep reports
 		// UNREACHABLE, not a generic error.
-		tg.err = &verifier.TransportError{Op: "dial " + addr, Attempts: 1, Err: err}
+		tg.err = &attestation.TransportError{Op: "dial " + addr, Attempts: 1, Err: err}
 		return tg
 	}
 	defer ep.Close()
@@ -185,9 +196,8 @@ func attestOne(addr string, geo *device.Geometry, key [16]byte, golden *fabric.I
 		// socket deadlines so a dead prover cannot hang the sweep.
 		link = channel.NewDeadline(ep, 2*time.Second, 2*time.Second)
 	}
-	v := verifier.New(geo, key)
 	start := time.Now()
-	tg.rep, tg.err = v.Attest(link, golden, dynFrames, opts)
+	tg.rep, tg.err = plan.Run(link, opts)
 	tg.wall = time.Since(start)
 	return tg
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,9 +33,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The whole fleet is one device class (same geometry, application,
+	// build), so SharePlans builds one attestation plan for the sweep and
+	// shares it read-only across the concurrent per-device runs.
+	cfg := swarm.SweepConfig{Concurrency: swarm.DefaultConcurrency, SharePlans: true}
+
 	// Device 6 is compromised: malicious logic spliced into its dynamic
 	// partition between configuration and readback.
-	rep := fleet.AttestAll(true, func(id uint64) core.AttestOptions {
+	rep := fleet.Sweep(context.Background(), cfg, func(id uint64) core.AttestOptions {
 		if id != 6 {
 			return core.AttestOptions{}
 		}
@@ -53,5 +59,7 @@ func main() {
 	}
 	fmt.Printf("\nswarm health: %d/%d devices attested in %v (parallel sweep)\n",
 		len(rep.Healthy), fleet.Size(), rep.Elapsed.Round(1e6))
+	fmt.Printf("attestation plans built: %d (shared across %d devices)\n",
+		rep.PlansBuilt, fleet.Size())
 	fmt.Printf("compromised devices: %v\n", rep.Compromised)
 }

@@ -1,0 +1,300 @@
+// Package attestation splits the SACHa verifier into two layers:
+//
+//   - Plan — everything derivable from the golden image, the device
+//     geometry and the protocol options alone. A Plan is built once and
+//     is immutable afterwards: the pre-encoded ICAP_config frame/batch
+//     wire messages, the validated readback permutation with its
+//     pre-encoded ICAP_readback commands, the masked golden comparison
+//     frames (or, in CAPTURE mode, the predicted post-step frames), and
+//     the pre-encoded checksum command. Plans are safe to share across
+//     any number of concurrent Runs, so a fleet verifier pays the
+//     O(fabric) golden-image work once per device class instead of once
+//     per device.
+//
+//   - Run — the per-session remainder: the transport session (sequence
+//     numbers, retries), the CMAC/transcript state keyed by the device's
+//     enrolled key, and the report. Runs are cheap; nothing in the Run
+//     path touches the fabric model or re-encodes a frame.
+//
+// The nonce is deliberately *not* part of this package's state: the
+// golden image handed to NewPlan already contains the placed nonce
+// register, so a Plan is implicitly bound to one nonce (one sweep), while
+// the MAC state lives in the Run because it is keyed per device.
+package attestation
+
+import (
+	"fmt"
+
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+	"sacha/internal/protocol"
+	"sacha/internal/timing"
+)
+
+// MaxConfigBatch caps batched configuration at four frames per packet:
+// 4 × 328 bytes plus headers is the most that fits a standard Ethernet
+// MTU (larger batches would need jumbo frames).
+const MaxConfigBatch = 4
+
+// Spec is the fleet-invariant input of a Plan: the golden image, the
+// geometry, and the protocol options that shape the message sequence.
+// Per-session knobs (key, retry policy, trace sinks) live in RunOpts.
+type Spec struct {
+	// Geo is the device geometry of the fleet class.
+	Geo *device.Geometry
+	// Golden is the full-device golden image: static partition content
+	// plus the intended dynamic configuration (including the placed
+	// nonce register for this sweep).
+	Golden *fabric.Image
+	// DynFrames lists the dynamic frames to configure, in transmission
+	// order.
+	DynFrames []int
+	// Offset is the starting frame address i of the ascending modular
+	// readback order (paper Fig. 9). Ignored if Permutation is set.
+	Offset int
+	// Permutation, if non-nil, is the explicit readback order. It must
+	// be a bijection over all frames: every frame exactly once. Short,
+	// duplicate-bearing or out-of-range permutations are rejected —
+	// they would silently exclude frames from the MAC and the golden
+	// comparison.
+	Permutation []int
+	// AppSteps, if non-zero, clocks the configured application that many
+	// cycles after configuration and verifies the flip-flop state as
+	// well as the configuration (the paper's §8 CAPTURE extension). The
+	// masked comparison is then replaced by a raw comparison against a
+	// verifier-side prediction, computed once at plan build.
+	AppSteps uint32
+	// SignatureMode uses the ECDSA extension instead of the MAC.
+	SignatureMode bool
+	// ConfigBatch sends that many frames per ICAP_config_batch packet
+	// (0 or 1 = one frame per packet, the paper's proof of concept). The
+	// prover bounds accepted batches by its frame buffer.
+	ConfigBatch int
+}
+
+// configStep is one pre-encoded configuration packet.
+type configStep struct {
+	wire  []byte
+	first int // first frame index, for trace/event labels
+	count int
+}
+
+// Plan is the immutable, concurrency-safe fleet-shared half of an
+// attestation: build it once per (golden image, geometry, options) and
+// drive any number of concurrent Runs from it.
+type Plan struct {
+	geo   *device.Geometry
+	model *timing.Model
+
+	configs                     []configStep
+	dynFirst, dynLast, dynCount int
+
+	appSteps    uint32
+	appStepWire []byte
+
+	order     []int
+	readbacks [][]byte // pre-encoded ICAP_readback, parallel to order
+
+	signatureMode bool
+	checksumWire  []byte
+
+	// expected[idx] is what frame idx must read back as, after the
+	// per-mode normalisation: masked golden words, or the raw predicted
+	// words in CAPTURE mode. mask is nil in CAPTURE mode (raw compare).
+	expected [][]uint32
+	mask     *fabric.Image
+}
+
+// NewPlan validates the spec and precomputes every fleet-invariant
+// artifact of the protocol. The returned Plan never mutates.
+func NewPlan(spec Spec) (*Plan, error) {
+	if spec.Geo == nil {
+		return nil, fmt.Errorf("attestation: plan without a geometry")
+	}
+	if spec.Golden == nil {
+		return nil, fmt.Errorf("attestation: plan without a golden image")
+	}
+	n := spec.Geo.NumFrames()
+	if spec.Golden.NumFrames() != n {
+		return nil, fmt.Errorf("attestation: golden image has %d frames, geometry %s has %d",
+			spec.Golden.NumFrames(), spec.Geo.Name, n)
+	}
+	if len(spec.DynFrames) == 0 {
+		return nil, fmt.Errorf("attestation: no dynamic frames to configure")
+	}
+	for _, idx := range spec.DynFrames {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("attestation: dynamic frame %d out of range [0,%d)", idx, n)
+		}
+	}
+	order, err := readbackOrder(n, spec.Offset, spec.Permutation)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		geo:           spec.Geo,
+		model:         timing.NewModel(spec.Geo),
+		dynFirst:      spec.DynFrames[0],
+		dynLast:       spec.DynFrames[len(spec.DynFrames)-1],
+		dynCount:      len(spec.DynFrames),
+		appSteps:      spec.AppSteps,
+		order:         order,
+		signatureMode: spec.SignatureMode,
+	}
+
+	// Configuration packets, one frame per packet or batched (§6.1).
+	batch := spec.ConfigBatch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > MaxConfigBatch {
+		batch = MaxConfigBatch
+	}
+	for start := 0; start < len(spec.DynFrames); start += batch {
+		end := start + batch
+		if end > len(spec.DynFrames) {
+			end = len(spec.DynFrames)
+		}
+		var m *protocol.Message
+		if end-start == 1 {
+			m = protocol.Config(spec.DynFrames[start], spec.Golden.Frame(spec.DynFrames[start]))
+		} else {
+			m = &protocol.Message{Type: protocol.MsgICAPConfigBatch}
+			for _, idx := range spec.DynFrames[start:end] {
+				m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(idx), Words: spec.Golden.Frame(idx)})
+			}
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			return nil, err
+		}
+		p.configs = append(p.configs, configStep{wire: wire, first: spec.DynFrames[start], count: end - start})
+	}
+
+	if spec.AppSteps > 0 {
+		wire, err := (&protocol.Message{Type: protocol.MsgAppStep, Steps: spec.AppSteps}).Encode()
+		if err != nil {
+			return nil, err
+		}
+		p.appStepWire = wire
+	}
+
+	p.readbacks = make([][]byte, len(order))
+	for k, idx := range order {
+		wire, err := protocol.Readback(idx).Encode()
+		if err != nil {
+			return nil, err
+		}
+		p.readbacks[k] = wire
+	}
+
+	cks := protocol.Checksum()
+	if spec.SignatureMode {
+		cks = &protocol.Message{Type: protocol.MsgSigChecksum}
+	}
+	if p.checksumWire, err = cks.Encode(); err != nil {
+		return nil, err
+	}
+
+	// Comparison frames. CAPTURE mode predicts the post-step readback
+	// once here — the full fabric rebuild plus AppSteps clock ticks that
+	// the pre-plan verifier paid on every attestation. Plain mode masks
+	// the golden frames once. Either way the Plan owns fresh slices: it
+	// holds no live reference into the caller's golden image.
+	p.expected = make([][]uint32, n)
+	if spec.AppSteps > 0 {
+		pred, err := predict(spec.Geo, spec.Golden, spec.AppSteps)
+		if err != nil {
+			return nil, err
+		}
+		for idx := 0; idx < n; idx++ {
+			w, err := pred.ReadbackFrame(idx)
+			if err != nil {
+				return nil, err
+			}
+			p.expected[idx] = w
+		}
+	} else {
+		p.mask = fabric.GenerateMask(spec.Geo)
+		for idx := 0; idx < n; idx++ {
+			p.expected[idx] = fabric.ApplyMask(spec.Golden.Frame(idx), p.mask.Frame(idx))
+		}
+	}
+	return p, nil
+}
+
+// readbackOrder expands offset/permutation into the concrete frame order
+// and enforces that it is a bijection over all frames: every frame
+// exactly once. Anything less would silently exclude frames from the MAC
+// and the comparison, turning "attested" into "partially attested".
+func readbackOrder(n, offset int, perm []int) ([]int, error) {
+	if perm == nil {
+		order := make([]int, n)
+		start := ((offset % n) + n) % n
+		for k := range order {
+			order[k] = (start + k) % n
+		}
+		return order, nil
+	}
+	if len(perm) != n {
+		return nil, fmt.Errorf("attestation: permutation covers %d of %d frames — every frame must be read back exactly once", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, idx := range perm {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("attestation: permutation entry %d out of range [0,%d)", idx, n)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("attestation: permutation visits frame %d twice — not a bijection", idx)
+		}
+		seen[idx] = true
+	}
+	out := make([]int, n)
+	copy(out, perm)
+	return out, nil
+}
+
+// predict builds the verifier-side state prediction for the CAPTURE
+// extension: configure a local fabric with the golden image exactly as
+// the device is configured, then clock the dynamic partition.
+func predict(geo *device.Geometry, golden *fabric.Image, steps uint32) (*fabric.Fabric, error) {
+	fab := fabric.New(geo)
+	for idx := 0; idx < geo.NumFrames(); idx++ {
+		if err := fab.WriteFrame(idx, golden.Frame(idx)); err != nil {
+			return nil, err
+		}
+	}
+	live, err := fab.Live(fabric.DynRegion(geo))
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < steps; i++ {
+		if err := live.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return fab, nil
+}
+
+// Geo returns the plan's device geometry.
+func (p *Plan) Geo() *device.Geometry { return p.geo }
+
+// NumFrames returns the frame count covered by the plan's readback.
+func (p *Plan) NumFrames() int { return len(p.order) }
+
+// Order returns a copy of the validated readback order.
+func (p *Plan) Order() []int {
+	out := make([]int, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// ConfigPackets returns the number of pre-encoded configuration packets.
+func (p *Plan) ConfigPackets() int { return len(p.configs) }
+
+// AppSteps returns the CAPTURE step count (0 = plain attestation).
+func (p *Plan) AppSteps() uint32 { return p.appSteps }
+
+// SignatureMode reports whether Runs use the ECDSA extension.
+func (p *Plan) SignatureMode() bool { return p.signatureMode }

@@ -1,0 +1,174 @@
+package attestation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sacha/internal/device"
+	"sacha/internal/fabric"
+)
+
+func TestReadbackOrderOffset(t *testing.T) {
+	n := 112
+	order, err := readbackOrder(n, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("order length %d", len(order))
+	}
+	if order[0] != 5 || order[n-1] != 4 {
+		t.Fatalf("order endpoints %d..%d", order[0], order[n-1])
+	}
+	seen := make([]bool, n)
+	for _, idx := range order {
+		if seen[idx] {
+			t.Fatalf("frame %d visited twice", idx)
+		}
+		seen[idx] = true
+	}
+	// Negative offsets wrap too.
+	if order, _ = readbackOrder(n, -1, nil); order[0] != n-1 {
+		t.Fatalf("negative offset start %d", order[0])
+	}
+	// Offsets beyond n wrap.
+	if order, _ = readbackOrder(n, n+3, nil); order[0] != 3 {
+		t.Fatalf("wrapped offset start %d", order[0])
+	}
+}
+
+func TestReadbackOrderBijectionEnforced(t *testing.T) {
+	full := func(n int) []int {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		return p
+	}
+	cases := []struct {
+		name    string
+		perm    []int
+		wantSub string
+	}{
+		{"short", []int{0, 1, 2}, "covers 3 of"},
+		{"duplicate", func() []int { p := full(10); p[7] = 3; return p }(), "twice"},
+		{"negative", func() []int { p := full(10); p[0] = -1; return p }(), "out of range"},
+		{"beyond", func() []int { p := full(10); p[9] = 10; return p }(), "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readbackOrder(10, 0, tc.perm)
+			if err == nil {
+				t.Fatal("non-bijective permutation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+	// A shuffled full permutation is accepted and passed through intact.
+	perm := rand.New(rand.NewSource(1)).Perm(10)
+	order, err := readbackOrder(10, 99, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perm {
+		if order[i] != perm[i] {
+			t.Fatal("valid permutation altered")
+		}
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	geo := device.TinyLX()
+	golden := fabric.NewImage(geo)
+	dyn := fabric.DynRegion(geo).Frames()
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"nil geometry", Spec{Golden: golden, DynFrames: dyn}},
+		{"nil golden", Spec{Geo: geo, DynFrames: dyn}},
+		{"geometry mismatch", Spec{Geo: device.SmallLX(), Golden: golden, DynFrames: dyn}},
+		{"empty dyn", Spec{Geo: geo, Golden: golden}},
+		{"dyn out of range", Spec{Geo: geo, Golden: golden, DynFrames: []int{geo.NumFrames()}}},
+		{"non-bijective order", Spec{Geo: geo, Golden: golden, DynFrames: dyn, Permutation: []int{0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPlan(tc.spec); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestConfigBatching(t *testing.T) {
+	geo := device.TinyLX()
+	golden := fabric.NewImage(geo)
+	dyn := fabric.DynRegion(geo).Frames()
+	ceil := func(a, b int) int { return (a + b - 1) / b }
+	cases := []struct {
+		batch, wantPackets int
+	}{
+		{0, len(dyn)},
+		{1, len(dyn)},
+		{3, ceil(len(dyn), 3)},
+		{99, ceil(len(dyn), MaxConfigBatch)}, // clamped to the MTU bound
+	}
+	for _, tc := range cases {
+		p, err := NewPlan(Spec{Geo: geo, Golden: golden, DynFrames: dyn, ConfigBatch: tc.batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ConfigPackets() != tc.wantPackets {
+			t.Fatalf("batch %d: %d packets, want %d", tc.batch, p.ConfigPackets(), tc.wantPackets)
+		}
+	}
+}
+
+func TestPlanDoesNotAliasInputs(t *testing.T) {
+	geo := device.TinyLX()
+	golden := fabric.NewImage(geo)
+	dyn := fabric.DynRegion(geo).Frames()
+	p, err := NewPlan(Spec{Geo: geo, Golden: golden, DynFrames: dyn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, len(p.expected[0]))
+	copy(want, p.expected[0])
+	// Scribbling over the caller's golden image after the build must not
+	// reach the plan — it is shared read-only across concurrent Runs.
+	g := golden.Frame(0)
+	for i := range g {
+		g[i] = 0xDEADBEEF
+	}
+	for i := range want {
+		if p.expected[0][i] != want[i] {
+			t.Fatal("plan aliases the caller's golden image")
+		}
+	}
+	// Order() hands out copies, not the plan's own slice.
+	o := p.Order()
+	o[0] = -42
+	if p.order[0] == -42 {
+		t.Fatal("Order() leaks the plan's internal slice")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	// Backoff doubles, caps at MaxBackoff and jitters within [d/2, d).
+	// Construct the session directly: newSession would start a recv pump.
+	s := &session{pol: RetryPolicy{Timeout: time.Second, Backoff: 2 * time.Millisecond,
+		MaxBackoff: 8 * time.Millisecond, Seed: 7}, rng: rand.New(rand.NewSource(7))}
+	for attempt := 1; attempt <= 6; attempt++ {
+		start := time.Now()
+		s.sleepBackoff(attempt)
+		d := time.Since(start)
+		if d > 50*time.Millisecond {
+			t.Fatalf("attempt %d slept %v, cap is 8ms", attempt, d)
+		}
+	}
+}

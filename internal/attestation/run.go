@@ -1,0 +1,207 @@
+package attestation
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sacha/internal/channel"
+	"sacha/internal/cmac"
+	"sacha/internal/fabric"
+	"sacha/internal/protocol"
+	"sacha/internal/signature"
+	"sacha/internal/sim"
+	"sacha/internal/timing"
+	"sacha/internal/trace"
+)
+
+// RunOpts are the per-session inputs of one attestation: everything that
+// must NOT be shared across devices. The MAC key and the CMAC/transcript
+// state derived from it are per device (each fleet member has its own
+// enrolled key), the retry session is per connection, and the trace
+// sinks are per caller.
+type RunOpts struct {
+	// Key is the enrolled MAC key (from the PUF enrollment database).
+	Key [16]byte
+	// SigVerifier checks signature-mode responses; required when the
+	// plan was built with SignatureMode.
+	SigVerifier *signature.Verifier
+	// Retry, when enabled, runs the protocol over the reliable
+	// transport. The zero value speaks the paper's bare protocol.
+	Retry RetryPolicy
+	// Trace, if non-nil, receives a Fig. 9-style protocol trace.
+	Trace io.Writer
+	// Events, if non-nil, records every protocol step with its modelled
+	// duration (the machine-readable Fig. 9).
+	Events *trace.Log
+	// Timeline, if non-nil, accumulates verifier-side software time.
+	// sim.Timeline is not concurrency-safe: concurrent Runs must use
+	// distinct timelines (or nil).
+	Timeline *sim.Timeline
+}
+
+// Report is the outcome of one attestation.
+type Report struct {
+	// MACOK: H_Prv equals H_Vrf (frames authentic and untampered in
+	// transit). In signature mode this is the signature check.
+	MACOK bool
+	// ConfigOK: masked received bitstream equals masked golden bitstream.
+	ConfigOK bool
+	// Accepted is the overall verdict.
+	Accepted bool
+	// Mismatches lists frame indices whose masked content differed.
+	Mismatches []int
+	// FramesConfigured and FramesRead count protocol actions.
+	FramesConfigured, FramesRead int
+	// Retries counts message re-sends by the reliable transport; zero on
+	// a clean link. TransportFaults counts received messages that were
+	// discarded (corrupted envelopes, stale duplicates). Together they
+	// make link flakiness observable and distinguishable from a MAC
+	// rejection.
+	Retries, TransportFaults int
+}
+
+// Run drives the full SACHa protocol of Fig. 9 against the prover at the
+// other end of ep, using only the plan's precomputed artifacts: no
+// fabric access, no prediction, no message encoding happens here. One
+// Plan may serve any number of concurrent Runs.
+func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
+	trc := func(format string, args ...any) {
+		if opts.Trace != nil {
+			fmt.Fprintf(opts.Trace, format+"\n", args...)
+		}
+	}
+	rep := &Report{}
+	if p.signatureMode && opts.SigVerifier == nil {
+		return nil, fmt.Errorf("verifier: signature mode without an enrolled public key")
+	}
+	sess := newSession(ep, opts.Retry, rep)
+
+	// Phase 1: dynamic configuration — the verifier overwrites the
+	// entire DynMem (bounded-memory model) with the plan's pre-encoded
+	// packets.
+	for _, cs := range p.configs {
+		if err := sess.sendConfig(cs.wire, fmt.Sprintf("ICAP_config(%d)", cs.first)); err != nil {
+			return nil, err
+		}
+		if opts.Timeline != nil {
+			opts.Timeline.Add("vrf-sw", timing.VrfConfigOverhead())
+		}
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindConfig, cs.first,
+				p.model.ActionTime(timing.A1)+p.model.ActionTime(timing.A2), "")
+		}
+		rep.FramesConfigured += cs.count
+	}
+	trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
+		p.dynFirst, p.dynLast, p.dynCount)
+
+	// Optional CAPTURE extension: clock the application deterministically
+	// before reading back. The matching prediction was computed at plan
+	// build and sits in p.expected.
+	if p.appStepWire != nil {
+		resp, err := sess.exchange(p.appStepWire, "App_step", true)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgAck {
+			return nil, fmt.Errorf("verifier: AppStep answered with %v (%s)", resp.Type, resp.Err)
+		}
+		trc("command: App_step(%d)", p.appSteps)
+	}
+
+	// Phase 2: full configuration readback in the plan's validated
+	// order, with the comparison folded in — the order is a bijection,
+	// so each frame is judged exactly once as it arrives.
+	mac, err := cmac.New(opts.Key[:])
+	if err != nil {
+		return nil, err
+	}
+	transcript := signature.NewTranscript()
+	for k, idx := range p.order {
+		if opts.Timeline != nil {
+			opts.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
+		}
+		resp, err := sess.exchange(p.readbacks[k], fmt.Sprintf("ICAP_readback(%d)", idx), true)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgFrameData {
+			return nil, fmt.Errorf("verifier: readback of frame %d answered with %v (%s)", idx, resp.Type, resp.Err)
+		}
+		if resp.FrameIndex != uint32(idx) {
+			return nil, fmt.Errorf("verifier: asked for frame %d, got %d", idx, resp.FrameIndex)
+		}
+		raw := frameBytes(resp.Words)
+		mac.Update(raw)
+		transcript.Absorb(raw)
+		rep.FramesRead++
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindReadback, idx,
+				p.model.ActionTime(timing.A3)+p.model.ActionTime(timing.A4)+p.model.ActionTime(timing.A6), "")
+			opts.Events.Add(trace.KindFrameData, idx, p.model.ActionTime(timing.A8), "frame sendback")
+		}
+		got := resp.Words
+		if p.mask != nil {
+			got = fabric.ApplyMask(resp.Words, p.mask.Frame(idx))
+		}
+		want := p.expected[idx]
+		for w := range got {
+			if got[w] != want[w] {
+				rep.Mismatches = append(rep.Mismatches, idx)
+				break
+			}
+		}
+	}
+	trc("command: ICAP_readback(%d)..ICAP_readback(%d)  [%d frames, order offset %d mod %d]",
+		p.order[0], p.order[len(p.order)-1], len(p.order), p.order[0], p.geo.NumFrames())
+
+	// Phase 3: checksum.
+	if p.signatureMode {
+		resp, err := sess.exchange(p.checksumWire, "Sig_checksum", true)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgSigValue {
+			return nil, fmt.Errorf("verifier: Sig_checksum answered with %v (%s)", resp.Type, resp.Err)
+		}
+		rep.MACOK = opts.SigVerifier.Verify(transcript.Digest(), resp.Sig)
+		trc("command: Sig_checksum  ->  signature %d bytes, valid=%v", len(resp.Sig), rep.MACOK)
+	} else {
+		resp, err := sess.exchange(p.checksumWire, "MAC_checksum", true)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type != protocol.MsgMACValue {
+			return nil, fmt.Errorf("verifier: MAC_checksum answered with %v (%s)", resp.Type, resp.Err)
+		}
+		hVrf := mac.Sum()
+		rep.MACOK = cmac.Equal(resp.MAC, hVrf)
+		trc("command: MAC_checksum  ->  H_Prv == H_Vrf: %v", rep.MACOK)
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindChecksum, -1,
+				p.model.ActionTime(timing.A9)+p.model.ActionTime(timing.A7), "finalize")
+			opts.Events.Add(trace.KindMACValue, -1, p.model.ActionTime(timing.A10),
+				fmt.Sprintf("H_Prv == H_Vrf: %v", rep.MACOK))
+		}
+	}
+
+	// Phase 4: verdict. The comparison already happened frame by frame;
+	// mismatches are reported in ascending frame order regardless of the
+	// readback permutation.
+	sort.Ints(rep.Mismatches)
+	rep.ConfigOK = len(rep.Mismatches) == 0
+	trc("verdict: B_Prv == B_Vrf: %v  (%d mismatching frames)", rep.ConfigOK, len(rep.Mismatches))
+
+	rep.Accepted = rep.MACOK && rep.ConfigOK
+	return rep, nil
+}
+
+// frameBytes mirrors the prover's frame serialisation.
+func frameBytes(words []uint32) []byte {
+	out := make([]byte, 0, len(words)*4)
+	for _, w := range words {
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out
+}

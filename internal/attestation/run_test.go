@@ -1,0 +1,158 @@
+// External test package: exercises a Plan the way fleet callers do,
+// through real provers built by internal/core. (core imports attestation,
+// so these tests cannot live in the internal test package.)
+package attestation_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sacha/internal/attestation"
+	"sacha/internal/channel"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/prover"
+)
+
+var runKey = prover.RegisterKey{3, 1, 4, 1, 5}
+
+// newProver boots one TinyLX device of the fleet class the tests' shared
+// plan targets (same boot memory, same key).
+func newProver(t testing.TB, geo *device.Geometry) channel.Endpoint {
+	t.Helper()
+	dev, err := prover.New(prover.Config{
+		Geo:     geo,
+		BootMem: core.BuildBootMem(geo, 0xD00D),
+		Key:     runKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+	go dev.Serve(prvEP)
+	t.Cleanup(func() { vrfEP.Close() })
+	return vrfEP
+}
+
+func buildPlan(t testing.TB, appSteps uint32) *attestation.Plan {
+	t.Helper()
+	geo := device.TinyLX()
+	golden, dyn, err := core.BuildGolden(geo, netlist.Blinker(8), 0xD00D, 0xCAFEBABE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := attestation.NewPlan(attestation.Spec{
+		Geo: geo, Golden: golden, DynFrames: dyn, AppSteps: appSteps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestSharedPlanConcurrentRuns is the fleet contract: one immutable Plan,
+// many simultaneous per-device Runs. Run under -race this pins the
+// concurrency-safety claim, not just the verdicts.
+func TestSharedPlanConcurrentRuns(t *testing.T) {
+	plan := buildPlan(t, 0)
+	const fleet = 8
+	reports := make([]*attestation.Report, fleet)
+	errs := make([]error, fleet)
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		ep := newProver(t, plan.Geo())
+		wg.Add(1)
+		go func(i int, ep channel.Endpoint) {
+			defer wg.Done()
+			var key [16]byte = runKey
+			reports[i], errs[i] = plan.Run(ep, attestation.RunOpts{Key: key})
+		}(i, ep)
+	}
+	wg.Wait()
+	for i := 0; i < fleet; i++ {
+		if errs[i] != nil {
+			t.Fatalf("device %d: %v", i, errs[i])
+		}
+		if !reports[i].Accepted {
+			t.Fatalf("device %d rejected: %+v", i, reports[i])
+		}
+		if reports[i].FramesRead != plan.NumFrames() {
+			t.Fatalf("device %d read %d frames, want %d", i, reports[i].FramesRead, plan.NumFrames())
+		}
+	}
+}
+
+// TestCapturePredictionDeterminism: a CAPTURE plan computes its post-step
+// prediction exactly once at build; repeated Runs must keep accepting
+// fresh honest devices — the prediction is state, not a per-run side
+// effect that could drift.
+func TestCapturePredictionDeterminism(t *testing.T) {
+	plan := buildPlan(t, 9)
+	if plan.AppSteps() != 9 {
+		t.Fatalf("plan AppSteps %d", plan.AppSteps())
+	}
+	for round := 0; round < 3; round++ {
+		ep := newProver(t, plan.Geo())
+		var key [16]byte = runKey
+		rep, err := plan.Run(ep, attestation.RunOpts{Key: key})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !rep.Accepted {
+			t.Fatalf("round %d rejected: %+v", round, rep)
+		}
+	}
+}
+
+// TestSharedCapturePlanConcurrentRuns combines both: the CAPTURE
+// prediction shared read-only across simultaneous Runs.
+func TestSharedCapturePlanConcurrentRuns(t *testing.T) {
+	plan := buildPlan(t, 5)
+	const fleet = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, fleet)
+	for i := 0; i < fleet; i++ {
+		ep := newProver(t, plan.Geo())
+		wg.Add(1)
+		go func(ep channel.Endpoint) {
+			defer wg.Done()
+			var key [16]byte = runKey
+			rep, err := plan.Run(ep, attestation.RunOpts{Key: key})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !rep.Accepted {
+				errCh <- fmt.Errorf("run rejected: %+v", rep)
+			}
+		}(ep)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent CAPTURE run: %v", err)
+	}
+}
+
+func TestRunSignatureModeRequiresVerifier(t *testing.T) {
+	geo := device.TinyLX()
+	golden, dyn, err := core.BuildGolden(geo, netlist.Blinker(8), 0xD00D, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := attestation.NewPlan(attestation.Spec{
+		Geo: geo, Golden: golden, DynFrames: dyn, SignatureMode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := newProver(t, geo)
+	if _, err := plan.Run(ep, attestation.RunOpts{}); err == nil {
+		t.Fatal("signature-mode run without a public key accepted")
+	}
+}

@@ -1,4 +1,4 @@
-package verifier
+package attestation
 
 import (
 	"errors"
@@ -12,14 +12,14 @@ import (
 )
 
 // RetryPolicy makes an attestation survive an unreliable transport. When
-// enabled (Timeout > 0) the verifier wraps every command in a sequence
+// enabled (Timeout > 0) the Run wraps every command in a sequence
 // envelope (protocol.MsgSeqReq), waits up to Timeout for the matching
 // response, and re-sends up to MaxRetries times with exponential backoff
 // plus jitter. Re-sends are idempotent: the prover executes each sequence
 // number at most once and replays the cached response for duplicates.
 //
-// The zero value disables the reliable transport entirely; the verifier
-// then speaks the paper's bare protocol and blocks on a lossy link.
+// The zero value disables the reliable transport entirely; the Run then
+// speaks the paper's bare protocol and blocks on a lossy link.
 type RetryPolicy struct {
 	// Timeout bounds the wait for each response; it also switches the
 	// reliable transport on.
@@ -73,9 +73,11 @@ type recvResult struct {
 	err error
 }
 
-// session drives the message exchanges of one attestation. In plain mode
-// it reproduces the paper's lockstep protocol exactly; in reliable mode
-// it adds the envelope, response matching, timeouts and retries.
+// session drives the message exchanges of one Run. In plain mode it
+// reproduces the paper's lockstep protocol exactly; in reliable mode it
+// adds the envelope, response matching, timeouts and retries. Commands
+// arrive pre-encoded from the Plan, so the session never touches the
+// message structs it ships.
 type session struct {
 	ep  channel.Endpoint
 	pol RetryPolicy
@@ -122,14 +124,11 @@ func newSession(ep channel.Endpoint, pol RetryPolicy, rep *Report) *session {
 // reliable reports whether the session wraps commands in envelopes.
 func (s *session) reliable() bool { return s.pol.Enabled() }
 
-// exchange sends one command and returns the prover's response message.
-// wantResp is only consulted in plain mode, where ICAP_config has no
-// response; in reliable mode every command is acknowledged.
-func (s *session) exchange(req *protocol.Message, op string, wantResp bool) (*protocol.Message, error) {
-	enc, err := req.Encode()
-	if err != nil {
-		return nil, err
-	}
+// exchange ships one pre-encoded command and returns the prover's
+// response message. wantResp is only consulted in plain mode, where
+// ICAP_config has no response; in reliable mode every command is
+// acknowledged.
+func (s *session) exchange(enc []byte, op string, wantResp bool) (*protocol.Message, error) {
 	if !s.reliable() {
 		if err := s.ep.Send(enc); err != nil {
 			return nil, &TransportError{Op: op, Attempts: 1, Err: err}
@@ -228,12 +227,13 @@ func (s *session) sleepBackoff(attempt int) {
 	time.Sleep(d)
 }
 
-// sendConfig ships one configuration message. In plain mode it is
-// fire-and-forget (the paper's protocol); in reliable mode the prover
-// acknowledges it, so a dropped frame is re-sent instead of silently
-// producing a mis-configured device and a false mismatch verdict.
-func (s *session) sendConfig(m *protocol.Message, op string) error {
-	resp, err := s.exchange(m, op, false)
+// sendConfig ships one pre-encoded configuration message. In plain mode
+// it is fire-and-forget (the paper's protocol); in reliable mode the
+// prover acknowledges it, so a dropped frame is re-sent instead of
+// silently producing a mis-configured device and a false mismatch
+// verdict.
+func (s *session) sendConfig(enc []byte, op string) error {
+	resp, err := s.exchange(enc, op, false)
 	if err != nil {
 		return err
 	}

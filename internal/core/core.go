@@ -12,11 +12,14 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"sacha/internal/attestation"
 	"sacha/internal/bitstream"
 	"sacha/internal/channel"
 	"sacha/internal/device"
@@ -297,28 +300,70 @@ type AttestOptions struct {
 	WrapVerifierChannel func(channel.Endpoint) channel.Endpoint
 }
 
+// Plan builds the fleet-shared half of this system's attestation for a
+// nonce: the golden image for the nonce, precompiled into an immutable
+// attestation.Plan (pre-encoded configuration/readback messages, masked
+// golden comparison frames, CAPTURE prediction). Every device of the
+// same class (see ClassKey) can be attested with the same plan, each
+// with its own per-session Run and enrolled key.
+func (s *System) Plan(nonce uint64, opts verifier.Options) (*attestation.Plan, error) {
+	golden, err := s.Golden(nonce)
+	if err != nil {
+		return nil, err
+	}
+	return s.Verifier.Plan(golden, s.DynFrames(), opts)
+}
+
+// ClassKey identifies the fleet-invariant attestation inputs of this
+// system: two systems with equal class keys produce identical golden
+// images for any common nonce, so one attestation.Plan serves both. The
+// key covers geometry, application (by its netlist name — the built-in
+// app registry names are unique), build ID, key mode, the current DynPUF
+// circuit generation and the embedded ROM. Per-device identity (device
+// ID, PUF enrollment, MAC key) is deliberately excluded: it is per-Run.
+func (s *System) ClassKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|", s.Geo.Name, s.app.Name, s.cfg.BuildID, s.cfg.KeyMode, s.circuitID)
+	h.Write(s.cfg.ROM)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// serveFunc returns the prover-side handler for one attestation,
+// wrapping the device's Serve loop with the adversary hook if requested.
+func (s *System) serveFunc(opts AttestOptions) func(channel.Endpoint) error {
+	if opts.TamperDevice == nil {
+		return s.Device.Serve
+	}
+	// The adversary's window is after configuration and before
+	// readback: the hook fires on the prover side when the device is
+	// about to process the first ICAP_readback command, i.e. after
+	// every configuration frame has been applied.
+	return func(ep channel.Endpoint) error {
+		armed := false
+		tapped := &channel.Tap{Inner: ep, OnRecv: func(m []byte) []byte {
+			if !armed && len(m) > 0 && m[0] == byte(protocol.MsgICAPReadback) {
+				armed = true
+				opts.TamperDevice(s.Device)
+			}
+			return m
+		}}
+		return s.Device.Serve(tapped)
+	}
+}
+
 // Attest runs one full attestation over a simulated lab channel and
 // returns the verifier's report.
 func (s *System) Attest(opts AttestOptions) (*verifier.Report, error) {
-	serve := s.Device.Serve
-	if opts.TamperDevice != nil {
-		// The adversary's window is after configuration and before
-		// readback: the hook fires on the prover side when the device is
-		// about to process the first ICAP_readback command, i.e. after
-		// every configuration frame has been applied.
-		serve = func(ep channel.Endpoint) error {
-			armed := false
-			tapped := &channel.Tap{Inner: ep, OnRecv: func(m []byte) []byte {
-				if !armed && len(m) > 0 && m[0] == byte(protocol.MsgICAPReadback) {
-					armed = true
-					opts.TamperDevice(s.Device)
-				}
-				return m
-			}}
-			return s.Device.Serve(tapped)
-		}
-	}
-	return s.AttestAgainst(serve, opts)
+	return s.AttestAgainst(s.serveFunc(opts), opts)
+}
+
+// AttestWithPlan runs one attestation using a precomputed shared plan —
+// the per-device path of a fleet sweep. The plan fixes the nonce (baked
+// into its golden image) and the plan-shaping options; opts contributes
+// only the per-run knobs (Retry, Trace, Events, adversary and channel
+// hooks).
+func (s *System) AttestWithPlan(plan *attestation.Plan, opts AttestOptions) (*verifier.Report, error) {
+	return s.runPlan(plan, s.serveFunc(opts), opts)
 }
 
 // AttestAgainst runs the verifier against an arbitrary prover-side
@@ -329,11 +374,15 @@ func (s *System) AttestAgainst(serve func(channel.Endpoint) error, opts AttestOp
 	if opts.Nonce != nil {
 		nonce = *opts.Nonce
 	}
-	golden, err := s.Golden(nonce)
+	plan, err := s.Plan(nonce, opts.Opts)
 	if err != nil {
 		return nil, err
 	}
+	return s.runPlan(plan, serve, opts)
+}
 
+// runPlan wires one per-session Run over the simulated lab link.
+func (s *System) runPlan(plan *attestation.Plan, serve func(channel.Endpoint) error, opts AttestOptions) (*verifier.Report, error) {
 	lat := s.cfg.LabLatency
 	if lat == 0 {
 		lat = timing.LabCommandLatency
@@ -362,7 +411,7 @@ func (s *System) AttestAgainst(serve func(channel.Endpoint) error, opts AttestOp
 	if opts.WrapVerifierChannel != nil {
 		vep = opts.WrapVerifierChannel(vep)
 	}
-	rep, err := s.Verifier.Attest(vep, golden, s.DynFrames(), opts.Opts)
+	rep, err := s.Verifier.RunPlan(vep, plan, opts.Opts)
 	vep.Close()
 	vrfEP.Close()
 	if sErr := <-serveErr; sErr != nil && err == nil {

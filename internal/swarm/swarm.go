@@ -15,9 +15,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"sacha/internal/attestation"
 	"sacha/internal/core"
 	"sacha/internal/verifier"
 )
@@ -93,6 +95,9 @@ type Report struct {
 	Healthy, Compromised, Unreachable, Failed []uint64
 	// Elapsed is the wall time of the sweep.
 	Elapsed time.Duration
+	// PlansBuilt counts the attestation plans constructed for the sweep:
+	// one per device class under SharePlans, one per device otherwise.
+	PlansBuilt int
 }
 
 // SweepConfig bounds a fleet sweep.
@@ -103,11 +108,54 @@ type SweepConfig struct {
 	// PerDeviceTimeout bounds each device's attestation; expired devices
 	// are reported Unreachable. Zero means no per-device deadline.
 	PerDeviceTimeout time.Duration
+	// SharePlans, when set, builds one attestation.Plan per device class
+	// (same geometry, application, build, key mode, ROM — see
+	// core.System.ClassKey) before the worker pool starts, and shares it
+	// read-only across all concurrent per-device Runs. The whole sweep
+	// then uses one nonce and one set of plan-shaping options (PlanOpts);
+	// per-device AttestOptions contribute only their per-run knobs
+	// (Retry, Trace, adversary and channel hooks). This converts the
+	// golden-image work from O(fleet × fabric) to O(classes × fabric).
+	SharePlans bool
+	// Nonce fixes the sweep nonce under SharePlans; nil draws a fresh
+	// one. Ignored when SharePlans is unset (each device then draws its
+	// own nonce as before).
+	Nonce *uint64
+	// PlanOpts are the fleet-wide plan-shaping options under SharePlans
+	// (Offset, Permutation, AppSteps, SignatureMode, ConfigBatch).
+	PlanOpts verifier.Options
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does
 // not specify one.
 const DefaultConcurrency = 8
+
+// planEntry is the outcome of one per-class plan build.
+type planEntry struct {
+	plan *attestation.Plan
+	err  error
+}
+
+// buildPlans constructs one shared plan per device class for the sweep
+// nonce. A class whose plan fails to build carries the error to every
+// member (reported Failed, not Unreachable — nothing was transported).
+func (f *Fleet) buildPlans(cfg SweepConfig) map[string]planEntry {
+	nonce := rand.Uint64()
+	if cfg.Nonce != nil {
+		nonce = *cfg.Nonce
+	}
+	plans := make(map[string]planEntry)
+	for _, id := range f.order {
+		sys := f.systems[id]
+		key := sys.ClassKey()
+		if _, ok := plans[key]; ok {
+			continue
+		}
+		p, err := sys.Plan(nonce, cfg.PlanOpts)
+		plans[key] = planEntry{plan: p, err: err}
+	}
+	return plans
+}
 
 // Sweep attests every device through a bounded worker pool. The context
 // cancels the whole sweep: devices not yet started when ctx is done are
@@ -124,6 +172,10 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 		workers = len(f.order)
 	}
 	start := time.Now()
+	var plans map[string]planEntry
+	if cfg.SharePlans {
+		plans = f.buildPlans(cfg)
+	}
 	results := make([]DeviceResult, len(f.order))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -133,7 +185,7 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 			defer wg.Done()
 			for i := range jobs {
 				id := f.order[i]
-				results[i] = f.attestOne(ctx, cfg, id, opts(id))
+				results[i] = f.attestOne(ctx, cfg, plans, id, opts(id))
 			}
 		}()
 	}
@@ -143,7 +195,7 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 	close(jobs)
 	wg.Wait()
 
-	out := &Report{Results: results, Elapsed: time.Since(start)}
+	out := &Report{Results: results, Elapsed: time.Since(start), PlansBuilt: len(plans)}
 	for _, r := range results {
 		switch {
 		case r.Healthy():
@@ -160,11 +212,22 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 }
 
 // attestOne runs a single device attestation under the sweep's deadline
-// discipline.
-func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, id uint64, o core.AttestOptions) DeviceResult {
+// discipline, through the class's shared plan when the sweep built one.
+func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string]planEntry, id uint64, o core.AttestOptions) DeviceResult {
 	t0 := time.Now()
 	if err := ctx.Err(); err != nil {
 		return DeviceResult{DeviceID: id, Err: err}
+	}
+	sys := f.systems[id]
+	attest := sys.Attest
+	if plans != nil {
+		entry := plans[sys.ClassKey()]
+		if entry.err != nil {
+			return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: plan for device %d: %w", id, entry.err), Elapsed: time.Since(t0)}
+		}
+		attest = func(o core.AttestOptions) (*verifier.Report, error) {
+			return sys.AttestWithPlan(entry.plan, o)
+		}
 	}
 	dctx := ctx
 	if cfg.PerDeviceTimeout > 0 {
@@ -178,7 +241,7 @@ func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, id uint64, o cor
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		rep, err := f.systems[id].Attest(o)
+		rep, err := attest(o)
 		done <- outcome{rep, err}
 	}()
 	select {

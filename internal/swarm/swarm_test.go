@@ -1,6 +1,7 @@
 package swarm
 
 import (
+	"context"
 	"testing"
 
 	"sacha/internal/core"
@@ -86,6 +87,74 @@ func TestFleetValidation(t *testing.T) {
 	f, _ := NewFleet(1, factory)
 	if _, ok := f.System(99); ok {
 		t.Fatal("unknown device returned")
+	}
+}
+
+func TestSharedPlanSweepHealthy(t *testing.T) {
+	f, err := NewFleet(5, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := uint64(0xFEED)
+	rep := f.Sweep(context.Background(), SweepConfig{
+		Concurrency: 4,
+		SharePlans:  true,
+		Nonce:       &nonce,
+	}, nil)
+	if len(rep.Healthy) != 5 {
+		t.Fatalf("healthy = %v (failed=%v unreachable=%v compromised=%v)",
+			rep.Healthy, rep.Failed, rep.Unreachable, rep.Compromised)
+	}
+	// One device class — geometry, application, build and key mode are
+	// identical across the fleet — so the sweep builds exactly one plan.
+	if rep.PlansBuilt != 1 {
+		t.Fatalf("plans built = %d, want 1", rep.PlansBuilt)
+	}
+}
+
+func TestColdSweepBuildsNoSharedPlans(t *testing.T) {
+	f, err := NewFleet(2, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 2}, nil)
+	if rep.PlansBuilt != 0 {
+		t.Fatalf("plans built = %d without SharePlans", rep.PlansBuilt)
+	}
+	if len(rep.Healthy) != 2 {
+		t.Fatalf("healthy = %v", rep.Healthy)
+	}
+}
+
+func TestSharedPlanDetectsTamper(t *testing.T) {
+	// The shared plan must not blunt detection: a tampered member still
+	// comes back Compromised while its classmates attest Healthy off the
+	// very same plan.
+	f, err := NewFleet(4, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = 2
+	rep := f.Sweep(context.Background(), SweepConfig{
+		Concurrency: 4,
+		SharePlans:  true,
+	}, func(id uint64) core.AttestOptions {
+		if id != bad {
+			return core.AttestOptions{}
+		}
+		sys, _ := f.System(id)
+		return core.AttestOptions{TamperDevice: func(d *prover.Device) {
+			d.Fabric.Mem.Frame(sys.DynFrames()[11])[5] ^= 2
+		}}
+	})
+	if len(rep.Compromised) != 1 || rep.Compromised[0] != bad {
+		t.Fatalf("compromised = %v, want [%d]", rep.Compromised, bad)
+	}
+	if len(rep.Healthy) != 3 {
+		t.Fatalf("healthy = %v", rep.Healthy)
+	}
+	if rep.PlansBuilt != 1 {
+		t.Fatalf("plans built = %d, want 1", rep.PlansBuilt)
 	}
 }
 

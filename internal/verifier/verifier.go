@@ -3,35 +3,57 @@
 // integrity of the transported frames, the masked bitstream comparison
 // (B_Prv == B_Vrf) proves the device holds exactly the golden
 // configuration.
+//
+// Since the Plan/Run split the package is a thin facade over
+// internal/attestation: Plan precomputes every fleet-invariant artifact
+// (pre-encoded configuration and readback messages, the validated
+// readback bijection, masked golden or CAPTURE-predicted comparison
+// frames), and Attest drives one per-session Run over it. Callers that
+// attest many devices of one class should build the Plan once (Plan or
+// attestation.NewPlan) and share it across concurrent Runs instead of
+// calling Attest per device.
 package verifier
 
 import (
-	"fmt"
 	"io"
 
+	"sacha/internal/attestation"
 	"sacha/internal/channel"
-	"sacha/internal/cmac"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
-	"sacha/internal/protocol"
 	"sacha/internal/signature"
 	"sacha/internal/sim"
-	"sacha/internal/timing"
 	"sacha/internal/trace"
 )
 
-// MaxConfigBatch caps batched configuration at four frames per packet:
-// 4 × 328 bytes plus headers is the most that fits a standard Ethernet
-// MTU (larger batches would need jumbo frames).
-const MaxConfigBatch = 4
+// MaxConfigBatch caps batched configuration; see attestation.MaxConfigBatch.
+const MaxConfigBatch = attestation.MaxConfigBatch
 
-// Options tune one attestation run.
+// Report, RetryPolicy and TransportError are defined by the attestation
+// engine; the aliases keep this package the single import point for
+// protocol-driving callers.
+type (
+	Report         = attestation.Report
+	RetryPolicy    = attestation.RetryPolicy
+	TransportError = attestation.TransportError
+)
+
+// DefaultRetryPolicy is a reasonable starting point for a real network.
+func DefaultRetryPolicy() RetryPolicy { return attestation.DefaultRetryPolicy() }
+
+// IsTransport reports whether err is (or wraps) a TransportError.
+func IsTransport(err error) bool { return attestation.IsTransport(err) }
+
+// Options tune one attestation run. Offset, Permutation, AppSteps,
+// SignatureMode and ConfigBatch shape the Plan (fleet-invariant); Trace,
+// Events and Retry belong to the individual Run.
 type Options struct {
 	// Offset is the starting frame address i of the ascending modular
 	// readback order (paper Fig. 9). Ignored if Permutation is set.
 	Offset int
-	// Permutation, if non-nil, is the explicit readback order. It may be
-	// any permutation and may visit frames multiple times (paper §6.1).
+	// Permutation, if non-nil, is the explicit readback order. It must
+	// be a bijection over all frames — every frame exactly once; plan
+	// construction rejects anything else.
 	Permutation []int
 	// AppSteps, if non-zero, clocks the configured application that many
 	// cycles after configuration and verifies the flip-flop state as
@@ -56,40 +78,16 @@ type Options struct {
 	Retry RetryPolicy
 }
 
-// Report is the outcome of one attestation.
-type Report struct {
-	// MACOK: H_Prv equals H_Vrf (frames authentic and untampered in
-	// transit). In signature mode this is the signature check.
-	MACOK bool
-	// ConfigOK: masked received bitstream equals masked golden bitstream.
-	ConfigOK bool
-	// Accepted is the overall verdict.
-	Accepted bool
-	// Mismatches lists frame indices whose masked content differed.
-	Mismatches []int
-	// FramesConfigured and FramesRead count protocol actions.
-	FramesConfigured, FramesRead int
-	// Retries counts message re-sends by the reliable transport; zero on
-	// a clean link. TransportFaults counts received messages that were
-	// discarded (corrupted envelopes, stale duplicates). Together they
-	// make link flakiness observable and distinguishable from a MAC
-	// rejection.
-	Retries, TransportFaults int
-}
-
 // Verifier drives attestations against one enrolled device.
 type Verifier struct {
 	Geo *device.Geometry
 	// Key is the enrolled MAC key (from the PUF enrollment database).
+	// It is a per-Run input, so rotating it does not invalidate Plans.
 	Key [16]byte
-	// Msk is the register-capture mask applied before comparison.
-	Msk *fabric.Image
 	// SigVerifier checks signature-mode responses (extension).
 	SigVerifier *signature.Verifier
 	// Timeline accumulates verifier-side software time.
 	Timeline *sim.Timeline
-
-	model *timing.Model
 }
 
 // New returns a verifier for the geometry and enrolled key.
@@ -97,241 +95,52 @@ func New(geo *device.Geometry, key [16]byte) *Verifier {
 	return &Verifier{
 		Geo:      geo,
 		Key:      key,
-		Msk:      fabric.GenerateMask(geo),
 		Timeline: sim.NewTimeline(),
-		model:    timing.NewModel(geo),
 	}
 }
 
-// frameBytes mirrors the prover's frame serialisation.
-func frameBytes(words []uint32) []byte {
-	out := make([]byte, 0, len(words)*4)
-	for _, w := range words {
-		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
-	}
-	return out
+// Plan precomputes the fleet-shared half of an attestation for the
+// golden image: build it once per (golden image, geometry, options) and
+// reuse it via RunPlan across any number of devices of the class.
+func (v *Verifier) Plan(golden *fabric.Image, dynFrames []int, opts Options) (*attestation.Plan, error) {
+	return attestation.NewPlan(attestation.Spec{
+		Geo:           v.Geo,
+		Golden:        golden,
+		DynFrames:     dynFrames,
+		Offset:        opts.Offset,
+		Permutation:   opts.Permutation,
+		AppSteps:      opts.AppSteps,
+		SignatureMode: opts.SignatureMode,
+		ConfigBatch:   opts.ConfigBatch,
+	})
 }
 
-// ReadbackOrder expands the options into the concrete frame order: every
-// frame exactly once, ascending from the offset modulo the frame count,
-// unless an explicit permutation is given.
-func (v *Verifier) ReadbackOrder(opts Options) []int {
-	if opts.Permutation != nil {
-		return opts.Permutation
-	}
-	n := v.Geo.NumFrames()
-	order := make([]int, n)
-	start := ((opts.Offset % n) + n) % n
-	for k := range order {
-		order[k] = (start + k) % n
-	}
-	return order
+// RunPlan drives one per-session Run of a precomputed plan against the
+// prover at the other end of ep, using this verifier's enrolled key.
+// Only the per-run fields of opts (Trace, Events, Retry) are consulted;
+// the plan-shaping fields were fixed when the plan was built.
+func (v *Verifier) RunPlan(ep channel.Endpoint, plan *attestation.Plan, opts Options) (*Report, error) {
+	return plan.Run(ep, attestation.RunOpts{
+		Key:         v.Key,
+		SigVerifier: v.SigVerifier,
+		Retry:       opts.Retry,
+		Trace:       opts.Trace,
+		Events:      opts.Events,
+		Timeline:    v.Timeline,
+	})
 }
 
 // Attest runs the full SACHa protocol of Fig. 9 against the prover at the
 // other end of ep. golden is the full-device golden image (static
 // partition content plus the intended dynamic configuration); dynFrames
 // lists the dynamic frames to configure, in transmission order.
+//
+// Attest builds a fresh Plan per call — correct everywhere, but fleet
+// callers should amortise with Plan + RunPlan.
 func (v *Verifier) Attest(ep channel.Endpoint, golden *fabric.Image, dynFrames []int, opts Options) (*Report, error) {
-	trc := func(format string, args ...any) {
-		if opts.Trace != nil {
-			fmt.Fprintf(opts.Trace, format+"\n", args...)
-		}
-	}
-	rep := &Report{}
-	if opts.SignatureMode && v.SigVerifier == nil {
-		return nil, fmt.Errorf("verifier: signature mode without an enrolled public key")
-	}
-	if len(dynFrames) == 0 {
-		return nil, fmt.Errorf("verifier: no dynamic frames to configure")
-	}
-	sess := newSession(ep, opts.Retry, rep)
-
-	// Phase 1: dynamic configuration — the verifier overwrites the
-	// entire DynMem (bounded-memory model), one frame per packet or in
-	// batches (§6.1 trade-off).
-	batch := opts.ConfigBatch
-	if batch < 1 {
-		batch = 1
-	}
-	if batch > MaxConfigBatch {
-		batch = MaxConfigBatch
-	}
-	for start := 0; start < len(dynFrames); start += batch {
-		end := start + batch
-		if end > len(dynFrames) {
-			end = len(dynFrames)
-		}
-		var m *protocol.Message
-		if end-start == 1 {
-			m = protocol.Config(dynFrames[start], golden.Frame(dynFrames[start]))
-		} else {
-			m = &protocol.Message{Type: protocol.MsgICAPConfigBatch}
-			for _, idx := range dynFrames[start:end] {
-				m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(idx), Words: golden.Frame(idx)})
-			}
-		}
-		if err := sess.sendConfig(m, fmt.Sprintf("ICAP_config(%d)", dynFrames[start])); err != nil {
-			return nil, err
-		}
-		v.Timeline.Add("vrf-sw", timing.VrfConfigOverhead())
-		if opts.Events != nil {
-			opts.Events.Add(trace.KindConfig, dynFrames[start],
-				v.model.ActionTime(timing.A1)+v.model.ActionTime(timing.A2), "")
-		}
-		rep.FramesConfigured += end - start
-	}
-	trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
-		dynFrames[0], dynFrames[len(dynFrames)-1], len(dynFrames))
-
-	// Optional CAPTURE extension: clock the application deterministically
-	// before reading back, and predict the state locally.
-	var prediction *fabric.Fabric
-	if opts.AppSteps > 0 {
-		var err error
-		prediction, err = v.predict(golden, opts.AppSteps)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := sess.exchange(&protocol.Message{Type: protocol.MsgAppStep, Steps: opts.AppSteps}, "App_step", true)
-		if err != nil {
-			return nil, err
-		}
-		if resp.Type != protocol.MsgAck {
-			return nil, fmt.Errorf("verifier: AppStep answered with %v (%s)", resp.Type, resp.Err)
-		}
-		trc("command: App_step(%d)", opts.AppSteps)
-	}
-
-	// Phase 2: full configuration readback in the chosen order.
-	order := v.ReadbackOrder(opts)
-	mac, err := cmac.New(v.Key[:])
+	plan, err := v.Plan(golden, dynFrames, opts)
 	if err != nil {
 		return nil, err
 	}
-	transcript := signature.NewTranscript()
-	received := make(map[int][]uint32, v.Geo.NumFrames())
-	first, last := order[0], order[len(order)-1]
-	for _, idx := range order {
-		v.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
-		resp, err := sess.exchange(protocol.Readback(idx), fmt.Sprintf("ICAP_readback(%d)", idx), true)
-		if err != nil {
-			return nil, err
-		}
-		if resp.Type != protocol.MsgFrameData {
-			return nil, fmt.Errorf("verifier: readback of frame %d answered with %v (%s)", idx, resp.Type, resp.Err)
-		}
-		if resp.FrameIndex != uint32(idx) {
-			return nil, fmt.Errorf("verifier: asked for frame %d, got %d", idx, resp.FrameIndex)
-		}
-		raw := frameBytes(resp.Words)
-		mac.Update(raw)
-		transcript.Absorb(raw)
-		received[idx] = resp.Words
-		rep.FramesRead++
-		if opts.Events != nil {
-			opts.Events.Add(trace.KindReadback, idx,
-				v.model.ActionTime(timing.A3)+v.model.ActionTime(timing.A4)+v.model.ActionTime(timing.A6), "")
-			opts.Events.Add(trace.KindFrameData, idx, v.model.ActionTime(timing.A8), "frame sendback")
-		}
-	}
-	trc("command: ICAP_readback(%d)..ICAP_readback(%d)  [%d frames, order offset %d mod %d]",
-		first, last, len(order), first, v.Geo.NumFrames())
-
-	// Phase 3: checksum.
-	if opts.SignatureMode {
-		resp, err := sess.exchange(&protocol.Message{Type: protocol.MsgSigChecksum}, "Sig_checksum", true)
-		if err != nil {
-			return nil, err
-		}
-		if resp.Type != protocol.MsgSigValue {
-			return nil, fmt.Errorf("verifier: Sig_checksum answered with %v (%s)", resp.Type, resp.Err)
-		}
-		rep.MACOK = v.SigVerifier.Verify(transcript.Digest(), resp.Sig)
-		trc("command: Sig_checksum  ->  signature %d bytes, valid=%v", len(resp.Sig), rep.MACOK)
-	} else {
-		resp, err := sess.exchange(protocol.Checksum(), "MAC_checksum", true)
-		if err != nil {
-			return nil, err
-		}
-		if resp.Type != protocol.MsgMACValue {
-			return nil, fmt.Errorf("verifier: MAC_checksum answered with %v (%s)", resp.Type, resp.Err)
-		}
-		hVrf := mac.Sum()
-		rep.MACOK = cmac.Equal(resp.MAC, hVrf)
-		trc("command: MAC_checksum  ->  H_Prv == H_Vrf: %v", rep.MACOK)
-		if opts.Events != nil {
-			opts.Events.Add(trace.KindChecksum, -1,
-				v.model.ActionTime(timing.A9)+v.model.ActionTime(timing.A7), "finalize")
-			opts.Events.Add(trace.KindMACValue, -1, v.model.ActionTime(timing.A10),
-				fmt.Sprintf("H_Prv == H_Vrf: %v", rep.MACOK))
-		}
-	}
-
-	// Phase 4: bitstream comparison — masked against the golden image,
-	// or raw against the stepped prediction in CAPTURE mode.
-	expected := golden
-	useMask := true
-	if prediction != nil {
-		useMask = false
-	}
-	rep.ConfigOK = true
-	for idx := 0; idx < v.Geo.NumFrames(); idx++ {
-		words, ok := received[idx]
-		if !ok {
-			rep.ConfigOK = false
-			rep.Mismatches = append(rep.Mismatches, idx)
-			continue
-		}
-		var want []uint32
-		if prediction != nil {
-			w, err := prediction.ReadbackFrame(idx)
-			if err != nil {
-				return nil, err
-			}
-			want = w
-		} else {
-			want = expected.Frame(idx)
-		}
-		var bPrv, bVrf []uint32
-		if useMask {
-			bPrv = fabric.ApplyMask(words, v.Msk.Frame(idx))
-			bVrf = fabric.ApplyMask(want, v.Msk.Frame(idx))
-		} else {
-			bPrv, bVrf = words, want
-		}
-		for w := range bPrv {
-			if bPrv[w] != bVrf[w] {
-				rep.ConfigOK = false
-				rep.Mismatches = append(rep.Mismatches, idx)
-				break
-			}
-		}
-	}
-	trc("verdict: B_Prv == B_Vrf: %v  (%d mismatching frames)", rep.ConfigOK, len(rep.Mismatches))
-
-	rep.Accepted = rep.MACOK && rep.ConfigOK
-	return rep, nil
-}
-
-// predict builds the verifier-side state prediction for the CAPTURE
-// extension: configure a local fabric with the golden image exactly as
-// the device is configured, then clock the dynamic partition.
-func (v *Verifier) predict(golden *fabric.Image, steps uint32) (*fabric.Fabric, error) {
-	fab := fabric.New(v.Geo)
-	for idx := 0; idx < v.Geo.NumFrames(); idx++ {
-		if err := fab.WriteFrame(idx, golden.Frame(idx)); err != nil {
-			return nil, err
-		}
-	}
-	live, err := fab.Live(fabric.DynRegion(v.Geo))
-	if err != nil {
-		return nil, err
-	}
-	for i := uint32(0); i < steps; i++ {
-		if err := live.Step(); err != nil {
-			return nil, err
-		}
-	}
-	return fab, nil
+	return v.RunPlan(ep, plan, opts)
 }

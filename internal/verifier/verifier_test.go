@@ -1,7 +1,7 @@
 package verifier
 
 import (
-	"io"
+	"strings"
 	"testing"
 
 	"sacha/internal/channel"
@@ -10,49 +10,6 @@ import (
 	"sacha/internal/fabric"
 	"sacha/internal/protocol"
 )
-
-func TestReadbackOrderOffset(t *testing.T) {
-	v := New(device.SmallLX(), [16]byte{})
-	n := v.Geo.NumFrames()
-	order := v.ReadbackOrder(Options{Offset: 5})
-	if len(order) != n {
-		t.Fatalf("order length %d", len(order))
-	}
-	if order[0] != 5 || order[n-1] != 4 {
-		t.Fatalf("order endpoints %d..%d", order[0], order[n-1])
-	}
-	seen := make([]bool, n)
-	for _, idx := range order {
-		if seen[idx] {
-			t.Fatalf("frame %d visited twice", idx)
-		}
-		seen[idx] = true
-	}
-	// Negative offsets wrap too.
-	order = v.ReadbackOrder(Options{Offset: -1})
-	if order[0] != n-1 {
-		t.Fatalf("negative offset start %d", order[0])
-	}
-	// Offsets beyond n wrap.
-	order = v.ReadbackOrder(Options{Offset: n + 3})
-	if order[0] != 3 {
-		t.Fatalf("wrapped offset start %d", order[0])
-	}
-}
-
-func TestReadbackOrderPermutationPassthrough(t *testing.T) {
-	v := New(device.SmallLX(), [16]byte{})
-	perm := []int{3, 1, 2, 2, 0} // repeats allowed (paper §6.1)
-	got := v.ReadbackOrder(Options{Permutation: perm, Offset: 99})
-	if len(got) != len(perm) {
-		t.Fatal("permutation not passed through")
-	}
-	for i := range perm {
-		if got[i] != perm[i] {
-			t.Fatal("permutation altered")
-		}
-	}
-}
 
 // serveScript runs a scripted prover: the handler returns the response
 // (nil for none) and whether to close the connection afterwards, letting
@@ -89,17 +46,18 @@ func serveScript(t *testing.T, handler func(m *protocol.Message) (*protocol.Mess
 	return vrfEP
 }
 
+// attestAgainst runs a full-device TinyLX attestation against the
+// scripted prover: every dynamic frame configured, every frame read back
+// in the default (bijective) order.
 func attestAgainst(t *testing.T, handler func(m *protocol.Message) (*protocol.Message, bool)) (*Report, error) {
 	t.Helper()
-	geo := device.SmallLX()
+	geo := device.TinyLX()
 	v := New(geo, [16]byte{})
 	golden := fabric.NewImage(geo)
 	dyn := fabric.DynRegion(geo).Frames()
 	ep := serveScript(t, handler)
 	defer ep.Close()
-	// Limit the readback to a handful of frames via a short permutation
-	// so misbehaviour tests stay fast.
-	return v.Attest(ep, golden, dyn[:3], Options{Permutation: []int{0, 1, 2}})
+	return v.Attest(ep, golden, dyn, Options{})
 }
 
 func TestWrongFrameIndexRejected(t *testing.T) {
@@ -144,41 +102,28 @@ func TestChannelDropDetected(t *testing.T) {
 	}
 }
 
-func TestIncompleteReadbackRejected(t *testing.T) {
-	// A prover that answers correctly, but a verifier order covering only
-	// 3 of the device's frames: the remaining frames must be reported as
-	// mismatches (never received).
-	geo := device.SmallLX()
-	v := New(geo, [16]byte{})
-	golden := fabric.NewImage(geo)
-	dyn := fabric.DynRegion(geo).Frames()
-
-	ep := serveScript(t, func(m *protocol.Message) (*protocol.Message, bool) {
+func TestHonestZeroImageAccepted(t *testing.T) {
+	// The all-zero golden image against a prover returning all-zero
+	// frames and the matching MAC: the one scripted run that must be
+	// accepted, pinning the MAC transcript format end to end.
+	geo := device.TinyLX()
+	rep, err := attestAgainst(t, func(m *protocol.Message) (*protocol.Message, bool) {
 		switch m.Type {
 		case protocol.MsgICAPReadback:
-			return &protocol.Message{
-				Type:       protocol.MsgFrameData,
-				FrameIndex: m.FrameIndex,
-				Words:      make([]uint32, device.FrameWords),
-			}, false
+			return &protocol.Message{Type: protocol.MsgFrameData, FrameIndex: m.FrameIndex, Words: make([]uint32, device.FrameWords)}, false
 		case protocol.MsgMACChecksum:
-			// Tag over three zero frames with the zero key — compute what
-			// the verifier will compute so the MAC check passes and the
-			// coverage check is what must fire.
-			return &protocol.Message{Type: protocol.MsgMACValue, MAC: macOverZeroFrames(3)}, false
+			return &protocol.Message{Type: protocol.MsgMACValue, MAC: macOverZeroFrames(geo.NumFrames())}, false
 		}
 		return nil, false
 	})
-	defer ep.Close()
-	rep, err := v.Attest(ep, golden, dyn[:3], Options{Permutation: []int{0, 1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.ConfigOK {
-		t.Fatal("incomplete readback accepted")
+	if !rep.Accepted {
+		t.Fatalf("honest zero-image run rejected: MACOK=%v ConfigOK=%v", rep.MACOK, rep.ConfigOK)
 	}
-	if len(rep.Mismatches) != geo.NumFrames()-3 {
-		t.Fatalf("mismatches %d, want %d", len(rep.Mismatches), geo.NumFrames()-3)
+	if rep.FramesRead != geo.NumFrames() {
+		t.Fatalf("frames read %d, want %d", rep.FramesRead, geo.NumFrames())
 	}
 }
 
@@ -194,14 +139,70 @@ func macOverZeroFrames(n int) [16]byte {
 	return m.Sum()
 }
 
+// rejectedPermutation asserts that Attest refuses the permutation at
+// plan construction — before a single message crosses the channel.
+func rejectedPermutation(t *testing.T, perm []int, wantSub string) {
+	t.Helper()
+	geo := device.TinyLX()
+	v := New(geo, [16]byte{})
+	golden := fabric.NewImage(geo)
+	sent := make(chan struct{}, 1)
+	ep := serveScript(t, func(m *protocol.Message) (*protocol.Message, bool) {
+		select {
+		case sent <- struct{}{}:
+		default:
+		}
+		return nil, true
+	})
+	defer ep.Close()
+	_, err := v.Attest(ep, golden, fabric.DynRegion(geo).Frames(), Options{Permutation: perm})
+	if err == nil {
+		t.Fatal("non-bijective permutation accepted")
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q missing %q", err, wantSub)
+	}
+	select {
+	case <-sent:
+		t.Fatal("verifier talked to the prover before rejecting the permutation")
+	default:
+	}
+}
+
+func TestPermutationMustCoverAllFrames(t *testing.T) {
+	// A short order silently skips frames from the MAC and the masked
+	// comparison — a tampered frame outside the order would attest clean.
+	rejectedPermutation(t, []int{0, 1, 2}, "covers 3 of")
+}
+
+func TestPermutationMustNotRepeatFrames(t *testing.T) {
+	geo := device.TinyLX()
+	perm := make([]int, geo.NumFrames())
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[7] = 3 // frame 3 twice, frame 7 never
+	rejectedPermutation(t, perm, "twice")
+}
+
+func TestPermutationMustStayInRange(t *testing.T) {
+	geo := device.TinyLX()
+	perm := make([]int, geo.NumFrames())
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[0] = geo.NumFrames() // out of range
+	rejectedPermutation(t, perm, "out of range")
+}
+
 func TestSignatureModeWithoutKeyRejected(t *testing.T) {
-	geo := device.SmallLX()
+	geo := device.TinyLX()
 	v := New(geo, [16]byte{}) // no SigVerifier
 	golden := fabric.NewImage(geo)
 	ep := serveScript(t, func(m *protocol.Message) (*protocol.Message, bool) { return nil, false })
 	defer ep.Close()
-	_, err := v.Attest(ep, golden, fabric.DynRegion(geo).Frames()[:1],
-		Options{Permutation: []int{0}, SignatureMode: true})
+	_, err := v.Attest(ep, golden, fabric.DynRegion(geo).Frames(),
+		Options{SignatureMode: true})
 	if err == nil {
 		t.Fatal("signature mode without enrolled key accepted")
 	}
@@ -228,5 +229,4 @@ func TestMACMismatchReported(t *testing.T) {
 	if rep.Accepted {
 		t.Fatal("run accepted despite MAC failure")
 	}
-	_ = io.Discard
 }
