@@ -11,9 +11,12 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"sacha/internal/apps"
 	"sacha/internal/attack"
+	"sacha/internal/attestation"
+	"sacha/internal/channel"
 	"sacha/internal/compress"
 	"sacha/internal/core"
 	"sacha/internal/cpu"
@@ -23,6 +26,7 @@ import (
 	"sacha/internal/hwattest"
 	"sacha/internal/netlist"
 	"sacha/internal/pose"
+	"sacha/internal/prover"
 	"sacha/internal/resources"
 	"sacha/internal/scrub"
 	"sacha/internal/swarm"
@@ -488,4 +492,106 @@ func BenchmarkPlaceAndDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// newTinyAttestRig builds the TinyLX plan and a fresh prover/link factory
+// for the transport benchmarks: each call of the returned dial function
+// boots one honest device, serves it over a simulated pair and wraps the
+// verifier side in a DelayEndpoint with the given one-way latency.
+func newTinyAttestRig(b *testing.B, delay time.Duration) (*attestation.Plan, prover.RegisterKey, func() channel.Endpoint) {
+	b.Helper()
+	geo := device.TinyLX()
+	key := prover.RegisterKey{3, 1, 4, 1, 5}
+	golden, dyn, err := core.BuildGolden(geo, netlist.Blinker(8), 0xD00D, 0xCAFEBABE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := attestation.NewPlan(attestation.Spec{Geo: geo, Golden: golden, DynFrames: dyn})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dial := func() channel.Endpoint {
+		dev, err := prover.New(prover.Config{Geo: geo, BootMem: core.BuildBootMem(geo, 0xD00D), Key: key})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dev.PowerOn(); err != nil {
+			b.Fatal(err)
+		}
+		vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+		go dev.Serve(prvEP)
+		return channel.NewDelayEndpoint(vrfEP, delay)
+	}
+	return plan, key, dial
+}
+
+// BenchmarkWindowedReadback measures the attestation data path over a
+// 1 ms one-way link at increasing pipeline depths. Window=1 is the
+// paper's lockstep protocol — one round trip per frame — and the
+// frames-per-sec metric is the headline: Window=16 sustains well over 5x
+// the lockstep rate because up to 16 frames share each round trip.
+func BenchmarkWindowedReadback(b *testing.B) {
+	const oneWay = time.Millisecond
+	for _, window := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			plan, key, dial := newTinyAttestRig(b, oneWay)
+			var frames, retries int
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ep := dial()
+				var k [16]byte = key
+				rep, err := plan.Run(ep, attestation.RunOpts{Key: k, Retry: attestation.RetryPolicy{
+					Timeout:    250 * time.Millisecond,
+					MaxRetries: 5,
+					Window:     window,
+				}})
+				ep.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Accepted {
+					b.Fatalf("rejected: %+v", rep)
+				}
+				frames += rep.FramesRead
+				retries += rep.Retries
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/sec")
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(frames), "ns/frame")
+			b.ReportMetric(float64(retries)/float64(b.N), "retries/run")
+		})
+	}
+}
+
+// BenchmarkPlanCache compares a cold attestation.NewPlan build against a
+// PlanCache hit for the same (golden digest, geometry, options) key —
+// the sweep-to-sweep saving of the digest-keyed cache.
+func BenchmarkPlanCache(b *testing.B) {
+	geo := device.TinyLX()
+	golden, dyn, err := core.BuildGolden(geo, netlist.Blinker(8), 0xD00D, 0xCAFEBABE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := attestation.Spec{Geo: geo, Golden: golden, DynFrames: dyn}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := attestation.NewPlan(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := attestation.NewPlanCache(0)
+		if _, built, err := cache.GetOrBuild(spec); err != nil || !built {
+			b.Fatalf("warmup: built=%v err=%v", built, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, built, err := cache.GetOrBuild(spec)
+			if err != nil || built {
+				b.Fatalf("cache miss on hit path: built=%v err=%v", built, err)
+			}
+		}
+	})
 }

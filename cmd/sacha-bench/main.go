@@ -1,0 +1,160 @@
+// Command sacha-bench measures the attestation data path and emits the
+// results as JSON (BENCH_attest.json by default), so the performance
+// trajectory — frames/sec, ns/frame, plan-build and plan-cache times — is
+// tracked from commit to commit instead of living in scrollback:
+//
+//	sacha-bench -device TinyLX -delay 1ms -windows 1,4,16 -o BENCH_attest.json
+//
+// Each configured window size runs one full attestation against an
+// in-process prover over a channel.DelayEndpoint with the given one-way
+// latency: window 1 is the paper's lockstep exchange (one round trip per
+// frame), larger windows pipeline the configuration and readback phases.
+// The plan section reports a cold attestation.NewPlan build against a
+// PlanCache hit for the same spec.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sacha/internal/attestation"
+	"sacha/internal/channel"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/prover"
+)
+
+type runResult struct {
+	Window       int     `json:"window"`
+	WallNS       int64   `json:"wall_ns"`
+	Frames       int     `json:"frames"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	NSPerFrame   float64 `json:"ns_per_frame"`
+	Retries      int     `json:"retries"`
+	Accepted     bool    `json:"accepted"`
+}
+
+type planResult struct {
+	ColdBuildNS int64 `json:"cold_build_ns"`
+	CacheHitNS  int64 `json:"cache_hit_ns"`
+}
+
+type benchReport struct {
+	Timestamp  string      `json:"timestamp"`
+	Device     string      `json:"device"`
+	Frames     int         `json:"frames"`
+	DelayNS    int64       `json:"delay_one_way_ns"`
+	Iterations int         `json:"iterations"`
+	Plan       planResult  `json:"plan"`
+	Runs       []runResult `json:"runs"`
+}
+
+func main() {
+	devName := flag.String("device", "TinyLX", "device geometry")
+	delay := flag.Duration("delay", time.Millisecond, "one-way link latency")
+	windows := flag.String("windows", "1,4,16", "comma-separated window sizes to measure")
+	iters := flag.Int("iters", 1, "attestations per window size (best wall time is reported)")
+	out := flag.String("o", "BENCH_attest.json", "output file (- for stdout)")
+	flag.Parse()
+
+	geo, err := device.ByName(*devName)
+	fatal(err)
+	app := netlist.Blinker(8)
+	const buildID, nonce = 0xD00D, 0xCAFEBABE
+	key := prover.RegisterKey{3, 1, 4, 1, 5}
+
+	golden, dyn, err := core.BuildGolden(geo, app, buildID, nonce)
+	fatal(err)
+	spec := attestation.Spec{Geo: geo, Golden: golden, DynFrames: dyn}
+
+	// Plan economics: one cold build, then a cache hit for the same spec.
+	cache := attestation.NewPlanCache(0)
+	t0 := time.Now()
+	plan, built, err := cache.GetOrBuild(spec)
+	fatal(err)
+	cold := time.Since(t0)
+	if !built {
+		fatal(fmt.Errorf("first GetOrBuild did not build"))
+	}
+	t0 = time.Now()
+	if _, built, err = cache.GetOrBuild(spec); err != nil || built {
+		fatal(fmt.Errorf("second GetOrBuild rebuilt (err=%v)", err))
+	}
+	hit := time.Since(t0)
+
+	report := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Device:     geo.Name,
+		Frames:     plan.NumFrames(),
+		DelayNS:    delay.Nanoseconds(),
+		Iterations: *iters,
+		Plan:       planResult{ColdBuildNS: cold.Nanoseconds(), CacheHitNS: hit.Nanoseconds()},
+	}
+
+	for _, tok := range strings.Split(*windows, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		fatal(err)
+		report.Runs = append(report.Runs, measure(geo, plan, key, buildID, w, *delay, *iters))
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	fatal(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	fatal(os.WriteFile(*out, enc, 0o644))
+	fmt.Printf("sacha-bench: wrote %s (%d window sizes, %d frames, %v one-way)\n",
+		*out, len(report.Runs), report.Frames, *delay)
+}
+
+// measure runs iters attestations at one window size over a fresh delayed
+// link per iteration and reports the best wall time — the standard guard
+// against scheduler noise in a one-shot benchmark.
+func measure(geo *device.Geometry, plan *attestation.Plan, key prover.RegisterKey, buildID uint64, window int, delay time.Duration, iters int) runResult {
+	res := runResult{Window: window}
+	for it := 0; it < iters; it++ {
+		dev, err := prover.New(prover.Config{Geo: geo, BootMem: core.BuildBootMem(geo, buildID), Key: key})
+		fatal(err)
+		fatal(dev.PowerOn())
+		vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+		go dev.Serve(prvEP)
+		link := channel.NewDelayEndpoint(vrfEP, delay)
+
+		opts := attestation.RunOpts{Key: key}
+		opts.Retry = attestation.RetryPolicy{
+			Timeout:    4*delay + 250*time.Millisecond,
+			MaxRetries: 5,
+			Window:     window,
+		}
+		t0 := time.Now()
+		rep, err := plan.Run(link, opts)
+		wall := time.Since(t0)
+		link.Close()
+		fatal(err)
+
+		if res.WallNS == 0 || wall.Nanoseconds() < res.WallNS {
+			res.WallNS = wall.Nanoseconds()
+			res.Frames = rep.FramesRead
+			res.Retries = rep.Retries
+			res.Accepted = rep.Accepted
+		}
+	}
+	res.FramesPerSec = float64(res.Frames) / (float64(res.WallNS) / float64(time.Second))
+	res.NSPerFrame = float64(res.WallNS) / float64(res.Frames)
+	return res
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal("sacha-bench: ", err)
+	}
+}

@@ -61,6 +61,7 @@ func main() {
 	retries := flag.Int("retries", 5, "re-sends per message before giving up")
 	backoff := flag.Duration("backoff", 20*time.Millisecond, "base retry backoff (doubles per retry)")
 	plain := flag.Bool("plain", false, "disable the fault-tolerant transport (paper's bare protocol)")
+	window := flag.Int("window", 1, "pipelined frames in flight per prover (1 = lockstep; needs the reliable transport)")
 	concurrency := flag.Int("concurrency", 4, "concurrent connections when attesting several provers")
 	flag.Parse()
 
@@ -116,7 +117,7 @@ func main() {
 			for i := range jobs {
 				targets[i] = attestOne(addrs[i], plan, runOptions(
 					key, *trace && len(addrs) == 1,
-					*plain, *timeout, *retries, *backoff))
+					*plain, *timeout, *retries, *backoff, *window))
 			}
 		}()
 	}
@@ -162,7 +163,7 @@ func main() {
 	}
 }
 
-func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries int, backoff time.Duration) attestation.RunOpts {
+func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries int, backoff time.Duration, window int) attestation.RunOpts {
 	opts := attestation.RunOpts{Key: key}
 	if trace {
 		opts.Trace = os.Stderr
@@ -174,7 +175,10 @@ func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries 
 			Backoff:    backoff,
 			MaxBackoff: 16 * backoff,
 			Seed:       time.Now().UnixNano(),
+			Window:     window,
 		}
+	} else if window > 1 {
+		fatal(fmt.Errorf("-window needs the reliable transport; drop -plain"))
 	}
 	return opts
 }

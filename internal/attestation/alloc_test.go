@@ -1,0 +1,43 @@
+package attestation
+
+import (
+	"testing"
+
+	"sacha/internal/cmac"
+	"sacha/internal/device"
+	"sacha/internal/signature"
+)
+
+// BenchmarkFrameAbsorb pins the zero-allocation contract of the per-frame
+// hot path: serialising a frame into the Run's reused scratch buffer and
+// absorbing it into the MAC and the transcript must not allocate — on the
+// paper's XC6VLX240T this path runs 28,488 times per attestation, so a
+// single allocation per frame is 28k garbage objects per device.
+func BenchmarkFrameAbsorb(b *testing.B) {
+	words := make([]uint32, device.FrameWords)
+	for i := range words {
+		words[i] = uint32(i * 2654435761)
+	}
+	var key [16]byte
+	mac, err := cmac.New(key[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	transcript := signature.NewTranscript()
+	scratch := make([]byte, 0, device.FrameWords*4)
+
+	if avg := testing.AllocsPerRun(200, func() {
+		scratch = appendFrameBytes(scratch[:0], words)
+		mac.Update(scratch)
+		transcript.Absorb(scratch)
+	}); avg != 0 {
+		b.Fatalf("frame absorption allocates %.1f objects per frame, want 0", avg)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = appendFrameBytes(scratch[:0], words)
+		mac.Update(scratch)
+		transcript.Absorb(scratch)
+	}
+}

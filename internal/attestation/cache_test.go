@@ -1,0 +1,128 @@
+package attestation_test
+
+import (
+	"sync"
+	"testing"
+
+	"sacha/internal/attestation"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+// cacheSpec builds the Spec for one (nonce, offset) point of the test
+// geometry — distinct nonces produce distinct golden images and therefore
+// distinct cache keys.
+func cacheSpec(t testing.TB, nonce uint64, offset int) attestation.Spec {
+	t.Helper()
+	geo := device.TinyLX()
+	golden, dyn, err := core.BuildGolden(geo, netlist.Blinker(8), 0xD00D, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return attestation.Spec{Geo: geo, Golden: golden, DynFrames: dyn, Offset: offset}
+}
+
+func TestPlanCacheHitReturnsSamePlan(t *testing.T) {
+	c := attestation.NewPlanCache(0)
+	spec := cacheSpec(t, 0xCAFE, 0)
+
+	p1, built, err := c.GetOrBuild(spec)
+	if err != nil || !built {
+		t.Fatalf("cold get: built=%v err=%v", built, err)
+	}
+	p2, built, err := c.GetOrBuild(spec)
+	if err != nil || built {
+		t.Fatalf("warm get rebuilt: built=%v err=%v", built, err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache hit returned a different plan")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestPlanCacheKeySensitivity(t *testing.T) {
+	// The key must cover the golden digest and the plan-shaping options:
+	// a different nonce (different golden) or a different offset must
+	// miss; an identical spec built from an independent golden image of
+	// the same nonce must hit.
+	c := attestation.NewPlanCache(0)
+	base := cacheSpec(t, 0xCAFE, 0)
+	if _, built, err := c.GetOrBuild(base); err != nil || !built {
+		t.Fatalf("cold: built=%v err=%v", built, err)
+	}
+	if _, built, err := c.GetOrBuild(cacheSpec(t, 0xD1CE, 0)); err != nil || !built {
+		t.Fatalf("different nonce should build: built=%v err=%v", built, err)
+	}
+	if _, built, err := c.GetOrBuild(cacheSpec(t, 0xCAFE, 7)); err != nil || !built {
+		t.Fatalf("different offset should build: built=%v err=%v", built, err)
+	}
+	// A freshly rebuilt golden for the same nonce has equal content, so
+	// the digest-keyed lookup hits even though the *fabric.Image differs.
+	if _, built, err := c.GetOrBuild(cacheSpec(t, 0xCAFE, 0)); err != nil || built {
+		t.Fatalf("equal-content spec should hit: built=%v err=%v", built, err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d plans, want 3", c.Len())
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := attestation.NewPlanCache(2)
+	a := cacheSpec(t, 1, 0)
+	b := cacheSpec(t, 2, 0)
+	d := cacheSpec(t, 3, 0)
+
+	c.GetOrBuild(a)
+	c.GetOrBuild(b)
+	c.GetOrBuild(a) // refresh a: b is now least recently used
+	c.GetOrBuild(d) // evicts b
+
+	if _, built, _ := c.GetOrBuild(a); built {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	if _, built, _ := c.GetOrBuild(d); built {
+		t.Fatal("d was evicted straight after insert")
+	}
+	if _, built, _ := c.GetOrBuild(b); !built {
+		t.Fatal("b survived beyond the capacity-2 bound")
+	}
+}
+
+func TestPlanCacheConcurrentSingleBuild(t *testing.T) {
+	// Concurrent requests for one missing key must build exactly once;
+	// the waiters share the builder's plan.
+	c := attestation.NewPlanCache(0)
+	spec := cacheSpec(t, 0xFEED, 0)
+	const workers = 16
+	plans := make([]*attestation.Plan, workers)
+	builds := make([]bool, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, built, err := c.GetOrBuild(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i], builds[i] = p, built
+		}(i)
+	}
+	wg.Wait()
+	nbuilt := 0
+	for i := 0; i < workers; i++ {
+		if builds[i] {
+			nbuilt++
+		}
+		if plans[i] != plans[0] {
+			t.Fatal("workers got different plans for one key")
+		}
+	}
+	if nbuilt != 1 {
+		t.Fatalf("%d workers report having built, want exactly 1", nbuilt)
+	}
+}

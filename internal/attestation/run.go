@@ -7,6 +7,7 @@ import (
 
 	"sacha/internal/channel"
 	"sacha/internal/cmac"
+	"sacha/internal/device"
 	"sacha/internal/fabric"
 	"sacha/internal/protocol"
 	"sacha/internal/signature"
@@ -28,6 +29,8 @@ type RunOpts struct {
 	SigVerifier *signature.Verifier
 	// Retry, when enabled, runs the protocol over the reliable
 	// transport. The zero value speaks the paper's bare protocol.
+	// Retry.Window > 1 additionally pipelines the configuration and
+	// readback phases with up to Window outstanding frames.
 	Retry RetryPolicy
 	// Trace, if non-nil, receives a Fig. 9-style protocol trace.
 	Trace io.Writer
@@ -45,6 +48,12 @@ type Report struct {
 	// MACOK: H_Prv equals H_Vrf (frames authentic and untampered in
 	// transit). In signature mode this is the signature check.
 	MACOK bool
+	// HVrf is the verifier-side MAC tag computed over the received
+	// frames in plan order (zero in signature mode). It is exposed so
+	// determinism across transport configurations — window sizes, fault
+	// recovery — is directly observable: any reordering leak into the
+	// MAC absorption would change this value.
+	HVrf [16]byte
 	// ConfigOK: masked received bitstream equals masked golden bitstream.
 	ConfigOK bool
 	// Accepted is the overall verdict.
@@ -65,6 +74,12 @@ type Report struct {
 // other end of ep, using only the plan's precomputed artifacts: no
 // fabric access, no prediction, no message encoding happens here. One
 // Plan may serve any number of concurrent Runs.
+//
+// With Retry.Window > 1 the configuration and readback phases run
+// pipelined: up to Window sequence envelopes stay outstanding and
+// responses are re-ordered into plan order before the CMAC/transcript
+// absorbs them, so the verdict and H_Vrf are independent of the window
+// size and of any transport reordering.
 func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 	trc := func(format string, args ...any) {
 		if opts.Trace != nil {
@@ -76,14 +91,24 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 		return nil, fmt.Errorf("verifier: signature mode without an enrolled public key")
 	}
 	sess := newSession(ep, opts.Retry, rep)
+	defer sess.close()
 
-	// Phase 1: dynamic configuration — the verifier overwrites the
-	// entire DynMem (bounded-memory model) with the plan's pre-encoded
-	// packets.
-	for _, cs := range p.configs {
-		if err := sess.sendConfig(cs.wire, fmt.Sprintf("ICAP_config(%d)", cs.first)); err != nil {
-			return nil, err
-		}
+	mac, err := cmac.New(opts.Key[:])
+	if err != nil {
+		return nil, err
+	}
+	transcript := signature.NewTranscript()
+	// One scratch buffer serves every frame serialisation of the Run:
+	// cmac.Update and Transcript.Absorb both copy, so reusing the bytes
+	// avoids 28k+ allocations on the large geometries.
+	scratch := make([]byte, 0, device.FrameWords*4)
+
+	// noteConfig records the per-packet effects of one delivered
+	// configuration step; absorbFrame does the same for one read-back
+	// frame, folding it into the MAC, the transcript and the golden
+	// comparison. Both are shared by the lockstep and windowed paths and
+	// are always invoked in plan order.
+	noteConfig := func(cs configStep) {
 		if opts.Timeline != nil {
 			opts.Timeline.Add("vrf-sw", timing.VrfConfigOverhead())
 		}
@@ -92,6 +117,70 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 				p.model.ActionTime(timing.A1)+p.model.ActionTime(timing.A2), "")
 		}
 		rep.FramesConfigured += cs.count
+	}
+	absorbFrame := func(idx int, resp *protocol.Message) error {
+		if resp.Type != protocol.MsgFrameData {
+			return fmt.Errorf("verifier: readback of frame %d answered with %v (%s)", idx, resp.Type, resp.Err)
+		}
+		if resp.FrameIndex != uint32(idx) {
+			return fmt.Errorf("verifier: asked for frame %d, got %d", idx, resp.FrameIndex)
+		}
+		scratch = appendFrameBytes(scratch[:0], resp.Words)
+		mac.Update(scratch)
+		transcript.Absorb(scratch)
+		rep.FramesRead++
+		if opts.Events != nil {
+			opts.Events.Add(trace.KindReadback, idx,
+				p.model.ActionTime(timing.A3)+p.model.ActionTime(timing.A4)+p.model.ActionTime(timing.A6), "")
+			opts.Events.Add(trace.KindFrameData, idx, p.model.ActionTime(timing.A8), "frame sendback")
+		}
+		got := resp.Words
+		if p.mask != nil {
+			got = fabric.ApplyMask(resp.Words, p.mask.Frame(idx))
+		}
+		want := p.expected[idx]
+		for w := range got {
+			if got[w] != want[w] {
+				rep.Mismatches = append(rep.Mismatches, idx)
+				break
+			}
+		}
+		return nil
+	}
+
+	windowed := sess.reliable() && opts.Retry.windowSize() > 1
+
+	// Phase 1: dynamic configuration — the verifier overwrites the
+	// entire DynMem (bounded-memory model) with the plan's pre-encoded
+	// packets. In windowed mode the first packet still goes lockstep: the
+	// prover pins its sequence base on the first envelope of the session,
+	// so that one must not race a reordered burst.
+	lockstepConfigs := p.configs
+	if windowed && len(p.configs) > 1 {
+		lockstepConfigs = p.configs[:1]
+	}
+	for _, cs := range lockstepConfigs {
+		if err := sess.sendConfig(cs.wire, fmt.Sprintf("ICAP_config(%d)", cs.first)); err != nil {
+			return nil, err
+		}
+		noteConfig(cs)
+	}
+	if windowed && len(p.configs) > 1 {
+		rest := p.configs[1:]
+		cmds := make([]windowCmd, len(rest))
+		for k, cs := range rest {
+			cmds[k] = windowCmd{enc: cs.wire, op: fmt.Sprintf("ICAP_config(%d)", cs.first)}
+		}
+		err := sess.runWindow(cmds, opts.Retry.windowSize(), func(k int, resp *protocol.Message) error {
+			if resp.Type != protocol.MsgAck {
+				return fmt.Errorf("verifier: %s answered with %v (%s)", cmds[k].op, resp.Type, resp.Err)
+			}
+			noteConfig(rest[k])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
 		p.dynFirst, p.dynLast, p.dynCount)
@@ -112,44 +201,33 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 
 	// Phase 2: full configuration readback in the plan's validated
 	// order, with the comparison folded in — the order is a bijection,
-	// so each frame is judged exactly once as it arrives.
-	mac, err := cmac.New(opts.Key[:])
-	if err != nil {
-		return nil, err
-	}
-	transcript := signature.NewTranscript()
-	for k, idx := range p.order {
-		if opts.Timeline != nil {
-			opts.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
+	// so each frame is judged exactly once as it arrives (lockstep) or as
+	// the window delivers it back in plan order (pipelined).
+	if windowed {
+		cmds := make([]windowCmd, len(p.order))
+		for k, idx := range p.order {
+			cmds[k] = windowCmd{enc: p.readbacks[k], op: fmt.Sprintf("ICAP_readback(%d)", idx)}
 		}
-		resp, err := sess.exchange(p.readbacks[k], fmt.Sprintf("ICAP_readback(%d)", idx), true)
+		err := sess.runWindow(cmds, opts.Retry.windowSize(), func(k int, resp *protocol.Message) error {
+			if opts.Timeline != nil {
+				opts.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
+			}
+			return absorbFrame(p.order[k], resp)
+		})
 		if err != nil {
 			return nil, err
 		}
-		if resp.Type != protocol.MsgFrameData {
-			return nil, fmt.Errorf("verifier: readback of frame %d answered with %v (%s)", idx, resp.Type, resp.Err)
-		}
-		if resp.FrameIndex != uint32(idx) {
-			return nil, fmt.Errorf("verifier: asked for frame %d, got %d", idx, resp.FrameIndex)
-		}
-		raw := frameBytes(resp.Words)
-		mac.Update(raw)
-		transcript.Absorb(raw)
-		rep.FramesRead++
-		if opts.Events != nil {
-			opts.Events.Add(trace.KindReadback, idx,
-				p.model.ActionTime(timing.A3)+p.model.ActionTime(timing.A4)+p.model.ActionTime(timing.A6), "")
-			opts.Events.Add(trace.KindFrameData, idx, p.model.ActionTime(timing.A8), "frame sendback")
-		}
-		got := resp.Words
-		if p.mask != nil {
-			got = fabric.ApplyMask(resp.Words, p.mask.Frame(idx))
-		}
-		want := p.expected[idx]
-		for w := range got {
-			if got[w] != want[w] {
-				rep.Mismatches = append(rep.Mismatches, idx)
-				break
+	} else {
+		for k, idx := range p.order {
+			if opts.Timeline != nil {
+				opts.Timeline.Add("vrf-sw", timing.VrfReadbackOverhead())
+			}
+			resp, err := sess.exchange(p.readbacks[k], fmt.Sprintf("ICAP_readback(%d)", idx), true)
+			if err != nil {
+				return nil, err
+			}
+			if err := absorbFrame(idx, resp); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -175,8 +253,8 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 		if resp.Type != protocol.MsgMACValue {
 			return nil, fmt.Errorf("verifier: MAC_checksum answered with %v (%s)", resp.Type, resp.Err)
 		}
-		hVrf := mac.Sum()
-		rep.MACOK = cmac.Equal(resp.MAC, hVrf)
+		rep.HVrf = mac.Sum()
+		rep.MACOK = cmac.Equal(resp.MAC, rep.HVrf)
 		trc("command: MAC_checksum  ->  H_Prv == H_Vrf: %v", rep.MACOK)
 		if opts.Events != nil {
 			opts.Events.Add(trace.KindChecksum, -1,
@@ -197,11 +275,12 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 	return rep, nil
 }
 
-// frameBytes mirrors the prover's frame serialisation.
-func frameBytes(words []uint32) []byte {
-	out := make([]byte, 0, len(words)*4)
+// appendFrameBytes serialises frame words into dst (big-endian, matching
+// the prover) and returns the extended slice. Callers reuse one scratch
+// buffer across frames; both MAC and transcript copy what they absorb.
+func appendFrameBytes(dst []byte, words []uint32) []byte {
 	for _, w := range words {
-		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		dst = append(dst, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
 	}
-	return out
+	return dst
 }

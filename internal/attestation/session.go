@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"sacha/internal/channel"
@@ -31,6 +32,34 @@ type RetryPolicy struct {
 	Backoff, MaxBackoff time.Duration
 	// Seed drives the backoff jitter.
 	Seed int64
+	// Window is the maximum number of enveloped commands kept outstanding
+	// during the pipelined protocol phases (configuration and readback).
+	// 0 or 1 reproduces the paper's lockstep exchange; larger values hide
+	// the link round-trip behind up to Window in-flight frames. Values
+	// beyond MaxWindow are clamped — the prover's reorder buffer and
+	// response cache are sized for MaxWindow outstanding sequences.
+	// Responses are re-ordered into plan order before the CMAC/transcript
+	// absorbs them, so the window size never changes H_Vrf or the verdict.
+	// Window only takes effect with the reliable transport (Timeout > 0).
+	Window int
+}
+
+// MaxWindow caps RetryPolicy.Window. It must not exceed the prover's
+// out-of-order bound (prover.SeqWindow): the prover buffers at most that
+// many sequence numbers ahead of the next expected one, and its response
+// cache must cover every request the verifier may still re-send.
+const MaxWindow = 64
+
+// windowSize returns the effective pipeline depth: at least 1, at most
+// MaxWindow.
+func (p RetryPolicy) windowSize() int {
+	if p.Window <= 1 {
+		return 1
+	}
+	if p.Window > MaxWindow {
+		return MaxWindow
+	}
+	return p.Window
 }
 
 // Enabled reports whether the reliable transport is active.
@@ -83,10 +112,12 @@ type session struct {
 	pol RetryPolicy
 	rep *Report
 
-	seq     uint32
-	rng     *rand.Rand
-	recvCh  chan recvResult
-	recvErr error
+	seq       uint32
+	rng       *rand.Rand
+	recvCh    chan recvResult
+	recvErr   error
+	quit      chan struct{}
+	closeOnce sync.Once
 }
 
 func newSession(ep channel.Endpoint, pol RetryPolicy, rep *Report) *session {
@@ -105,20 +136,38 @@ func newSession(ep channel.Endpoint, pol RetryPolicy, rep *Report) *session {
 	}
 	s.rng = rand.New(rand.NewSource(pol.Seed))
 	s.recvCh = make(chan recvResult, 64)
+	s.quit = make(chan struct{})
 	// The pump decouples the blocking Endpoint.Recv from the timeout
 	// select. It exits on the first receive error, which for every
 	// transport here means the connection is gone for good; the error is
-	// delivered once and remembered in recvErr.
+	// delivered once and remembered in recvErr. The quit select keeps a
+	// Run that returns early (transport error, protocol rejection) from
+	// leaking the pump: once recvCh fills, the send would otherwise block
+	// forever with nobody left to drain it.
 	go func() {
 		for {
 			raw, err := s.ep.Recv()
-			s.recvCh <- recvResult{raw: raw, err: err}
+			select {
+			case s.recvCh <- recvResult{raw: raw, err: err}:
+			case <-s.quit:
+				return
+			}
 			if err != nil {
 				return
 			}
 		}
 	}()
 	return s
+}
+
+// close releases the receive pump. It is idempotent and safe on plain
+// (pump-less) sessions; every Run must defer it so an early return cannot
+// strand the pump on a full recvCh.
+func (s *session) close() {
+	if s.quit == nil {
+		return
+	}
+	s.closeOnce.Do(func() { close(s.quit) })
 }
 
 // reliable reports whether the session wraps commands in envelopes.

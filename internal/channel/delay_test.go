@@ -1,0 +1,142 @@
+package channel
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestDelayEndpointPipelinesConcurrently is the property that makes
+// DelayEndpoint an honest model for pipelining benchmarks: n messages
+// sent back-to-back age concurrently, so a windowed exchange completes in
+// roughly one round trip — not n of them. (FaultDelay would serialise.)
+func TestDelayEndpointPipelinesConcurrently(t *testing.T) {
+	a, b := SimPair(SimConfig{})
+	const oneWay = 30 * time.Millisecond
+	d := NewDelayEndpoint(a, oneWay)
+	defer d.Close()
+
+	const n = 8
+	// Echo peer: answers every request immediately.
+	go func() {
+		for {
+			msg, err := b.Recv()
+			if err != nil {
+				return
+			}
+			if b.Send(msg) != nil {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := d.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		msg, err := d.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg) != 1 || msg[0] != byte(i) {
+			t.Fatalf("echo %d came back as %v (ordering broken)", i, msg)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if elapsed < 2*oneWay {
+		t.Fatalf("pipelined burst finished in %v, faster than one round trip %v", elapsed, 2*oneWay)
+	}
+	// A serialising implementation would need n round trips; allow ample
+	// scheduler slack while still catching serialisation.
+	if limit := time.Duration(n) * oneWay; elapsed > limit {
+		t.Fatalf("pipelined burst of %d took %v — messages are not aging concurrently (serial would be %v)",
+			n, elapsed, 2*time.Duration(n)*oneWay)
+	}
+}
+
+// TestDelayEndpointLockstepPaysRoundTrips: the complementary bound — a
+// lockstep caller pays the full round trip per exchange, which is exactly
+// the cost the windowed session is designed to hide.
+func TestDelayEndpointLockstepPaysRoundTrips(t *testing.T) {
+	a, b := SimPair(SimConfig{})
+	const oneWay = 10 * time.Millisecond
+	d := NewDelayEndpoint(a, oneWay)
+	defer d.Close()
+
+	go func() {
+		for {
+			msg, err := b.Recv()
+			if err != nil {
+				return
+			}
+			if b.Send(msg) != nil {
+				return
+			}
+		}
+	}()
+
+	const n = 4
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := d.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed, min := time.Since(start), time.Duration(n)*2*oneWay; elapsed < min {
+		t.Fatalf("%d lockstep exchanges took %v, under the %v latency floor", n, elapsed, min)
+	}
+}
+
+// TestDelayEndpointClose: a closed wrapper delivers EOF to receivers and
+// rejects senders, and the peer sees the underlying close.
+func TestDelayEndpointClose(t *testing.T) {
+	a, b := SimPair(SimConfig{})
+	d := NewDelayEndpoint(a, time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	d.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("Recv after close: %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not return after close")
+	}
+	if err := d.Send([]byte{1}); err == nil {
+		t.Fatal("Send after close succeeded")
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("peer Recv after close: %v, want EOF", err)
+	}
+}
+
+// TestDelayEndpointDeliversError: an inner receive error (peer closed)
+// propagates through the delay queue.
+func TestDelayEndpointDeliversError(t *testing.T) {
+	a, b := SimPair(SimConfig{})
+	d := NewDelayEndpoint(a, time.Millisecond)
+	defer d.Close()
+	if err := b.Send([]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	msg, err := d.Recv()
+	if err != nil || len(msg) != 1 {
+		t.Fatalf("first Recv: %v %v", msg, err)
+	}
+	if _, err := d.Recv(); err == nil {
+		t.Fatal("peer-close did not surface")
+	}
+}

@@ -314,6 +314,18 @@ func (s *System) Plan(nonce uint64, opts verifier.Options) (*attestation.Plan, e
 	return s.Verifier.Plan(golden, s.DynFrames(), opts)
 }
 
+// PlanSpec builds the golden image for a nonce and returns the
+// attestation.Spec describing this system's plan — the cache key input of
+// attestation.PlanCache. Systems with equal ClassKey produce equal specs
+// for a common nonce, so their plans dedupe in the cache.
+func (s *System) PlanSpec(nonce uint64, opts verifier.Options) (attestation.Spec, error) {
+	golden, err := s.Golden(nonce)
+	if err != nil {
+		return attestation.Spec{}, err
+	}
+	return s.Verifier.PlanSpec(golden, s.DynFrames(), opts), nil
+}
+
 // ClassKey identifies the fleet-invariant attestation inputs of this
 // system: two systems with equal class keys produce identical golden
 // images for any common nonce, so one attestation.Plan serves both. The

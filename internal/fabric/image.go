@@ -24,6 +24,7 @@
 package fabric
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 
@@ -108,6 +109,24 @@ func (im *Image) SetFrame(i int, words []uint32) {
 		panic(fmt.Sprintf("fabric: frame data has %d words, want %d", len(words), device.FrameWords))
 	}
 	copy(im.Frame(i), words)
+}
+
+// Digest returns a SHA-256 over the image's geometry name and every
+// frame word (big-endian, frames in order). Two images with equal
+// digests configure identically; the attestation plan cache keys on it.
+func (im *Image) Digest() [32]byte {
+	h := sha256.New()
+	h.Write([]byte(im.Geo.Name))
+	buf := make([]byte, device.FrameWords*4)
+	for _, f := range im.frames {
+		for i, w := range f {
+			binary.BigEndian.PutUint32(buf[i*4:], w)
+		}
+		h.Write(buf)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 // Equal reports whether two images hold identical bits.

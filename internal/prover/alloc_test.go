@@ -1,0 +1,30 @@
+package prover
+
+import (
+	"testing"
+
+	"sacha/internal/device"
+)
+
+// BenchmarkAppendFrameBytes pins the device-side half of the
+// zero-allocation contract: serialising a read-back frame into the
+// device's reused scratch buffer must not allocate (the MAC and the
+// transcript copy what they absorb, so the reuse is safe).
+func BenchmarkAppendFrameBytes(b *testing.B) {
+	words := make([]uint32, device.FrameWords)
+	for i := range words {
+		words[i] = uint32(i * 40503)
+	}
+	scratch := make([]byte, 0, device.FrameWords*4)
+
+	if avg := testing.AllocsPerRun(200, func() {
+		scratch = appendFrameBytes(scratch[:0], words)
+	}); avg != 0 {
+		b.Fatalf("frame serialisation allocates %.1f objects per frame, want 0", avg)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = appendFrameBytes(scratch[:0], words)
+	}
+}

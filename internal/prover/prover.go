@@ -96,14 +96,26 @@ type Device struct {
 	appEpoch  int64
 	poweredOn bool
 
-	// Reliable-transport state: the last envelope sequence number seen
-	// and the cached encoded response for it. Re-sending the cached
-	// response makes duplicated or replayed requests idempotent — in
-	// particular a duplicated ICAP_readback must not step the MAC twice,
-	// or transport flakiness would masquerade as a compromised device.
-	seqSeen bool
-	seqLast uint32
-	seqResp []byte
+	// Reliable-transport state. The device executes envelope sequence
+	// numbers strictly in order — the MAC is order-sensitive, so an
+	// out-of-order execution would silently change H_Prv. Requests that
+	// arrive ahead of the next expected sequence are buffered in seqPend
+	// (bounded by SeqWindow) and executed once the gap fills; the encoded
+	// responses of the last SeqCacheEntries executed sequences are kept in
+	// seqResp so a duplicated or replayed request is answered from cache
+	// instead of re-executing — in particular a duplicated ICAP_readback
+	// must not step the MAC twice, or transport flakiness would masquerade
+	// as a compromised device.
+	seqSeen  bool
+	seqLast  uint32
+	seqResp  map[uint32][]byte
+	seqOrder []uint32
+	seqPend  map[uint32][]byte
+
+	// frameScratch is the reused serialisation buffer of handleReadback;
+	// MAC and transcript copy what they absorb, so one buffer serves every
+	// frame of a session.
+	frameScratch []byte
 }
 
 // New builds a device. It enforces the bounded-BootMem invariant: the
@@ -189,19 +201,27 @@ func (d *Device) PowerOn() error {
 	}
 	d.poweredOn = true
 	d.macActive = false
-	d.seqSeen = false
-	d.seqResp = nil
+	d.resetSeq()
 	return nil
 }
 
-// frameBytes serialises frame words for MAC/transcript absorption
-// (big-endian, matching the verifier).
-func frameBytes(words []uint32) []byte {
-	out := make([]byte, 0, len(words)*4)
+// resetSeq drops all reliable-transport state: the sequence base, the
+// response cache and any buffered out-of-order requests.
+func (d *Device) resetSeq() {
+	d.seqSeen = false
+	d.seqResp = nil
+	d.seqOrder = nil
+	d.seqPend = nil
+}
+
+// appendFrameBytes serialises frame words into dst for MAC/transcript
+// absorption (big-endian, matching the verifier) and returns the extended
+// slice, letting callers reuse one scratch buffer across frames.
+func appendFrameBytes(dst []byte, words []uint32) []byte {
 	for _, w := range words {
-		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		dst = append(dst, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
 	}
-	return out
+	return dst
 }
 
 // Handle processes one verifier command and returns the response message,
@@ -300,9 +320,9 @@ func (d *Device) handleReadback(m *protocol.Message) (*protocol.Message, error) 
 	frame := d.crossDomains(data[device.FrameWords:]) // drop the pad frame, cross into the TX domain
 	d.Timeline.Add("icap-readback", d.model.ActionTime(timing.A4))
 
-	raw := frameBytes(frame)
-	d.mac.Update(raw)
-	d.transcript.Absorb(raw)
+	d.frameScratch = appendFrameBytes(d.frameScratch[:0], frame)
+	d.mac.Update(d.frameScratch)
+	d.transcript.Absorb(d.frameScratch)
 	d.Timeline.Add("mac-update", d.model.ActionTime(timing.A6))
 
 	return &protocol.Message{
@@ -378,43 +398,140 @@ func (d *Device) appView() (*fabric.Live, error) {
 // (examples drive the configured application through this).
 func (d *Device) App() (*fabric.Live, error) { return d.appView() }
 
+// SeqWindow bounds how far ahead of the next expected sequence number the
+// device buffers out-of-order requests. It is the device-side half of the
+// verifier's pipeline bound (attestation.MaxWindow must not exceed it): a
+// windowed verifier never has more than MaxWindow sequences outstanding,
+// so every legitimately reordered arrival lands within this window. The
+// bound also keeps a hostile peer from growing the buffer without limit.
+const SeqWindow = 64
+
+// SeqCacheEntries bounds the response cache. It must hold at least
+// SeqWindow entries: with a full pipeline the verifier may still re-send
+// any of its outstanding sequences, and each must find its cached
+// response — an evicted entry would look like a stale replay and wedge
+// the retry loop.
+const SeqCacheEntries = 128
+
 // HandleBytes decodes, handles and encodes. Prover-side failures become
 // Error messages rather than hard faults, as a deployed device must not
-// crash on malformed input.
+// crash on malformed input. For enveloped requests that fill a sequence
+// gap the first of possibly several releasable responses is returned;
+// transports that must ship all of them use HandleBytesAll.
 func (d *Device) HandleBytes(req []byte) ([]byte, error) {
+	resps, err := d.HandleBytesAll(req)
+	if err != nil || len(resps) == 0 {
+		return nil, err
+	}
+	return resps[0], nil
+}
+
+// HandleBytesAll is HandleBytes for pipelined transports: an enveloped
+// request that arrives ahead of the next expected sequence is buffered
+// and produces no response yet, while one that fills a gap releases its
+// own response plus those of every buffered successor, in sequence order.
+func (d *Device) HandleBytesAll(req []byte) ([][]byte, error) {
 	m, err := protocol.Decode(req)
 	if err != nil {
-		return protocol.Errorf("decode: %v", err).Encode()
+		enc, err := protocol.Errorf("decode: %v", err).Encode()
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{enc}, nil
 	}
 	if m.Type == protocol.MsgSeqReq {
-		return d.handleSeqReq(m)
+		return d.handleSeqReqAll(m)
 	}
 	resp, err := d.Handle(m)
 	if err != nil {
-		return protocol.Errorf("%v", err).Encode()
+		enc, err := protocol.Errorf("%v", err).Encode()
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{enc}, nil
 	}
 	if resp == nil {
 		return nil, nil
 	}
-	return resp.Encode()
+	enc, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{enc}, nil
 }
 
-// handleSeqReq executes one enveloped command with at-most-once
-// semantics: each sequence number is executed exactly once, a duplicate
-// of the last request replays the cached response, and older (replayed)
-// sequence numbers are answered with an Error the verifier discards.
-func (d *Device) handleSeqReq(m *protocol.Message) ([]byte, error) {
+// handleSeqReqAll executes enveloped commands with at-most-once,
+// in-order semantics: each sequence number is executed exactly once and
+// strictly in order (the MAC is order-sensitive), duplicates of cached
+// sequences replay their cached responses byte-identically, sequences at
+// or below the last executed one that have aged out of the cache are
+// answered with an Error the verifier discards, and sequences ahead of
+// the next expected one are buffered (up to SeqWindow) until the gap
+// fills — at which point every consecutive buffered request executes and
+// its responses are all released.
+func (d *Device) handleSeqReqAll(m *protocol.Message) ([][]byte, error) {
 	if d.seqSeen {
-		if m.Seq == d.seqLast {
-			return d.seqResp, nil
+		if cached, ok := d.seqResp[m.Seq]; ok {
+			return [][]byte{cached}, nil
 		}
-		if m.Seq < d.seqLast {
-			return protocol.WrapResp(m.Seq,
+		if m.Seq <= d.seqLast {
+			wire, err := protocol.WrapResp(m.Seq,
 				mustEncode(protocol.Errorf("stale sequence %d (current %d)", m.Seq, d.seqLast))).Encode()
+			if err != nil {
+				return nil, err
+			}
+			return [][]byte{wire}, nil
+		}
+		if m.Seq != d.seqLast+1 {
+			// A future sequence: buffer it until its predecessors arrive.
+			if m.Seq-d.seqLast > SeqWindow {
+				wire, err := protocol.WrapResp(m.Seq,
+					mustEncode(protocol.Errorf("sequence %d beyond the %d-entry window (current %d)", m.Seq, SeqWindow, d.seqLast))).Encode()
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{wire}, nil
+			}
+			if d.seqPend == nil {
+				d.seqPend = make(map[uint32][]byte)
+			}
+			if _, buffered := d.seqPend[m.Seq]; !buffered {
+				d.seqPend[m.Seq] = append([]byte(nil), m.Inner...)
+			}
+			return nil, nil
 		}
 	}
+	// m.Seq is executable: the first envelope of the session pins the
+	// sequence base, afterwards only seqLast+1 reaches this point.
+	var out [][]byte
+	wire, err := d.execSeq(m.Seq, m.Inner)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, wire)
+	// The gap just filled: drain every now-consecutive buffered request.
+	for {
+		inner, ok := d.seqPend[d.seqLast+1]
+		if !ok {
+			break
+		}
+		seq := d.seqLast + 1
+		delete(d.seqPend, seq)
+		wire, err := d.execSeq(seq, inner)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wire)
+	}
+	return out, nil
+}
+
+// execSeq executes one enveloped command, caches the encoded response
+// (evicting the oldest entry beyond SeqCacheEntries) and advances the
+// sequence cursor.
+func (d *Device) execSeq(seq uint32, innerEnc []byte) ([]byte, error) {
 	var resp *protocol.Message
-	inner, err := protocol.Decode(m.Inner)
+	inner, err := protocol.Decode(innerEnc)
 	if err != nil {
 		resp = protocol.Errorf("decode: %v", err)
 	} else if r, err := d.Handle(inner); err != nil {
@@ -428,11 +545,20 @@ func (d *Device) handleSeqReq(m *protocol.Message) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	wire, err := protocol.WrapResp(m.Seq, enc).Encode()
+	wire, err := protocol.WrapResp(seq, enc).Encode()
 	if err != nil {
 		return nil, err
 	}
-	d.seqSeen, d.seqLast, d.seqResp = true, m.Seq, wire
+	if d.seqResp == nil {
+		d.seqResp = make(map[uint32][]byte, SeqCacheEntries)
+	}
+	d.seqResp[seq] = wire
+	d.seqOrder = append(d.seqOrder, seq)
+	if len(d.seqOrder) > SeqCacheEntries {
+		delete(d.seqResp, d.seqOrder[0])
+		d.seqOrder = d.seqOrder[1:]
+	}
+	d.seqSeen, d.seqLast = true, seq
 	return wire, nil
 }
 
@@ -463,8 +589,7 @@ func sessionOver(err error) bool {
 // itself is untouched — only a power cycle reloads BootMem.
 func (d *Device) Serve(ep channel.Endpoint) error {
 	d.macActive = false
-	d.seqSeen = false
-	d.seqResp = nil
+	d.resetSeq()
 	for {
 		req, err := ep.Recv()
 		if err != nil {
@@ -473,18 +598,17 @@ func (d *Device) Serve(ep channel.Endpoint) error {
 			}
 			return err
 		}
-		resp, err := d.HandleBytes(req)
+		resps, err := d.HandleBytesAll(req)
 		if err != nil {
 			return err
 		}
-		if resp == nil {
-			continue
-		}
-		if err := ep.Send(resp); err != nil {
-			if sessionOver(err) {
-				return nil
+		for _, resp := range resps {
+			if err := ep.Send(resp); err != nil {
+				if sessionOver(err) {
+					return nil
+				}
+				return err
 			}
-			return err
 		}
 	}
 }

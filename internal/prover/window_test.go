@@ -1,0 +1,173 @@
+package prover
+
+import (
+	"bytes"
+	"testing"
+
+	"sacha/internal/protocol"
+)
+
+// sendSeqAll wraps m in a request envelope and pushes it through
+// HandleBytesAll, returning every released wire response.
+func sendSeqAll(t *testing.T, d *Device, seq uint32, m *protocol.Message) [][]byte {
+	t.Helper()
+	inner, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := protocol.WrapReq(seq, inner).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps, err := d.HandleBytesAll(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resps
+}
+
+// decodeSeqResp unwraps one wire response and checks its envelope seq.
+func decodeSeqResp(t *testing.T, wire []byte, wantSeq uint32) *protocol.Message {
+	t.Helper()
+	env, err := protocol.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != protocol.MsgSeqResp || env.Seq != wantSeq {
+		t.Fatalf("envelope %v seq %d, want Seq_resp seq %d", env.Type, env.Seq, wantSeq)
+	}
+	in, err := protocol.Decode(env.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestSeqOutOfOrderBufferedAndDrained: future sequences are buffered
+// without executing (no response), and filling the gap releases the whole
+// run in order — the device-side half of the windowed pipeline.
+func TestSeqOutOfOrderBufferedAndDrained(t *testing.T) {
+	d := newDevice(t)
+	if got := sendSeqAll(t, d, 1, protocol.Readback(0)); len(got) != 1 {
+		t.Fatalf("base seq released %d responses, want 1", len(got))
+	}
+	// Deliver 3 and 4 before 2: both must be buffered silently.
+	if got := sendSeqAll(t, d, 3, protocol.Readback(2)); len(got) != 0 {
+		t.Fatalf("future seq 3 released %d responses, want 0", len(got))
+	}
+	if got := sendSeqAll(t, d, 4, protocol.Readback(3)); len(got) != 0 {
+		t.Fatalf("future seq 4 released %d responses, want 0", len(got))
+	}
+	// Seq 2 fills the gap: 2, 3 and 4 come back together, in order.
+	got := sendSeqAll(t, d, 2, protocol.Readback(1))
+	if len(got) != 3 {
+		t.Fatalf("gap fill released %d responses, want 3", len(got))
+	}
+	for i, wire := range got {
+		in := decodeSeqResp(t, wire, uint32(2+i))
+		if in.Type != protocol.MsgFrameData || in.FrameIndex != uint32(1+i) {
+			t.Fatalf("release %d: %v frame %d", i, in.Type, in.FrameIndex)
+		}
+	}
+}
+
+// TestSeqOutOfOrderMACMatchesInOrder: an out-of-order arrival order must
+// leave the MAC identical to a clean in-order run — the buffered
+// execution happens in sequence order, never arrival order.
+func TestSeqOutOfOrderMACMatchesInOrder(t *testing.T) {
+	d1 := newDevice(t)
+	sendSeqAll(t, d1, 1, protocol.Readback(0))
+	sendSeqAll(t, d1, 3, protocol.Readback(2)) // buffered
+	sendSeqAll(t, d1, 2, protocol.Readback(1)) // executes 2 then 3
+	sum1 := decodeSeqResp(t, sendSeqAll(t, d1, 4, protocol.Checksum())[0], 4)
+
+	d2 := newDevice(t)
+	for i, m := range []*protocol.Message{protocol.Readback(0), protocol.Readback(1), protocol.Readback(2)} {
+		sendSeqAll(t, d2, uint32(i+1), m)
+	}
+	sum2 := decodeSeqResp(t, sendSeqAll(t, d2, 4, protocol.Checksum())[0], 4)
+
+	if sum1.Type != protocol.MsgMACValue || sum2.Type != protocol.MsgMACValue {
+		t.Fatalf("checksums %v / %v", sum1.Type, sum2.Type)
+	}
+	if sum1.MAC != sum2.MAC {
+		t.Fatal("out-of-order arrival changed the MAC — execution not in sequence order")
+	}
+}
+
+// TestSeqCacheHoldsWindowOfResponses: with a full pipeline the verifier
+// may re-send any outstanding sequence; every one of the last SeqWindow
+// responses must replay byte-identically from cache.
+func TestSeqCacheHoldsWindowOfResponses(t *testing.T) {
+	d := newDevice(t)
+	firsts := make(map[uint32][]byte)
+	n := uint32(SeqWindow)
+	for s := uint32(1); s <= n; s++ {
+		got := sendSeqAll(t, d, s, protocol.Readback(int(s)%16))
+		if len(got) != 1 {
+			t.Fatalf("seq %d released %d responses", s, len(got))
+		}
+		firsts[s] = got[0]
+	}
+	for s := uint32(1); s <= n; s++ {
+		got := sendSeqAll(t, d, s, protocol.Readback(int(s)%16))
+		if len(got) != 1 || !bytes.Equal(got[0], firsts[s]) {
+			t.Fatalf("seq %d replay differs from cached response", s)
+		}
+	}
+}
+
+// TestSeqCacheEviction: responses beyond SeqCacheEntries age out; an aged
+// sequence is answered with a stale Error, and the retained recent ones
+// still replay.
+func TestSeqCacheEviction(t *testing.T) {
+	d := newDevice(t)
+	total := uint32(SeqCacheEntries + 8)
+	for s := uint32(1); s <= total; s++ {
+		sendSeqAll(t, d, s, protocol.Readback(0))
+	}
+	in := decodeSeqResp(t, sendSeqAll(t, d, 1, protocol.Readback(0))[0], 1)
+	if in.Type != protocol.MsgError {
+		t.Fatalf("evicted seq 1 answered %v, want Error", in.Type)
+	}
+	in = decodeSeqResp(t, sendSeqAll(t, d, total, protocol.Readback(0))[0], total)
+	if in.Type != protocol.MsgFrameData {
+		t.Fatalf("recent seq %d answered %v, want cached FrameData", total, in.Type)
+	}
+}
+
+// TestSeqBeyondWindowRejected: a sequence further ahead than SeqWindow is
+// answered with an Error instead of being buffered — the bound that keeps
+// a hostile peer from growing the reorder buffer without limit.
+func TestSeqBeyondWindowRejected(t *testing.T) {
+	d := newDevice(t)
+	sendSeqAll(t, d, 1, protocol.Readback(0))
+	got := sendSeqAll(t, d, 1+SeqWindow+1, protocol.Readback(1))
+	if len(got) != 1 {
+		t.Fatalf("beyond-window seq released %d responses, want 1 error", len(got))
+	}
+	in := decodeSeqResp(t, got[0], 1+SeqWindow+1)
+	if in.Type != protocol.MsgError {
+		t.Fatalf("beyond-window seq answered %v, want Error", in.Type)
+	}
+	// The sequence space is unharmed: the next in-order seq executes.
+	in = decodeSeqResp(t, sendSeqAll(t, d, 2, protocol.Readback(1))[0], 2)
+	if in.Type != protocol.MsgFrameData {
+		t.Fatalf("seq 2 after rejected future seq answered %v", in.Type)
+	}
+}
+
+// TestSeqWindowCoversVerifierBound: the verifier clamps its pipeline to
+// attestation.MaxWindow; the prover must buffer at least that far ahead
+// and cache at least that many responses, or a full window wedges.
+// (attestation imports prover nowhere, so the bound is pinned here by
+// value rather than by symbol.)
+func TestSeqWindowCoversVerifierBound(t *testing.T) {
+	const verifierMaxWindow = 64 // attestation.MaxWindow
+	if SeqWindow < verifierMaxWindow {
+		t.Fatalf("SeqWindow %d < verifier MaxWindow %d", SeqWindow, verifierMaxWindow)
+	}
+	if SeqCacheEntries < verifierMaxWindow {
+		t.Fatalf("SeqCacheEntries %d < verifier MaxWindow %d", SeqCacheEntries, verifierMaxWindow)
+	}
+}

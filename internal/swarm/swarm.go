@@ -95,9 +95,13 @@ type Report struct {
 	Healthy, Compromised, Unreachable, Failed []uint64
 	// Elapsed is the wall time of the sweep.
 	Elapsed time.Duration
-	// PlansBuilt counts the attestation plans constructed for the sweep:
-	// one per device class under SharePlans, one per device otherwise.
+	// PlansBuilt counts the attestation plans actually constructed for the
+	// sweep: one per device class under SharePlans, fewer (down to zero)
+	// when a PlanCache serves classes it has seen before.
 	PlansBuilt int
+	// PlanCacheHits counts device classes whose plan came out of the
+	// sweep's PlanCache instead of being built.
+	PlanCacheHits int
 }
 
 // SweepConfig bounds a fleet sweep.
@@ -124,6 +128,12 @@ type SweepConfig struct {
 	// PlanOpts are the fleet-wide plan-shaping options under SharePlans
 	// (Offset, Permutation, AppSteps, SignatureMode, ConfigBatch).
 	PlanOpts verifier.Options
+	// PlanCache, if non-nil under SharePlans, caches built plans across
+	// sweeps keyed by (golden-image digest, geometry, options hash). A
+	// repeated sweep with a pinned Nonce then builds zero plans — the
+	// cache returns the previous sweep's plans, and Report.PlansBuilt /
+	// PlanCacheHits make the split observable.
+	PlanCache *attestation.PlanCache
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does
@@ -136,25 +146,45 @@ type planEntry struct {
 	err  error
 }
 
-// buildPlans constructs one shared plan per device class for the sweep
-// nonce. A class whose plan fails to build carries the error to every
-// member (reported Failed, not Unreachable — nothing was transported).
-func (f *Fleet) buildPlans(cfg SweepConfig) map[string]planEntry {
+// buildPlans constructs (or fetches from the cache) one shared plan per
+// device class for the sweep nonce, reporting how many were really built
+// versus served from the cache. A class whose plan fails to build carries
+// the error to every member (reported Failed, not Unreachable — nothing
+// was transported).
+func (f *Fleet) buildPlans(cfg SweepConfig) (plans map[string]planEntry, built, cacheHits int) {
 	nonce := rand.Uint64()
 	if cfg.Nonce != nil {
 		nonce = *cfg.Nonce
 	}
-	plans := make(map[string]planEntry)
+	plans = make(map[string]planEntry)
 	for _, id := range f.order {
 		sys := f.systems[id]
 		key := sys.ClassKey()
 		if _, ok := plans[key]; ok {
 			continue
 		}
+		if cfg.PlanCache != nil {
+			spec, err := sys.PlanSpec(nonce, cfg.PlanOpts)
+			if err != nil {
+				plans[key] = planEntry{err: err}
+				continue
+			}
+			p, didBuild, err := cfg.PlanCache.GetOrBuild(spec)
+			plans[key] = planEntry{plan: p, err: err}
+			if err == nil {
+				if didBuild {
+					built++
+				} else {
+					cacheHits++
+				}
+			}
+			continue
+		}
 		p, err := sys.Plan(nonce, cfg.PlanOpts)
 		plans[key] = planEntry{plan: p, err: err}
+		built++
 	}
-	return plans
+	return plans, built, cacheHits
 }
 
 // Sweep attests every device through a bounded worker pool. The context
@@ -173,8 +203,9 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 	}
 	start := time.Now()
 	var plans map[string]planEntry
+	var plansBuilt, planCacheHits int
 	if cfg.SharePlans {
-		plans = f.buildPlans(cfg)
+		plans, plansBuilt, planCacheHits = f.buildPlans(cfg)
 	}
 	results := make([]DeviceResult, len(f.order))
 	jobs := make(chan int)
@@ -195,7 +226,7 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 	close(jobs)
 	wg.Wait()
 
-	out := &Report{Results: results, Elapsed: time.Since(start), PlansBuilt: len(plans)}
+	out := &Report{Results: results, Elapsed: time.Since(start), PlansBuilt: plansBuilt, PlanCacheHits: planCacheHits}
 	for _, r := range results {
 		switch {
 		case r.Healthy():

@@ -4,10 +4,12 @@ import (
 	"context"
 	"testing"
 
+	"sacha/internal/attestation"
 	"sacha/internal/core"
 	"sacha/internal/device"
 	"sacha/internal/netlist"
 	"sacha/internal/prover"
+	"sacha/internal/verifier"
 )
 
 func factory(id uint64) (*core.System, error) {
@@ -163,3 +165,67 @@ type boomErr struct{}
 func (boomErr) Error() string { return "boom" }
 
 var errBoom = boomErr{}
+
+func TestPlanCacheRepeatedSweepBuildsZeroPlans(t *testing.T) {
+	// The plan-cache contract of the perf work: a repeated sweep with a
+	// pinned nonce pays zero plan builds — the cache returns the previous
+	// sweep's plans by (golden digest, geometry, options) key — and the
+	// verdicts are unchanged.
+	f, err := NewFleet(4, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := uint64(0xFEED)
+	cache := attestation.NewPlanCache(0)
+	cfg := SweepConfig{
+		Concurrency: 2,
+		SharePlans:  true,
+		Nonce:       &nonce,
+		PlanCache:   cache,
+	}
+	first := f.Sweep(context.Background(), cfg, nil)
+	if len(first.Healthy) != 4 {
+		t.Fatalf("first sweep healthy = %v (failed=%v)", first.Healthy, first.Failed)
+	}
+	if first.PlansBuilt != 1 || first.PlanCacheHits != 0 {
+		t.Fatalf("first sweep built=%d hits=%d, want 1/0", first.PlansBuilt, first.PlanCacheHits)
+	}
+	second := f.Sweep(context.Background(), cfg, nil)
+	if len(second.Healthy) != 4 {
+		t.Fatalf("second sweep healthy = %v", second.Healthy)
+	}
+	if second.PlansBuilt != 0 || second.PlanCacheHits != 1 {
+		t.Fatalf("second sweep built=%d hits=%d, want 0/1", second.PlansBuilt, second.PlanCacheHits)
+	}
+	// A different nonce is a different golden image: the cache must NOT
+	// serve the old plan for it.
+	other := uint64(0xD1CE)
+	cfg.Nonce = &other
+	third := f.Sweep(context.Background(), cfg, nil)
+	if third.PlansBuilt != 1 || third.PlanCacheHits != 0 {
+		t.Fatalf("new-nonce sweep built=%d hits=%d, want 1/0", third.PlansBuilt, third.PlanCacheHits)
+	}
+}
+
+func TestWindowedSweep(t *testing.T) {
+	// The pipelined session composes with the fleet path: a sweep whose
+	// per-device runs use Window > 1 attests everyone.
+	f, err := NewFleet(3, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := uint64(0xFEED)
+	rep := f.Sweep(context.Background(), SweepConfig{
+		Concurrency: 3,
+		SharePlans:  true,
+		Nonce:       &nonce,
+	}, func(uint64) core.AttestOptions {
+		pol := verifier.DefaultRetryPolicy()
+		pol.Window = 8
+		return core.AttestOptions{Opts: verifier.Options{Retry: pol}}
+	})
+	if len(rep.Healthy) != 3 {
+		t.Fatalf("healthy = %v (failed=%v unreachable=%v compromised=%v)",
+			rep.Healthy, rep.Failed, rep.Unreachable, rep.Compromised)
+	}
+}

@@ -99,11 +99,11 @@ func New(geo *device.Geometry, key [16]byte) *Verifier {
 	}
 }
 
-// Plan precomputes the fleet-shared half of an attestation for the
-// golden image: build it once per (golden image, geometry, options) and
-// reuse it via RunPlan across any number of devices of the class.
-func (v *Verifier) Plan(golden *fabric.Image, dynFrames []int, opts Options) (*attestation.Plan, error) {
-	return attestation.NewPlan(attestation.Spec{
+// PlanSpec assembles the attestation.Spec for the golden image and the
+// plan-shaping halves of opts — the input of attestation.NewPlan and the
+// cache key of attestation.PlanCache.
+func (v *Verifier) PlanSpec(golden *fabric.Image, dynFrames []int, opts Options) attestation.Spec {
+	return attestation.Spec{
 		Geo:           v.Geo,
 		Golden:        golden,
 		DynFrames:     dynFrames,
@@ -112,7 +112,14 @@ func (v *Verifier) Plan(golden *fabric.Image, dynFrames []int, opts Options) (*a
 		AppSteps:      opts.AppSteps,
 		SignatureMode: opts.SignatureMode,
 		ConfigBatch:   opts.ConfigBatch,
-	})
+	}
+}
+
+// Plan precomputes the fleet-shared half of an attestation for the
+// golden image: build it once per (golden image, geometry, options) and
+// reuse it via RunPlan across any number of devices of the class.
+func (v *Verifier) Plan(golden *fabric.Image, dynFrames []int, opts Options) (*attestation.Plan, error) {
+	return attestation.NewPlan(v.PlanSpec(golden, dynFrames, opts))
 }
 
 // RunPlan drives one per-session Run of a precomputed plan against the
