@@ -31,14 +31,22 @@ import (
 	"sacha/internal/prover"
 )
 
+type phaseResult struct {
+	ConfigNS   int64 `json:"config_ns"`
+	ReadbackNS int64 `json:"readback_ns"`
+	ChecksumNS int64 `json:"checksum_ns"`
+	VerdictNS  int64 `json:"verdict_ns"`
+}
+
 type runResult struct {
-	Window       int     `json:"window"`
-	WallNS       int64   `json:"wall_ns"`
-	Frames       int     `json:"frames"`
-	FramesPerSec float64 `json:"frames_per_sec"`
-	NSPerFrame   float64 `json:"ns_per_frame"`
-	Retries      int     `json:"retries"`
-	Accepted     bool    `json:"accepted"`
+	Window       int         `json:"window"`
+	WallNS       int64       `json:"wall_ns"`
+	Frames       int         `json:"frames"`
+	FramesPerSec float64     `json:"frames_per_sec"`
+	NSPerFrame   float64     `json:"ns_per_frame"`
+	Retries      int         `json:"retries"`
+	Accepted     bool        `json:"accepted"`
+	Phases       phaseResult `json:"phases"`
 }
 
 type planResult struct {
@@ -146,6 +154,12 @@ func measure(geo *device.Geometry, plan *attestation.Plan, key prover.RegisterKe
 			res.Frames = rep.FramesRead
 			res.Retries = rep.Retries
 			res.Accepted = rep.Accepted
+			res.Phases = phaseResult{
+				ConfigNS:   rep.Phases.Config.Nanoseconds(),
+				ReadbackNS: rep.Phases.Readback.Nanoseconds(),
+				ChecksumNS: rep.Phases.Checksum.Nanoseconds(),
+				VerdictNS:  rep.Phases.Verdict.Nanoseconds(),
+			}
 		}
 	}
 	res.FramesPerSec = float64(res.Frames) / (float64(res.WallNS) / float64(time.Second))

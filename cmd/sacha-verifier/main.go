@@ -37,6 +37,7 @@ import (
 	"sacha/internal/channel"
 	"sacha/internal/core"
 	"sacha/internal/device"
+	"sacha/internal/obs"
 )
 
 type target struct {
@@ -63,7 +64,22 @@ func main() {
 	plain := flag.Bool("plain", false, "disable the fault-tolerant transport (paper's bare protocol)")
 	window := flag.Int("window", 1, "pipelined frames in flight per prover (1 = lockstep; needs the reliable transport)")
 	concurrency := flag.Int("concurrency", 4, "concurrent connections when attesting several provers")
+	obsAddr := flag.String("obs-addr", "", "serve Prometheus /metrics, JSON /debug/sweep and pprof on this address (e.g. 127.0.0.1:9090)")
+	obsLinger := flag.Duration("obs-linger", 0, "keep the observability endpoint up this long after the sweep (needs -obs-addr)")
 	flag.Parse()
+
+	// SACHA_LOG / SACHA_LOG_FORMAT pick level and encoding; the endpoint
+	// below serves the matching metric families live during the sweep.
+	logger := obs.Logger()
+	var tracker *obs.SweepTracker
+	if *obsAddr != "" {
+		tracker = obs.NewSweepTracker()
+		srv, bound, err := obs.Serve(*obsAddr, nil, tracker)
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sacha-verifier: observability endpoint on http://%s/ (metrics, debug/sweep, debug/pprof)\n", bound)
+		logger.Info("observability endpoint up", "addr", bound.String())
+	}
 
 	geo, err := device.ByName(*devName)
 	fatal(err)
@@ -100,6 +116,13 @@ func main() {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
 
+	if tracker != nil {
+		begin := make([]obs.SweepTarget, len(addrs))
+		for i, addr := range addrs {
+			begin[i] = obs.SweepTarget{Name: addr, Class: geo.Name}
+		}
+		tracker.Begin(begin)
+	}
 	targets := make([]target, len(addrs))
 	workers := *concurrency
 	if workers < 1 {
@@ -115,7 +138,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				targets[i] = attestOne(addrs[i], plan, runOptions(
+				targets[i] = attestOne(addrs[i], plan, tracker, runOptions(
 					key, *trace && len(addrs) == 1,
 					*plain, *timeout, *retries, *backoff, *window))
 			}
@@ -151,12 +174,19 @@ func main() {
 		fmt.Printf("B_Prv == B_Vrf:    %v\n", rep.ConfigOK)
 		fmt.Printf("retries:           %d (%d transport faults)\n", rep.Retries, rep.TransportFaults)
 		fmt.Printf("wall time:         %v\n", tg.wall.Round(time.Millisecond))
+		fmt.Printf("phases:            config=%v readback=%v checksum=%v verdict=%v\n",
+			rep.Phases.Config.Round(time.Microsecond), rep.Phases.Readback.Round(time.Microsecond),
+			rep.Phases.Checksum.Round(time.Microsecond), rep.Phases.Verdict.Round(time.Microsecond))
 		if rep.Accepted {
 			fmt.Println("verdict:           ACCEPTED — device attested")
 		} else {
 			allOK = false
 			fmt.Printf("verdict:           REJECTED (%d mismatching frames)\n", len(rep.Mismatches))
 		}
+	}
+	if *obsAddr != "" && *obsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "sacha-verifier: lingering %v for metric scrapes\n", *obsLinger)
+		time.Sleep(*obsLinger)
 	}
 	if !allOK {
 		os.Exit(1)
@@ -183,8 +213,22 @@ func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries 
 	return opts
 }
 
-func attestOne(addr string, plan *attestation.Plan, opts attestation.RunOpts) target {
+func attestOne(addr string, plan *attestation.Plan, tracker *obs.SweepTracker, opts attestation.RunOpts) target {
 	tg := target{addr: addr}
+	if tracker != nil {
+		tracker.Start(addr)
+		defer func() {
+			out := obs.SweepOutcome{Verdict: verdictOf(tg), Elapsed: tg.wall}
+			if tg.rep != nil {
+				out.Retries = tg.rep.Retries
+				out.TransportFaults = tg.rep.TransportFaults
+			}
+			if tg.err != nil {
+				out.Err = tg.err.Error()
+			}
+			tracker.Done(addr, out)
+		}()
+	}
 	ep, err := channel.Dial(addr)
 	if err != nil {
 		// A prover we cannot even dial is the canonical unreachable case —
@@ -204,6 +248,20 @@ func attestOne(addr string, plan *attestation.Plan, opts attestation.RunOpts) ta
 	tg.rep, tg.err = plan.Run(link, opts)
 	tg.wall = time.Since(start)
 	return tg
+}
+
+// verdictOf maps one target's outcome onto the sweep verdict taxonomy.
+func verdictOf(tg target) string {
+	switch {
+	case tg.err == nil && tg.rep != nil && tg.rep.Accepted:
+		return obs.VerdictHealthy
+	case tg.err == nil && tg.rep != nil:
+		return obs.VerdictCompromised
+	case attestation.IsTransport(tg.err):
+		return obs.VerdictUnreachable
+	default:
+		return obs.VerdictFailed
+	}
 }
 
 func fatal(err error) {

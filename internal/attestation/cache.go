@@ -100,10 +100,12 @@ func (c *PlanCache) GetOrBuild(spec Spec) (plan *Plan, built bool, err error) {
 		c.hits++
 		plan := el.Value.(*cacheEntry).plan
 		c.mu.Unlock()
+		mPlanCacheHits.Inc()
 		return plan, false, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
+		mPlanCacheWaits.Inc()
 		<-fl.done
 		return fl.plan, false, fl.err
 	}
@@ -111,6 +113,7 @@ func (c *PlanCache) GetOrBuild(spec Spec) (plan *Plan, built bool, err error) {
 	c.inflight[key] = fl
 	c.misses++
 	c.mu.Unlock()
+	mPlanCacheMisses.Inc()
 
 	fl.plan, fl.err = NewPlan(spec)
 
@@ -119,10 +122,13 @@ func (c *PlanCache) GetOrBuild(spec Spec) (plan *Plan, built bool, err error) {
 	if fl.err == nil {
 		el := c.order.PushFront(&cacheEntry{key: key, plan: fl.plan})
 		c.entries[key] = el
+		mPlanCacheEntries.Inc()
 		for c.order.Len() > c.capacity {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			mPlanCacheEvictions.Inc()
+			mPlanCacheEntries.Dec()
 		}
 	}
 	c.mu.Unlock()

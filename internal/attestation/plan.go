@@ -29,6 +29,8 @@ import (
 	"sacha/internal/fabric"
 	"sacha/internal/protocol"
 	"sacha/internal/timing"
+
+	"time"
 )
 
 // MaxConfigBatch caps batched configuration at four frames per packet:
@@ -108,6 +110,11 @@ type Plan struct {
 // NewPlan validates the spec and precomputes every fleet-invariant
 // artifact of the protocol. The returned Plan never mutates.
 func NewPlan(spec Spec) (*Plan, error) {
+	start := time.Now()
+	defer func() {
+		mPlanBuilds.Inc()
+		mPlanBuildSeconds.ObserveDuration(time.Since(start))
+	}()
 	if spec.Geo == nil {
 		return nil, fmt.Errorf("attestation: plan without a geometry")
 	}

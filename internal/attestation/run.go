@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"sacha/internal/channel"
 	"sacha/internal/cmac"
@@ -43,6 +44,27 @@ type RunOpts struct {
 	Timeline *sim.Timeline
 }
 
+// PhaseBreakdown splits one run's wall time across the protocol
+// phases. The boundaries are contiguous — config ends where readback
+// begins (the CAPTURE App_step, when used, is charged to readback) —
+// so the four durations sum to Elapsed up to clock granularity.
+type PhaseBreakdown struct {
+	// Config is the dynamic-configuration phase (paper actions A1–A2).
+	Config time.Duration
+	// Readback covers frame readback, MAC absorption and sendback
+	// (A3–A8), plus the optional App_step.
+	Readback time.Duration
+	// Checksum is the MAC/signature finalisation exchange (A9–A10).
+	Checksum time.Duration
+	// Verdict is the verifier-side comparison close-out.
+	Verdict time.Duration
+}
+
+// Sum returns the total of the four phases.
+func (p PhaseBreakdown) Sum() time.Duration {
+	return p.Config + p.Readback + p.Checksum + p.Verdict
+}
+
 // Report is the outcome of one attestation.
 type Report struct {
 	// MACOK: H_Prv equals H_Vrf (frames authentic and untampered in
@@ -68,6 +90,11 @@ type Report struct {
 	// make link flakiness observable and distinguishable from a MAC
 	// rejection.
 	Retries, TransportFaults int
+	// Phases is the per-phase wall-time breakdown of this run; Elapsed
+	// is the end-to-end wall time. The phases are contiguous, so
+	// Phases.Sum() equals Elapsed up to clock granularity.
+	Phases  PhaseBreakdown
+	Elapsed time.Duration
 }
 
 // Run drives the full SACHa protocol of Fig. 9 against the prover at the
@@ -80,7 +107,13 @@ type Report struct {
 // responses are re-ordered into plan order before the CMAC/transcript
 // absorbs them, so the verdict and H_Vrf are independent of the window
 // size and of any transport reordering.
-func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
+func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
+	start := time.Now()
+	defer func() {
+		if err != nil {
+			mRuns.With("error").Inc()
+		}
+	}()
 	trc := func(format string, args ...any) {
 		if opts.Trace != nil {
 			fmt.Fprintf(opts.Trace, format+"\n", args...)
@@ -184,6 +217,7 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 	}
 	trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
 		p.dynFirst, p.dynLast, p.dynCount)
+	tConfig := time.Now()
 
 	// Optional CAPTURE extension: clock the application deterministically
 	// before reading back. The matching prediction was computed at plan
@@ -233,6 +267,7 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 	}
 	trc("command: ICAP_readback(%d)..ICAP_readback(%d)  [%d frames, order offset %d mod %d]",
 		p.order[0], p.order[len(p.order)-1], len(p.order), p.order[0], p.geo.NumFrames())
+	tReadback := time.Now()
 
 	// Phase 3: checksum.
 	if p.signatureMode {
@@ -264,6 +299,8 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 		}
 	}
 
+	tChecksum := time.Now()
+
 	// Phase 4: verdict. The comparison already happened frame by frame;
 	// mismatches are reported in ascending frame order regardless of the
 	// readback permutation.
@@ -272,7 +309,34 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (*Report, error) {
 	trc("verdict: B_Prv == B_Vrf: %v  (%d mismatching frames)", rep.ConfigOK, len(rep.Mismatches))
 
 	rep.Accepted = rep.MACOK && rep.ConfigOK
+	end := time.Now()
+	rep.Phases = PhaseBreakdown{
+		Config:   tConfig.Sub(start),
+		Readback: tReadback.Sub(tConfig),
+		Checksum: tChecksum.Sub(tReadback),
+		Verdict:  end.Sub(tChecksum),
+	}
+	rep.Elapsed = end.Sub(start)
+	recordRun(rep)
 	return rep, nil
+}
+
+// recordRun publishes one completed run into the metric families: the
+// per-phase and end-to-end latency histograms, the verdict counter and
+// the frame totals.
+func recordRun(rep *Report) {
+	mPhaseSeconds.With(PhaseConfig).ObserveDuration(rep.Phases.Config)
+	mPhaseSeconds.With(PhaseReadback).ObserveDuration(rep.Phases.Readback)
+	mPhaseSeconds.With(PhaseChecksum).ObserveDuration(rep.Phases.Checksum)
+	mPhaseSeconds.With(PhaseVerdict).ObserveDuration(rep.Phases.Verdict)
+	mRunSeconds.ObserveDuration(rep.Elapsed)
+	verdict := "rejected"
+	if rep.Accepted {
+		verdict = "accepted"
+	}
+	mRuns.With(verdict).Inc()
+	mFramesRead.Add(uint64(rep.FramesRead))
+	mFramesConfigured.Add(uint64(rep.FramesConfigured))
 }
 
 // appendFrameBytes serialises frame words into dst (big-endian, matching

@@ -205,7 +205,7 @@ func (s *session) exchange(enc []byte, op string, wantResp bool) (*protocol.Mess
 	var lastErr error = channel.ErrTimeout
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			s.rep.Retries++
+			s.noteRetry()
 			s.sleepBackoff(a)
 		}
 		if s.recvErr != nil {
@@ -244,19 +244,34 @@ func (s *session) await() (*protocol.Message, error) {
 			}
 			env, err := protocol.Decode(r.raw)
 			if err != nil || env.Type != protocol.MsgSeqResp || env.Seq != s.seq {
-				s.rep.TransportFaults++
+				s.noteFault()
 				continue
 			}
 			resp, err := protocol.Decode(env.Inner)
 			if err != nil {
-				s.rep.TransportFaults++
+				s.noteFault()
 				continue
 			}
 			return resp, nil
 		case <-timer.C:
+			mTimeouts.Inc()
 			return nil, channel.ErrTimeout
 		}
 	}
+}
+
+// noteRetry counts one message re-send in the per-run report and the
+// process-wide transport metrics.
+func (s *session) noteRetry() {
+	s.rep.Retries++
+	mRetries.Inc()
+}
+
+// noteFault counts one discarded incoming message (corrupt envelope,
+// stale duplicate) in the per-run report and the process-wide metrics.
+func (s *session) noteFault() {
+	s.rep.TransportFaults++
+	mTransportFaults.Inc()
 }
 
 // sleepBackoff sleeps before the attempt-th re-send: exponential from

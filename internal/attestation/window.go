@@ -69,7 +69,7 @@ func (s *session) runWindow(cmds []windowCmd, window int, deliver func(k int, re
 		}
 		e.attempts++
 		if resend {
-			s.rep.Retries++
+			s.noteRetry()
 		}
 		if err := s.ep.Send(e.wire); err != nil {
 			e.lastErr = err
@@ -97,6 +97,11 @@ func (s *session) runWindow(cmds []windowCmd, window int, deliver func(k int, re
 	defer stopTimer()
 
 	next, done := 0, 0 // next command to send; next response to deliver
+	// The occupancy gauge tracks envelopes in flight across all
+	// concurrent runs: +1 when a command first ships, -1 when its
+	// response is delivered; the deferred settle drains whatever is
+	// still outstanding when the run exits (success or error).
+	defer func() { mWindowInflight.Add(int64(done - next)) }()
 	for done < len(cmds) {
 		for next < len(cmds) && next-done < window {
 			e := &entries[next]
@@ -112,6 +117,8 @@ func (s *session) runWindow(cmds []windowCmd, window int, deliver func(k int, re
 			if err := sendEntry(next, false); err != nil {
 				return err
 			}
+			mWindowInflight.Inc()
+			mWindowCmds.Inc()
 			next++
 		}
 		if s.recvErr != nil {
@@ -145,19 +152,19 @@ func (s *session) runWindow(cmds []windowCmd, window int, deliver func(k int, re
 			}
 			env, err := protocol.Decode(r.raw)
 			if err != nil || env.Type != protocol.MsgSeqResp {
-				s.rep.TransportFaults++
+				s.noteFault()
 				continue
 			}
 			i, ok := pending[env.Seq]
 			if !ok {
 				// A stale duplicate of an already-delivered sequence, or
 				// garbage with a well-formed envelope.
-				s.rep.TransportFaults++
+				s.noteFault()
 				continue
 			}
 			inner, err := protocol.Decode(env.Inner)
 			if err != nil {
-				s.rep.TransportFaults++
+				s.noteFault()
 				continue
 			}
 			entries[i].resp = inner
@@ -171,6 +178,7 @@ func (s *session) runWindow(cmds []windowCmd, window int, deliver func(k int, re
 				}
 				entries[done].resp = nil
 				done++
+				mWindowInflight.Dec()
 			}
 
 		case now := <-timer.C:
@@ -179,6 +187,7 @@ func (s *session) runWindow(cmds []windowCmd, window int, deliver func(k int, re
 				if e.got || e.deadline.After(now) {
 					continue
 				}
+				mTimeouts.Inc()
 				if err := sendEntry(i, true); err != nil {
 					return err
 				}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"sacha/internal/obs"
 )
 
 // Typed transport errors. Wrappers and the TCP endpoint return these so
@@ -105,9 +107,15 @@ type FaultConfig struct {
 
 // FaultStats counts the faults a FaultEndpoint injected.
 type FaultStats struct {
-	Sent, Received                                           int
+	Sent, Received                                             int
 	Dropped, Duplicated, Reordered, Corrupted, Delayed, Resets int
 }
+
+// mFaultsInjected counts every fault the injector layer introduces, by
+// kind — the ground truth the transport-level retry/fault counters are
+// judged against in fault experiments.
+var mFaultsInjected = obs.Default().CounterVec("sacha_channel_faults_injected_total",
+	"Transport faults injected by FaultEndpoint wrappers, by kind.", "kind")
 
 // held is a reordered message waiting for its release point.
 type held struct {
@@ -205,6 +213,7 @@ func (f *FaultEndpoint) doReset() {
 	f.reset = true
 	f.stats.Resets++
 	f.mu.Unlock()
+	mFaultsInjected.With(FaultReset.String()).Inc()
 	f.inner.Close()
 }
 
@@ -239,6 +248,9 @@ func (f *FaultEndpoint) Send(msg []byte) error {
 		f.stats.Delayed++
 	}
 	f.mu.Unlock()
+	if kind != FaultNone {
+		mFaultsInjected.With(kind.String()).Inc()
+	}
 
 	var err error
 	switch kind {
@@ -323,6 +335,9 @@ func (f *FaultEndpoint) Recv() ([]byte, error) {
 			f.stats.Delayed++
 		}
 		f.mu.Unlock()
+		if kind != FaultNone {
+			mFaultsInjected.With(kind.String()).Inc()
+		}
 
 		// Release held messages whose window has passed before deciding
 		// this message's fate, so reordered traffic eventually drains.

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the observability endpoint: Prometheus-text /metrics
+// for reg (nil = Default), a JSON /debug/sweep snapshot of sweep (404
+// when nil), and the net/http/pprof suite under /debug/pprof/ — wired
+// explicitly so the handler composes with any mux instead of leaking
+// into http.DefaultServeMux.
+func Handler(reg *Registry, sweep *SweepTracker) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if sweep == nil {
+			http.Error(w, "no sweep tracker attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sweep.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler(reg, sweep) in a background
+// goroutine. It returns the bound address (useful with ":0") and the
+// server, which the caller shuts down when done. Listen errors are
+// returned synchronously so a mistyped -obs-addr fails fast.
+func Serve(addr string, reg *Registry, sweep *SweepTracker) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, sweep),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

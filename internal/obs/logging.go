@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Log-level environment knobs. SACHA_LOG selects the level
+// (debug|info|warn|error, default warn — libraries stay quiet unless
+// asked); SACHA_LOG_FORMAT selects text (default) or json.
+const (
+	LogLevelEnv  = "SACHA_LOG"
+	LogFormatEnv = "SACHA_LOG_FORMAT"
+)
+
+var (
+	logOnce   sync.Once
+	logger    *slog.Logger
+	logLevel  = new(slog.LevelVar)
+	logOutput = os.Stderr
+)
+
+// Logger returns the process-wide structured logger. It is built once,
+// from the SACHA_LOG / SACHA_LOG_FORMAT environment: a text or JSON
+// slog handler on stderr. Instrumented packages log through it at
+// debug/info; the default level (warn) keeps tests and library callers
+// quiet until the operator opts in.
+func Logger() *slog.Logger {
+	logOnce.Do(func() {
+		logLevel.Set(ParseLevel(os.Getenv(LogLevelEnv)))
+		opts := &slog.HandlerOptions{Level: logLevel}
+		var h slog.Handler
+		if strings.EqualFold(os.Getenv(LogFormatEnv), "json") {
+			h = slog.NewJSONHandler(logOutput, opts)
+		} else {
+			h = slog.NewTextHandler(logOutput, opts)
+		}
+		logger = slog.New(h)
+	})
+	return logger
+}
+
+// SetLogLevel overrides the level of the process logger at runtime —
+// the CLI hook for a -v style flag taking precedence over the
+// environment.
+func SetLogLevel(l slog.Level) {
+	Logger() // ensure the handler exists and shares logLevel
+	logLevel.Set(l)
+}
+
+// ParseLevel maps a level name to a slog.Level; unknown or empty names
+// mean warn.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "info":
+		return slog.LevelInfo
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelWarn
+	}
+}

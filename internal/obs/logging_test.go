@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"log/slog"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"debug", slog.LevelDebug},
+		{"INFO", slog.LevelInfo},
+		{"Warn", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"error", slog.LevelError},
+		{"", slog.LevelWarn},      // default keeps library output quiet
+		{"bogus", slog.LevelWarn}, // unknown values fall back, never panic
+		{" debug ", slog.LevelDebug} /* whitespace-tolerant */}
+	for _, c := range cases {
+		if got := ParseLevel(c.in); got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLoggerLevelSwitch(t *testing.T) {
+	l := Logger()
+	if l == nil {
+		t.Fatal("Logger() returned nil")
+	}
+	SetLogLevel(slog.LevelDebug)
+	if !l.Enabled(nil, slog.LevelDebug) {
+		t.Error("debug not enabled after SetLogLevel(debug)")
+	}
+	SetLogLevel(slog.LevelWarn)
+	if l.Enabled(nil, slog.LevelInfo) {
+		t.Error("info still enabled after SetLogLevel(warn)")
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(b *strings.Builder, name, labelStr string) {
+	writeSample(b, name, labelStr, strconv.FormatUint(c.Value(), 10))
+}
+
+// Gauge is an integer-valued gauge. The zero value is ready to use; all
+// methods are safe for concurrent use and lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(b *strings.Builder, name, labelStr string) {
+	writeSample(b, name, labelStr, strconv.FormatInt(g.Value(), 10))
+}
+
+// DefBuckets are the default histogram buckets, in seconds: exponential
+// from 10 µs to ~40 s, sized for attestation phases that range from a
+// sub-millisecond TinyLX readback to a full-device sweep.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2,
+	0.1, 0.25, 1, 2.5, 10, 40,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (seconds, by convention). Observations are lock-free: each lands in
+// one atomic bucket counter plus an atomic CAS on the running sum.
+type Histogram struct {
+	buckets []float64       // ascending upper bounds
+	counts  []atomic.Uint64 // len(buckets)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the sum
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", buckets))
+		}
+	}
+	return &Histogram{
+		buckets: buckets,
+		counts:  make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.buckets) && v > h.buckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the owning bucket — the usual Prometheus
+// histogram_quantile estimate. It returns 0 with no observations; an
+// estimate landing in the +Inf bucket returns the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(seen+c) >= rank && c > 0 {
+			if i >= len(h.buckets) {
+				return h.buckets[len(h.buckets)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.buckets[i-1]
+			}
+			frac := (rank - float64(seen)) / float64(c)
+			return lower + (h.buckets[i]-lower)*frac
+		}
+		seen += c
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
+func (h *Histogram) write(b *strings.Builder, name, labelStr string) {
+	var cum uint64
+	for i, bound := range h.buckets {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", joinLabels(labelStr, fmt.Sprintf("le=%q", formatFloat(bound))),
+			strconv.FormatUint(cum, 10))
+	}
+	cum += h.counts[len(h.buckets)].Load()
+	writeSample(b, name+"_bucket", joinLabels(labelStr, `le="+Inf"`), strconv.FormatUint(cum, 10))
+	writeSample(b, name+"_sum", labelStr, formatFloat(h.Sum()))
+	writeSample(b, name+"_count", labelStr, strconv.FormatUint(h.Count(), 10))
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// joinLabels merges a rendered label fragment with an extra pair.
+func joinLabels(labelStr, extra string) string {
+	if labelStr == "" {
+		return extra
+	}
+	return labelStr + "," + extra
+}
+
+// writeSample appends one exposition line.
+func writeSample(b *strings.Builder, name, labelStr, value string) {
+	b.WriteString(name)
+	if labelStr != "" {
+		b.WriteByte('{')
+		b.WriteString(labelStr)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}

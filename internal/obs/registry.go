@@ -1,0 +1,264 @@
+// Package obs is the observability substrate of the SACHa stack: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms, with optional label families), a Prometheus
+// text exposition of everything registered, a structured-logging setup
+// on log/slog, and a live sweep tracker the verifier CLI serves as a
+// JSON debug snapshot.
+//
+// The paper's evaluation (Table 3, Fig. 9) is an accounting of where
+// attestation time goes; this package makes the same accounting
+// available from a live system. Instrumented packages register their
+// metric families once, at init time, against the process-wide Default
+// registry — the Prometheus client idiom, without the dependency:
+//
+//	var mRuns = obs.Default().CounterVec(
+//		"sacha_attest_runs_total", "Attestation runs by verdict.", "verdict")
+//	...
+//	mRuns.With("accepted").Inc()
+//
+// Every metric operation on the hot path is a single atomic update, so
+// instrumentation stays well under the perf budget of the windowed
+// readback pipeline.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType enumerates the supported Prometheus metric types.
+type MetricType string
+
+// Metric types, matching the Prometheus exposition TYPE values.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Registry holds metric families. All methods are safe for concurrent
+// use; registration of an already-registered family returns the
+// existing one (so package-level vars and tests compose), while a
+// name collision across types or label schemas panics — that is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the instrumented packages
+// register into and the CLIs expose over /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// Family is one named metric family: a type, a help string, a label
+// schema and the children keyed by their label values. An unlabelled
+// metric is a family with one child under the empty key.
+type Family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]metric
+}
+
+// metric is the common face of Counter, Gauge and Histogram for the
+// exposition writer.
+type metric interface {
+	// write appends the exposition lines for this child. labelStr is the
+	// pre-rendered {k="v",...} fragment without braces ("" when
+	// unlabelled).
+	write(b *strings.Builder, name, labelStr string)
+}
+
+// family registers (or fetches) a family, enforcing schema consistency.
+func (r *Registry) family(name, help string, typ MetricType, labels []string, buckets []float64) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: conflicting registration of %q (%s%v vs %s%v)",
+				name, f.typ, f.labels, typ, labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: conflicting labels for %q: %v vs %v", name, f.labels, labels))
+			}
+		}
+		return f
+	}
+	f := &Family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]metric),
+	}
+	r.families[name] = f
+	return f
+}
+
+// child fetches or creates the family member for the label values.
+func (f *Family) child(values []string, make func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %q expects %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m = make()
+	f.children[key] = m
+	return m
+}
+
+// labelKey joins label values with an unlikely separator so distinct
+// tuples cannot collide.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// labelString renders the {k="v",...} fragment (without braces) for a
+// child's label values.
+func (f *Family) labelString(key string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	values := strings.Split(key, "\x1f")
+	parts := make([]string, len(f.labels))
+	for i, name := range f.labels {
+		// %q escapes backslash, double quote and newline — the three
+		// characters the Prometheus text format requires escaped.
+		parts[i] = fmt.Sprintf("%s=%q", name, values[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Counter returns the unlabelled counter of the family, registering it
+// on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, TypeCounter, nil, nil)
+	return f.child(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge returns the unlabelled gauge of the family, registering it on
+// first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, TypeGauge, nil, nil)
+	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram returns the unlabelled histogram of the family, registering
+// it on first use. A nil buckets slice uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.family(name, help, TypeHistogram, nil, buckets)
+	return f.child(nil, func() metric { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family. A nil
+// buckets slice uses DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{fam: r.family(name, help, TypeHistogram, labels, buckets)}
+}
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{ fam *Family }
+
+// With returns the counter for the label values, creating it on first
+// use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.child(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct{ fam *Family }
+
+// With returns the gauge for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{ fam *Family }
+
+// With returns the histogram for the label values, creating it on first
+// use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.fam.child(values, func() metric { return newHistogram(v.fam.buckets) }).(*Histogram)
+}
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (families and children in lexicographic order, so
+// the output is deterministic and golden-testable).
+func (r *Registry) WritePrometheus(w interface{ Write([]byte) (int, error) }) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*Family, len(names))
+	for name, f := range r.families {
+		fams[name] = f
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		children := make(map[string]metric, len(keys))
+		for k, m := range f.children {
+			children[k] = m
+		}
+		f.mu.RUnlock()
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, k := range keys {
+			children[k].write(&b, f.name, f.labelString(k))
+		}
+	}
+	_, err := w.Write([]byte(b.String()))
+	return err
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format end to end:
+// HELP/TYPE headers, lexicographic family and child order, label
+// escaping, and the cumulative histogram lines with _sum/_count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "A plain counter.").Add(3)
+	v := reg.CounterVec("a_total", "A labelled counter.", "kind")
+	v.With("x").Add(2)
+	v.With(`quote"and\slash`).Inc()
+	reg.Gauge("c_gauge", "A gauge.").Set(-7)
+	h := reg.Histogram("d_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP a_total A labelled counter.
+# TYPE a_total counter
+a_total{kind="quote\"and\\slash"} 1
+a_total{kind="x"} 2
+# HELP b_total A plain counter.
+# TYPE b_total counter
+b_total 3
+# HELP c_gauge A gauge.
+# TYPE c_gauge gauge
+c_gauge -7
+# HELP d_seconds A histogram.
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 2
+d_seconds_bucket{le="1"} 3
+d_seconds_bucket{le="+Inf"} 4
+d_seconds_sum 5.6
+d_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistrationIdempotent checks that re-registering the same family
+// returns the same underlying metric (package-level vars and tests
+// compose), while schema conflicts panic.
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total", "help")
+	c2 := reg.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Error("same-family Counter registration returned distinct counters")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Errorf("re-registered counter sees %d, want 1", c2.Value())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration (counter as gauge) did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "help")
+}
+
+func TestRegistrationLabelConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("y_total", "help", "kind")
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting label schema did not panic")
+		}
+	}()
+	reg.CounterVec("y_total", "help", "other")
+}
+
+// TestConcurrentUpdates hammers every metric kind from many goroutines;
+// run under -race this is the data-race proof for the lock-free paths,
+// and the totals prove no update is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits_total", "h")
+	g := reg.Gauge("level", "h")
+	cv := reg.CounterVec("kinds_total", "h", "kind")
+	hv := reg.HistogramVec("lat_seconds", "h", []float64{0.001, 0.01, 0.1}, "phase")
+
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kind := []string{"a", "b"}[w%2]
+			phase := []string{"config", "readback"}[w%2]
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				cv.With(kind).Inc()
+				hv.With(phase).Observe(float64(i%100) / 1000)
+			}
+		}()
+	}
+	// A concurrent scrape must not race with the writers either.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("concurrent WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter lost updates: %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge should settle at 0, got %d", got)
+	}
+	if a, b := cv.With("a").Value(), cv.With("b").Value(); a+b != workers*perWorker {
+		t.Errorf("labelled counters lost updates: %d+%d, want %d", a, b, workers*perWorker)
+	}
+	total := hv.With("config").Count() + hv.With("readback").Count()
+	if total != workers*perWorker {
+		t.Errorf("histograms lost observations: %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 14 {
+		t.Errorf("Sum = %g, want 14", h.Sum())
+	}
+	// Bucket occupancy: le=1 → {0.5, 1}, le=2 → {1.5}, le=4 → {3}, +Inf → {8}.
+	for i, want := range []uint64{2, 1, 1, 1} {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d holds %d, want %d", i, got, want)
+		}
+	}
+	if q := h.Quantile(0.5); q < 0.5 || q > 2 {
+		t.Errorf("median estimate %g outside [0.5, 2]", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("q=1 estimate %g, want the largest finite bound 4", q)
+	}
+	empty := newHistogram([]float64{1})
+	if q := empty.Quantile(0.9); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSweepTrackerLifecycle(t *testing.T) {
+	tr := NewSweepTracker()
+	tr.Begin([]SweepTarget{
+		{Name: "device-1", Class: "SmallLX"},
+		{Name: "device-2", Class: "SmallLX"},
+		{Name: "device-3", Class: "BigLX"},
+	})
+
+	snap := tr.Snapshot()
+	if snap.Total != 3 || snap.InFlight != 0 || snap.Completed != 0 {
+		t.Fatalf("fresh sweep: total=%d inflight=%d completed=%d, want 3/0/0",
+			snap.Total, snap.InFlight, snap.Completed)
+	}
+
+	tr.Start("device-1")
+	tr.Start("device-2")
+	snap = tr.Snapshot()
+	if snap.InFlight != 2 {
+		t.Errorf("in_flight = %d, want 2", snap.InFlight)
+	}
+
+	tr.Done("device-1", SweepOutcome{Verdict: VerdictHealthy, Retries: 2, TransportFaults: 1, Elapsed: time.Millisecond})
+	tr.Done("device-2", SweepOutcome{Verdict: VerdictCompromised})
+	tr.Start("device-3")
+	tr.Done("device-3", SweepOutcome{Err: "boom"}) // empty verdict → failed
+
+	snap = tr.Snapshot()
+	if snap.Completed != 3 || snap.InFlight != 0 {
+		t.Errorf("completed=%d inflight=%d, want 3/0", snap.Completed, snap.InFlight)
+	}
+	if snap.Verdicts[VerdictHealthy] != 1 || snap.Verdicts[VerdictCompromised] != 1 || snap.Verdicts[VerdictFailed] != 1 {
+		t.Errorf("verdict tallies = %v", snap.Verdicts)
+	}
+	if snap.Retries != 2 || snap.TransportFaults != 1 {
+		t.Errorf("rollup retries=%d faults=%d, want 2/1", snap.Retries, snap.TransportFaults)
+	}
+	if got := snap.PerClass["SmallLX"]; got[VerdictHealthy] != 1 || got[VerdictCompromised] != 1 {
+		t.Errorf("SmallLX per-class tallies = %v", got)
+	}
+	if got := snap.PerClass["BigLX"]; got[VerdictFailed] != 1 {
+		t.Errorf("BigLX per-class tallies = %v", got)
+	}
+	if len(snap.Targets) != 3 || snap.Targets[0].Target != "device-1" || snap.Targets[0].Verdict != VerdictHealthy {
+		t.Errorf("target rows = %+v", snap.Targets)
+	}
+
+	// Begin resets for the next sweep.
+	tr.Begin([]SweepTarget{{Name: "device-9"}})
+	snap = tr.Snapshot()
+	if snap.Total != 1 || snap.Completed != 0 {
+		t.Errorf("after reset: total=%d completed=%d, want 1/0", snap.Total, snap.Completed)
+	}
+}
+
+// TestSweepTrackerConcurrent drives Start/Done/Snapshot from many
+// goroutines — the tracker is shared between sweep workers and the HTTP
+// handler, so this is its -race proof.
+func TestSweepTrackerConcurrent(t *testing.T) {
+	tr := NewSweepTracker()
+	const n = 64
+	targets := make([]SweepTarget, n)
+	names := make([]string, n)
+	for i := range targets {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		targets[i] = SweepTarget{Name: names[i], Class: "c"}
+	}
+	tr.Begin(targets)
+
+	var wg sync.WaitGroup
+	for _, name := range names {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Start(name)
+			tr.Done(name, SweepOutcome{Verdict: VerdictHealthy})
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	if snap := tr.Snapshot(); snap.Completed != n || snap.Verdicts[VerdictHealthy] != n {
+		t.Errorf("completed=%d healthy=%d, want %d/%d", snap.Completed, snap.Verdicts[VerdictHealthy], n, n)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sacha/internal/trace"
+)
+
+// TraceSink bridges internal/trace into the metrics registry: attached
+// as a trace.Log's Sink, it aggregates every recorded protocol event
+// into a per-Kind histogram family (virtual durations, in seconds) plus
+// exact per-Kind count/total aggregates — enough to print a paper-style
+// Table 3 ("where does attestation time go, per action class") from any
+// instrumented run, live, without retaining the event stream.
+type TraceSink struct {
+	hist *HistogramVec
+
+	mu   sync.Mutex
+	aggs map[trace.Kind]*kindAgg
+}
+
+type kindAgg struct {
+	count int
+	total time.Duration
+	max   time.Duration
+}
+
+// NewTraceSink returns a sink registering its histogram family
+// ("sacha_trace_step_seconds", labelled by kind) into reg; nil means
+// the Default registry.
+func NewTraceSink(reg *Registry) *TraceSink {
+	if reg == nil {
+		reg = Default()
+	}
+	return &TraceSink{
+		hist: reg.HistogramVec("sacha_trace_step_seconds",
+			"Virtual duration of recorded protocol steps by action kind.", nil, "kind"),
+		aggs: make(map[trace.Kind]*kindAgg),
+	}
+}
+
+// Observe implements trace.Sink.
+func (s *TraceSink) Observe(kind trace.Kind, frame int, d time.Duration, note string) {
+	s.hist.With(string(kind)).ObserveDuration(d)
+	s.mu.Lock()
+	a := s.aggs[kind]
+	if a == nil {
+		a = &kindAgg{}
+		s.aggs[kind] = a
+	}
+	a.count++
+	a.total += d
+	if d > a.max {
+		a.max = d
+	}
+	s.mu.Unlock()
+}
+
+// Table writes the per-kind aggregation as a Table 3-style report:
+// count, total, mean and max virtual duration per action kind, sorted
+// by descending total — the actions that dominate attestation time
+// first.
+func (s *TraceSink) Table(w io.Writer) error {
+	s.mu.Lock()
+	kinds := make([]trace.Kind, 0, len(s.aggs))
+	for k := range s.aggs {
+		kinds = append(kinds, k)
+	}
+	rows := make(map[trace.Kind]kindAgg, len(kinds))
+	for k, a := range s.aggs {
+		rows[k] = *a
+	}
+	s.mu.Unlock()
+	sort.Slice(kinds, func(i, j int) bool {
+		if rows[kinds[i]].total != rows[kinds[j]].total {
+			return rows[kinds[i]].total > rows[kinds[j]].total
+		}
+		return kinds[i] < kinds[j]
+	})
+	if _, err := fmt.Fprintf(w, "%-16s %8s %14s %14s %14s\n", "Action", "Count", "Total", "Mean", "Max"); err != nil {
+		return err
+	}
+	var grand time.Duration
+	for _, k := range kinds {
+		a := rows[k]
+		mean := time.Duration(0)
+		if a.count > 0 {
+			mean = a.total / time.Duration(a.count)
+		}
+		grand += a.total
+		if _, err := fmt.Fprintf(w, "%-16s %8d %14v %14v %14v\n", k, a.count, a.total, mean, a.max); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-16s %8s %14v\n", "total", "", grand)
+	return err
+}

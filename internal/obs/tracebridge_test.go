@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sacha/internal/trace"
+)
+
+func TestTraceSinkAggregates(t *testing.T) {
+	reg := NewRegistry()
+	sink := NewTraceSink(reg)
+	// Retention cap 1: the sink must still see every event, because the
+	// bridge aggregates live instead of replaying the retained log.
+	log := trace.NewLog(1)
+	log.Sink = sink
+	log.Add(trace.KindReadback, 0, 3*time.Microsecond, "")
+	log.Add(trace.KindReadback, 1, 5*time.Microsecond, "")
+	log.Add(trace.KindConfig, 0, 2*time.Microsecond, "")
+
+	var b strings.Builder
+	if err := sink.Table(&b); err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header, two kinds, grand total.
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Readback dominates (8 µs > 2 µs) so it must sort first.
+	if !strings.HasPrefix(lines[1], string(trace.KindReadback)) {
+		t.Errorf("first data row should be %s:\n%s", trace.KindReadback, out)
+	}
+	if !strings.Contains(lines[1], "8µs") || !strings.Contains(lines[1], "4µs") || !strings.Contains(lines[1], "5µs") {
+		t.Errorf("readback row missing total/mean/max:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "10µs") {
+		t.Errorf("grand total row should show 10µs:\n%s", out)
+	}
+
+	// And the histogram family is registered and populated.
+	var exp strings.Builder
+	if err := reg.WritePrometheus(&exp); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(exp.String(), `sacha_trace_step_seconds_count{kind="ICAP_readback"} 2`) {
+		t.Errorf("exposition missing trace histogram:\n%s", exp.String())
+	}
+}

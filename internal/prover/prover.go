@@ -21,6 +21,7 @@ import (
 	"sacha/internal/fabric"
 	"sacha/internal/fifo"
 	"sacha/internal/icap"
+	"sacha/internal/obs"
 	"sacha/internal/protocol"
 	"sacha/internal/signature"
 	"sacha/internal/sim"
@@ -472,9 +473,11 @@ func (d *Device) HandleBytesAll(req []byte) ([][]byte, error) {
 func (d *Device) handleSeqReqAll(m *protocol.Message) ([][]byte, error) {
 	if d.seqSeen {
 		if cached, ok := d.seqResp[m.Seq]; ok {
+			mSeqReplays.Inc()
 			return [][]byte{cached}, nil
 		}
 		if m.Seq <= d.seqLast {
+			mSeqStale.Inc()
 			wire, err := protocol.WrapResp(m.Seq,
 				mustEncode(protocol.Errorf("stale sequence %d (current %d)", m.Seq, d.seqLast))).Encode()
 			if err != nil {
@@ -485,6 +488,7 @@ func (d *Device) handleSeqReqAll(m *protocol.Message) ([][]byte, error) {
 		if m.Seq != d.seqLast+1 {
 			// A future sequence: buffer it until its predecessors arrive.
 			if m.Seq-d.seqLast > SeqWindow {
+				mSeqOverflow.Inc()
 				wire, err := protocol.WrapResp(m.Seq,
 					mustEncode(protocol.Errorf("sequence %d beyond the %d-entry window (current %d)", m.Seq, SeqWindow, d.seqLast))).Encode()
 				if err != nil {
@@ -497,6 +501,7 @@ func (d *Device) handleSeqReqAll(m *protocol.Message) ([][]byte, error) {
 			}
 			if _, buffered := d.seqPend[m.Seq]; !buffered {
 				d.seqPend[m.Seq] = append([]byte(nil), m.Inner...)
+				mSeqBuffered.Inc()
 			}
 			return nil, nil
 		}
@@ -557,10 +562,32 @@ func (d *Device) execSeq(seq uint32, innerEnc []byte) ([]byte, error) {
 	if len(d.seqOrder) > SeqCacheEntries {
 		delete(d.seqResp, d.seqOrder[0])
 		d.seqOrder = d.seqOrder[1:]
+		mSeqEvictions.Inc()
 	}
 	d.seqSeen, d.seqLast = true, seq
+	mSeqExecuted.Inc()
 	return wire, nil
 }
+
+// Reliable-transport metric families of the device side: how often the
+// at-most-once machinery actually engages. Replays are duplicate
+// requests answered from the response cache (the transport saved a MAC
+// double-step), stale and overflow requests are rejected envelopes,
+// buffered counts out-of-order arrivals parked until their gap fills.
+var (
+	mSeqReplays = obs.Default().Counter("sacha_prover_seq_replays_total",
+		"Duplicate sequence requests answered from the response cache.")
+	mSeqStale = obs.Default().Counter("sacha_prover_seq_stale_total",
+		"Sequence requests at or below the executed cursor that aged out of the cache.")
+	mSeqBuffered = obs.Default().Counter("sacha_prover_seq_buffered_total",
+		"Out-of-order sequence requests buffered until their gap filled.")
+	mSeqOverflow = obs.Default().Counter("sacha_prover_seq_overflow_total",
+		"Sequence requests rejected for landing beyond the reorder window.")
+	mSeqExecuted = obs.Default().Counter("sacha_prover_seq_executed_total",
+		"Enveloped commands executed (each sequence number at most once).")
+	mSeqEvictions = obs.Default().Counter("sacha_prover_seq_cache_evictions_total",
+		"Cached responses evicted by the response-cache bound.")
+)
 
 // mustEncode encodes messages whose construction cannot fail (Error
 // strings are truncated to the wire limit by Errorf).

@@ -21,15 +21,35 @@ import (
 
 	"sacha/internal/attestation"
 	"sacha/internal/core"
+	"sacha/internal/obs"
 	"sacha/internal/verifier"
+)
+
+// Fleet-sweep metric families: live progress (in-flight and completed
+// device attestations) and the per-class health partition of the most
+// recent sweep. The class gauges are overwritten sweep by sweep — they
+// answer "how healthy is each device class right now", while the
+// counters accumulate across sweeps.
+var (
+	mSweepInflight = obs.Default().Gauge("sacha_sweep_inflight",
+		"Device attestations currently running in fleet sweeps.")
+	mSweepCompleted = obs.Default().CounterVec("sacha_sweep_completed_total",
+		"Device attestations completed in fleet sweeps, by verdict.", "verdict")
+	mSweeps = obs.Default().Counter("sacha_sweeps_total",
+		"Fleet sweeps run.")
+	mClassState = obs.Default().GaugeVec("sacha_sweep_class_state",
+		"Per-class health partition of the most recent fleet sweep.", "class", "state")
 )
 
 // DeviceResult is the outcome for one fleet member.
 type DeviceResult struct {
 	DeviceID uint64
-	Report   *verifier.Report
-	Err      error
-	Elapsed  time.Duration
+	// Class is the device's core.System.ClassKey — the plan-sharing
+	// group the per-class health tallies aggregate over.
+	Class   string
+	Report  *verifier.Report
+	Err     error
+	Elapsed time.Duration
 }
 
 // Healthy reports whether the device attested successfully.
@@ -50,6 +70,22 @@ func (r DeviceResult) Unreachable() bool {
 // rejected the device (MAC or bitstream mismatch).
 func (r DeviceResult) Compromised() bool {
 	return r.Err == nil && r.Report != nil && !r.Report.Accepted
+}
+
+// Verdict names the health partition this result falls into: one of
+// obs.VerdictHealthy, VerdictCompromised, VerdictUnreachable or
+// VerdictFailed.
+func (r DeviceResult) Verdict() string {
+	switch {
+	case r.Healthy():
+		return obs.VerdictHealthy
+	case r.Compromised():
+		return obs.VerdictCompromised
+	case r.Unreachable():
+		return obs.VerdictUnreachable
+	default:
+		return obs.VerdictFailed
+	}
 }
 
 // Fleet is a set of provisioned devices under one verifier operator.
@@ -86,6 +122,11 @@ func (f *Fleet) System(deviceID uint64) (*core.System, bool) {
 	return s, ok
 }
 
+// ClassHealth partitions one device class's sweep outcomes.
+type ClassHealth struct {
+	Healthy, Compromised, Unreachable, Failed int
+}
+
 // Report aggregates a fleet sweep.
 type Report struct {
 	Results []DeviceResult
@@ -93,6 +134,15 @@ type Report struct {
 	// accepted verdicts, rejected verdicts, transport failures, and
 	// non-transport errors (e.g. a local golden-image build failure).
 	Healthy, Compromised, Unreachable, Failed []uint64
+	// PerClass partitions the same outcomes by device class
+	// (core.System.ClassKey) — the multi-geometry fleet view: a class
+	// whose members all land Unreachable points at a transport or
+	// plan problem, one with Compromised members at an attack.
+	PerClass map[string]ClassHealth
+	// Retries and TransportFaults aggregate the per-run transport
+	// counters across the fleet, so sweep-level fault pressure is
+	// visible without scraping individual reports.
+	Retries, TransportFaults int
 	// Elapsed is the wall time of the sweep.
 	Elapsed time.Duration
 	// PlansBuilt counts the attestation plans actually constructed for the
@@ -134,6 +184,10 @@ type SweepConfig struct {
 	// cache returns the previous sweep's plans, and Report.PlansBuilt /
 	// PlanCacheHits make the split observable.
 	PlanCache *attestation.PlanCache
+	// Tracker, if non-nil, follows the sweep live: per-device
+	// pending/running/done states with verdicts, served by the verifier
+	// CLI as the /debug/sweep snapshot.
+	Tracker *obs.SweepTracker
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does
@@ -202,11 +256,24 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 		workers = len(f.order)
 	}
 	start := time.Now()
+	mSweeps.Inc()
 	var plans map[string]planEntry
 	var plansBuilt, planCacheHits int
 	if cfg.SharePlans {
 		plans, plansBuilt, planCacheHits = f.buildPlans(cfg)
 	}
+	if cfg.Tracker != nil {
+		targets := make([]obs.SweepTarget, 0, len(f.order))
+		for _, id := range f.order {
+			targets = append(targets, obs.SweepTarget{
+				Name:  fmt.Sprintf("device-%d", id),
+				Class: f.systems[id].ClassKey(),
+			})
+		}
+		cfg.Tracker.Begin(targets)
+	}
+	obs.Logger().Info("sweep start", "devices", len(f.order), "workers", workers,
+		"share_plans", cfg.SharePlans, "plans_built", plansBuilt, "plan_cache_hits", planCacheHits)
 	results := make([]DeviceResult, len(f.order))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -226,33 +293,83 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 	close(jobs)
 	wg.Wait()
 
-	out := &Report{Results: results, Elapsed: time.Since(start), PlansBuilt: plansBuilt, PlanCacheHits: planCacheHits}
+	out := &Report{
+		Results:       results,
+		Elapsed:       time.Since(start),
+		PlansBuilt:    plansBuilt,
+		PlanCacheHits: planCacheHits,
+		PerClass:      make(map[string]ClassHealth, len(plans)),
+	}
 	for _, r := range results {
+		ch := out.PerClass[r.Class]
 		switch {
 		case r.Healthy():
 			out.Healthy = append(out.Healthy, r.DeviceID)
+			ch.Healthy++
 		case r.Compromised():
 			out.Compromised = append(out.Compromised, r.DeviceID)
+			ch.Compromised++
 		case r.Unreachable():
 			out.Unreachable = append(out.Unreachable, r.DeviceID)
+			ch.Unreachable++
 		default:
 			out.Failed = append(out.Failed, r.DeviceID)
+			ch.Failed++
+		}
+		out.PerClass[r.Class] = ch
+		if r.Report != nil {
+			out.Retries += r.Report.Retries
+			out.TransportFaults += r.Report.TransportFaults
 		}
 	}
+	for class, ch := range out.PerClass {
+		mClassState.With(class, obs.VerdictHealthy).Set(int64(ch.Healthy))
+		mClassState.With(class, obs.VerdictCompromised).Set(int64(ch.Compromised))
+		mClassState.With(class, obs.VerdictUnreachable).Set(int64(ch.Unreachable))
+		mClassState.With(class, obs.VerdictFailed).Set(int64(ch.Failed))
+	}
+	obs.Logger().Info("sweep done", "elapsed", out.Elapsed,
+		"healthy", len(out.Healthy), "compromised", len(out.Compromised),
+		"unreachable", len(out.Unreachable), "failed", len(out.Failed),
+		"retries", out.Retries, "transport_faults", out.TransportFaults)
 	return out
 }
 
 // attestOne runs a single device attestation under the sweep's deadline
 // discipline, through the class's shared plan when the sweep built one.
-func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string]planEntry, id uint64, o core.AttestOptions) DeviceResult {
+func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string]planEntry, id uint64, o core.AttestOptions) (res DeviceResult) {
 	t0 := time.Now()
+	sys := f.systems[id]
+	class := sys.ClassKey()
+	name := fmt.Sprintf("device-%d", id)
+	if cfg.Tracker != nil {
+		cfg.Tracker.Start(name)
+	}
+	mSweepInflight.Inc()
+	defer func() {
+		res.Class = class
+		mSweepInflight.Dec()
+		mSweepCompleted.With(res.Verdict()).Inc()
+		if cfg.Tracker != nil {
+			out := obs.SweepOutcome{Verdict: res.Verdict(), Elapsed: res.Elapsed}
+			if res.Report != nil {
+				out.Retries = res.Report.Retries
+				out.TransportFaults = res.Report.TransportFaults
+			}
+			if res.Err != nil {
+				out.Err = res.Err.Error()
+			}
+			cfg.Tracker.Done(name, out)
+		}
+		obs.Logger().Debug("device attested", "device", id, "class", class,
+			"verdict", res.Verdict(), "elapsed", res.Elapsed)
+	}()
 	if err := ctx.Err(); err != nil {
 		return DeviceResult{DeviceID: id, Err: err}
 	}
-	sys := f.systems[id]
 	attest := sys.Attest
 	if plans != nil {
-		entry := plans[sys.ClassKey()]
+		entry := plans[class]
 		if entry.err != nil {
 			return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: plan for device %d: %w", id, entry.err), Elapsed: time.Since(t0)}
 		}

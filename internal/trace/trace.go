@@ -37,6 +37,15 @@ type Event struct {
 	Note     string
 }
 
+// Sink receives every event a Log records, as it is recorded — the
+// bridge from protocol traces into live metrics aggregation
+// (internal/obs builds per-Kind histograms out of it). Implementations
+// must be safe for concurrent use; the Log calls Observe outside its
+// own lock.
+type Sink interface {
+	Observe(kind Kind, frame int, d time.Duration, note string)
+}
+
 // Log accumulates events. It is safe for concurrent use.
 type Log struct {
 	mu     sync.Mutex
@@ -45,6 +54,9 @@ type Log struct {
 	// Cap bounds the retained event count (0 = unbounded); when
 	// exceeded, only the aggregate counters keep growing.
 	Cap int
+	// Sink, if non-nil, additionally receives every recorded event. Set
+	// it before the first Add; it is read without synchronisation.
+	Sink Sink
 
 	counts map[Kind]int
 	totals map[Kind]time.Duration
@@ -62,6 +74,9 @@ func NewLog(capEvents int) *Log {
 
 // Add records an event of the given kind and advances virtual time.
 func (l *Log) Add(kind Kind, frame int, d time.Duration, note string) {
+	if l.Sink != nil {
+		l.Sink.Observe(kind, frame, d, note)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.Cap == 0 || len(l.events) < l.Cap {
