@@ -376,7 +376,10 @@ func BenchmarkSwarmSweep(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := fleet.AttestAll(true, nil)
+		rep, err := fleet.AttestAll(true, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rep.Healthy) != fleet.Size() {
 			b.Fatalf("unhealthy fleet: %v", rep.Compromised)
 		}
@@ -440,7 +443,10 @@ func BenchmarkFleetPlan(b *testing.B) {
 		fleet := newFleet(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rep := fleet.Sweep(context.Background(), swarm.SweepConfig{Concurrency: 4}, nil)
+			rep, err := fleet.Sweep(context.Background(), swarm.SweepConfig{Concurrency: 4}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(rep.Healthy) != fleet.Size() {
 				b.Fatalf("unhealthy fleet: %v", rep.Compromised)
 			}
@@ -455,9 +461,12 @@ func BenchmarkFleetPlan(b *testing.B) {
 		built := 0
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rep := fleet.Sweep(context.Background(), swarm.SweepConfig{
+			rep, err := fleet.Sweep(context.Background(), swarm.SweepConfig{
 				Concurrency: 4, SharePlans: true, Nonce: &nonce,
 			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(rep.Healthy) != fleet.Size() {
 				b.Fatalf("unhealthy fleet: %v", rep.Compromised)
 			}

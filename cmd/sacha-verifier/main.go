@@ -16,10 +16,18 @@
 //
 // -connect accepts a comma-separated list of provers; they are attested
 // through a worker pool of -concurrency connections. All targets share
-// one nonce and one precomputed attestation.Plan — the golden-image work
-// (message encoding, mask generation, CAPTURE prediction) is paid once
-// for the whole sweep, not per prover. The exit status reflects the
-// whole sweep.
+// one precomputed attestation.Plan — the golden-image work (message
+// encoding, mask generation, CAPTURE prediction) is paid once for the
+// whole sweep, not per prover. The exit status reflects the whole sweep.
+//
+// -freshness picks the nonce freshness policy. The default, per-sweep,
+// is the paper's protocol: one nonce challenges every prover in the
+// sweep. per-device draws a fresh random nonce for each prover and
+// patches the shared plan's nonce column per target (Plan.WithNonce), so
+// cross-device freshness still costs one plan build. per-device cannot
+// be combined with a pinned -nonce, and rotate-key is rejected here: PUF
+// re-enrollment needs the in-process fleet (swarm.SweepConfig), not a
+// TCP link.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
@@ -41,10 +50,11 @@ import (
 )
 
 type target struct {
-	addr string
-	rep  *attestation.Report
-	err  error
-	wall time.Duration
+	addr  string
+	nonce uint64
+	rep   *attestation.Report
+	err   error
+	wall  time.Duration
 }
 
 func main() {
@@ -53,7 +63,8 @@ func main() {
 	appName := flag.String("app", "blinker16", "intended application")
 	buildID := flag.Uint64("build", 1, "static bitstream build ID")
 	keyHex := flag.String("key", "000102030405060708090a0b0c0d0e0f", "enrolled MAC key (32 hex chars)")
-	nonce := flag.Uint64("nonce", 0, "attestation nonce (0 = time-based)")
+	nonce := flag.Uint64("nonce", 0, "attestation nonce (0 = time-based; per-sweep policy only)")
+	freshness := flag.String("freshness", "per-sweep", "nonce freshness policy: per-sweep or per-device")
 	offset := flag.Int("offset", 0, "readback order offset i")
 	batch := flag.Int("batch", 1, "frames per configuration packet (1..4)")
 	steps := flag.Uint("steps", 0, "CAPTURE extension: clock the application N cycles and attest its state")
@@ -91,10 +102,29 @@ func main() {
 		fatal(fmt.Errorf("key must be 32 hex characters"))
 	}
 	copy(key[:], raw)
+
+	policy, err := attestation.ParseFreshnessPolicy(*freshness)
+	fatal(err)
+	if policy == attestation.RotateKey {
+		fatal(fmt.Errorf("-freshness rotate-key needs PUF re-enrollment on the prover; it is only available to in-process fleets (swarm.SweepConfig), not a TCP verifier"))
+	}
+	noncePinned := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "nonce" {
+			noncePinned = true
+		}
+	})
+	if policy == attestation.PerDevice && noncePinned {
+		fatal(fmt.Errorf("-nonce pins one nonce for every prover, which contradicts -freshness per-device; drop one of the two"))
+	}
 	if *nonce == 0 {
 		*nonce = uint64(time.Now().UnixNano())
 	}
 
+	// The golden image carries the placed nonce register. Under
+	// per-device freshness it is built at a reference nonce and the plan
+	// is marked patchable: each worker below re-nonces its own copy with
+	// Plan.WithNonce — O(nonce column), not another O(fabric) build.
 	golden, dynFrames, err := core.BuildGolden(geo, app, *buildID, *nonce)
 	fatal(err)
 
@@ -102,12 +132,14 @@ func main() {
 	// validated readback order and the masked (or predicted) comparison
 	// frames are shared read-only by every worker below.
 	plan, err := attestation.NewPlan(attestation.Spec{
-		Geo:         geo,
-		Golden:      golden,
-		DynFrames:   dynFrames,
-		Offset:      *offset,
-		AppSteps:    uint32(*steps),
-		ConfigBatch: *batch,
+		Geo:            geo,
+		Golden:         golden,
+		DynFrames:      dynFrames,
+		Offset:         *offset,
+		AppSteps:       uint32(*steps),
+		ConfigBatch:    *batch,
+		PatchableNonce: policy == attestation.PerDevice,
+		NonceBits:      core.NonceBits,
 	})
 	fatal(err)
 
@@ -138,7 +170,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				targets[i] = attestOne(addrs[i], plan, tracker, runOptions(
+				targets[i] = attestOne(addrs[i], plan, *nonce, policy, tracker, runOptions(
 					key, *trace && len(addrs) == 1,
 					*plain, *timeout, *retries, *backoff, *window))
 			}
@@ -152,11 +184,17 @@ func main() {
 
 	fmt.Printf("device:            %s\n", geo.Name)
 	fmt.Printf("application:       %s\n", *appName)
-	fmt.Printf("nonce:             %#x\n", *nonce)
+	fmt.Printf("freshness:         %s\n", policy)
+	if policy == attestation.PerSweep {
+		fmt.Printf("nonce:             %#x\n", *nonce)
+	}
 	allOK := true
 	for _, tg := range targets {
 		if len(addrs) > 1 {
 			fmt.Printf("--- %s\n", tg.addr)
+		}
+		if policy == attestation.PerDevice {
+			fmt.Printf("nonce:             %#x\n", tg.nonce)
 		}
 		if tg.err != nil {
 			allOK = false
@@ -213,8 +251,8 @@ func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries 
 	return opts
 }
 
-func attestOne(addr string, plan *attestation.Plan, tracker *obs.SweepTracker, opts attestation.RunOpts) target {
-	tg := target{addr: addr}
+func attestOne(addr string, plan *attestation.Plan, nonce uint64, policy attestation.FreshnessPolicy, tracker *obs.SweepTracker, opts attestation.RunOpts) target {
+	tg := target{addr: addr, nonce: nonce}
 	if tracker != nil {
 		tracker.Start(addr)
 		defer func() {
@@ -228,6 +266,17 @@ func attestOne(addr string, plan *attestation.Plan, tracker *obs.SweepTracker, o
 			}
 			tracker.Done(addr, out)
 		}()
+	}
+	if policy == attestation.PerDevice {
+		// Fresh challenge for this prover only: patch the shared plan's
+		// nonce column instead of rebuilding it.
+		tg.nonce = rand.Uint64()
+		patched, err := plan.WithNonce(tg.nonce)
+		if err != nil {
+			tg.err = err
+			return tg
+		}
+		plan = patched
 	}
 	ep, err := channel.Dial(addr)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"sacha/internal/attestation"
 	"sacha/internal/core"
 	"sacha/internal/device"
 	"sacha/internal/netlist"
@@ -35,12 +36,19 @@ func main() {
 
 	// The whole fleet is one device class (same geometry, application,
 	// build), so SharePlans builds one attestation plan for the sweep and
-	// shares it read-only across the concurrent per-device runs.
-	cfg := swarm.SweepConfig{Concurrency: swarm.DefaultConcurrency, SharePlans: true}
+	// shares it read-only across the concurrent per-device runs. The
+	// PerDevice freshness policy gives every device its own nonce anyway:
+	// each run patches the shared plan's nonce column (Plan.WithNonce)
+	// instead of rebuilding it.
+	cfg := swarm.SweepConfig{
+		Concurrency: swarm.DefaultConcurrency,
+		SharePlans:  true,
+		Freshness:   attestation.PerDevice,
+	}
 
 	// Device 6 is compromised: malicious logic spliced into its dynamic
 	// partition between configuration and readback.
-	rep := fleet.Sweep(context.Background(), cfg, func(id uint64) core.AttestOptions {
+	rep, err := fleet.Sweep(context.Background(), cfg, func(id uint64) core.AttestOptions {
 		if id != 6 {
 			return core.AttestOptions{}
 		}
@@ -49,6 +57,9 @@ func main() {
 			d.Fabric.Mem.Frame(sys.DynFrames()[7])[3] ^= 0x80
 		}}
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, r := range rep.Results {
 		status := "ok"

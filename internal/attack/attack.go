@@ -272,6 +272,155 @@ func Replay(sys *core.System) Result {
 	return r
 }
 
+// NonceReuse targets the freshness policy engine's patched-plan path: an
+// adversary records the MAC value (H_Dev) of an honest session run under
+// one nonce of a patchable plan and substitutes it for the checksum
+// answer of a later session whose plan was rotated to a fresh nonce with
+// Plan.WithNonce. If the patch failed to rotate the verifier's H_Vrf —
+// i.e. the patched expected frames still described the old nonce — the
+// stale MAC would verify and the device could skip attesting. The MAC
+// must mismatch.
+func NonceReuse(sys *core.System) Result {
+	r := Result{
+		Name:        "H_Dev reuse across nonce rotation",
+		Class:       "local",
+		Description: "adversary answers a rotated-nonce challenge with the previous session's recorded MAC",
+	}
+	plan, err := sys.PatchablePlan(verifier.Options{})
+	if err != nil {
+		r.Err = fmt.Errorf("attack: building patchable plan: %w", err)
+		return r
+	}
+
+	// Session 1: honest run at nonce A; record the device's MAC response.
+	planA, err := plan.WithNonce(0xA11CE)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	var staleMAC []byte
+	honest := func(ep channel.Endpoint) error {
+		tap := &channel.Tap{Inner: ep, OnSend: func(m []byte) []byte {
+			if len(m) > 0 && m[0] == byte(protocol.MsgMACValue) {
+				staleMAC = append([]byte(nil), m...)
+			}
+			return m
+		}}
+		return sys.Device.Serve(tap)
+	}
+	if rep, err := sys.AttestPlanAgainst(planA, honest, core.AttestOptions{}); err != nil || !rep.Accepted {
+		r.Err = fmt.Errorf("attack: honest recording run failed: %v", err)
+		return r
+	}
+	if staleMAC == nil {
+		r.Err = fmt.Errorf("attack: recording run produced no MAC message")
+		return r
+	}
+
+	// Session 2: the plan rotates to nonce B; the device cooperates fully
+	// but swaps in the stale H_Dev at checksum time.
+	planB, err := plan.WithNonce(0xB0B)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	rep, err := sys.AttestPlanAgainst(planB, func(ep channel.Endpoint) error {
+		tap := &channel.Tap{Inner: ep, OnSend: func(m []byte) []byte {
+			if len(m) > 0 && m[0] == byte(protocol.MsgMACValue) {
+				return staleMAC
+			}
+			return m
+		}}
+		return sys.Device.Serve(tap)
+	}, core.AttestOptions{})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	return r
+}
+
+// StaleNonceReplay is the cross-session variant: the adversary replays a
+// complete transcript (frames and MAC) recorded under one nonce of a
+// patchable plan against a session whose plan was patched to a fresh
+// nonce. The replayed transcript is self-consistent — its MAC verifies —
+// so only the nonce bits in the masked bitstream comparison can expose
+// it. This is the adversarial proof that WithNonce really rotates the
+// expected comparison frames, not just the configuration packets.
+func StaleNonceReplay(sys *core.System) Result {
+	r := Result{
+		Name:        "stale-nonce transcript replay",
+		Class:       "local",
+		Description: "adversary replays a recorded patchable-plan transcript against a rotated nonce",
+	}
+	plan, err := sys.PatchablePlan(verifier.Options{})
+	if err != nil {
+		r.Err = fmt.Errorf("attack: building patchable plan: %w", err)
+		return r
+	}
+
+	planA, err := plan.WithNonce(0x1111)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	var recorded [][]byte
+	honest := func(ep channel.Endpoint) error {
+		tap := &channel.Tap{Inner: ep, OnSend: func(m []byte) []byte {
+			recorded = append(recorded, append([]byte(nil), m...))
+			return m
+		}}
+		return sys.Device.Serve(tap)
+	}
+	if rep, err := sys.AttestPlanAgainst(planA, honest, core.AttestOptions{}); err != nil || !rep.Accepted {
+		r.Err = fmt.Errorf("attack: honest recording run failed: %v", err)
+		return r
+	}
+
+	planB, err := plan.WithNonce(0x2222)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	rep, err := sys.AttestPlanAgainst(planB, func(ep channel.Endpoint) error {
+		i := 0
+		for {
+			raw, err := ep.Recv()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			m, err := protocol.Decode(raw)
+			if err != nil {
+				return err
+			}
+			switch m.Type {
+			case protocol.MsgICAPConfig, protocol.MsgICAPConfigBatch:
+				// Dropped: the adversary ignores the rotated challenge.
+			case protocol.MsgICAPReadback, protocol.MsgMACChecksum:
+				if i >= len(recorded) {
+					return fmt.Errorf("attack: replay transcript exhausted")
+				}
+				if err := ep.Send(recorded[i]); err != nil {
+					return err
+				}
+				i++
+			default:
+				resp, _ := protocol.Errorf("replayer: unsupported %v", m.Type).Encode()
+				if err := ep.Send(resp); err != nil {
+					return err
+				}
+			}
+		}
+	}, core.AttestOptions{})
+	r.Err = err
+	r.Detected, r.Mechanism = verdict(rep, err)
+	if r.Detected && err == nil && rep.MACOK {
+		r.Mechanism = "stale nonce in masked bitstream (MAC of old transcript still valid)"
+	}
+	return r
+}
+
 // RemoteUpdateTamper is the "remote adversary" of the paper's §3
 // taxonomy (the Stuxnet-style threat): a man-in-the-middle alters
 // configuration frames in flight, attempting a malicious remote update.
@@ -314,6 +463,8 @@ func All(newSys func() (*core.System, error)) ([]Result, error) {
 		Impersonation,
 		ExternalProxy,
 		Replay,
+		NonceReuse,
+		StaleNonceReplay,
 		RemoteUpdateTamper,
 	}
 	out := make([]Result, 0, len(attacks))

@@ -7,6 +7,7 @@ import (
 	"sacha/internal/core"
 	"sacha/internal/device"
 	"sacha/internal/netlist"
+	"sacha/internal/obs"
 )
 
 func newSmallSystem() (*core.System, error) {
@@ -82,6 +83,45 @@ func TestReplayDetected(t *testing.T) {
 	}
 }
 
+func TestNonceReuseDetected(t *testing.T) {
+	// The rotated session's frames are honest — only the substituted
+	// stale H_Dev is wrong — so detection must come from the MAC alone,
+	// and each WithNonce rotation must show up in the patch counter.
+	patches := obs.Default().Counter("sacha_plan_patches_total",
+		"Nonce patches applied to existing plans (Plan.WithNonce).")
+	before := patches.Value()
+	r := NonceReuse(mustSystem(t))
+	if r.Err != nil {
+		t.Fatalf("setup failed: %v", r.Err)
+	}
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	if r.Mechanism != "MAC mismatch" {
+		t.Errorf("expected pure MAC mismatch (frames were honest), got %q", r.Mechanism)
+	}
+	if got := patches.Value() - before; got < 2 {
+		t.Errorf("plan-patch counter advanced by %d, want >= 2 (two nonce rotations)", got)
+	}
+}
+
+func TestStaleNonceReplayDetected(t *testing.T) {
+	r := StaleNonceReplay(mustSystem(t))
+	if r.Err != nil && strings.Contains(r.Err.Error(), "recording run failed") {
+		t.Fatalf("setup failed: %v", r.Err)
+	}
+	if !r.Detected {
+		t.Fatalf("not detected: %+v", r)
+	}
+	// The replayed transcript is self-consistent, so the MAC verifies;
+	// the rotated nonce in the patched comparison frames is the only
+	// tell. A MAC-mismatch verdict here would mean WithNonce rotated the
+	// configuration but not H_Vrf's expected frames.
+	if !strings.Contains(r.Mechanism, "nonce") {
+		t.Errorf("expected stale-nonce mechanism with valid MAC, got %q (err=%v)", r.Mechanism, r.Err)
+	}
+}
+
 func TestRemoteUpdateTamperDetected(t *testing.T) {
 	r := RemoteUpdateTamper(mustSystem(t))
 	if !r.Detected {
@@ -97,8 +137,8 @@ func TestAllAdversariesDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 6 {
-		t.Fatalf("expected 6 adversaries (paper §7.2 + §3 remote), got %d", len(results))
+	if len(results) != 8 {
+		t.Fatalf("expected 8 adversaries (paper §7.2, §3 remote, freshness rotation), got %d", len(results))
 	}
 	for _, r := range results {
 		if !r.Detected {

@@ -6,6 +6,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+
+	"sacha/internal/fabric"
 )
 
 // DefaultPlanCacheSize bounds a PlanCache built with capacity <= 0. A
@@ -19,18 +21,37 @@ const DefaultPlanCacheSize = 32
 // nonce), the geometry name, the dynamic frame list and every
 // plan-shaping option. Two specs with equal keys build
 // behaviourally-identical plans, so a cached plan may serve both.
+//
+// Under PatchableNonce the golden image is hashed with the nonce
+// register's bits zeroed (fabric.NonceFreeDigest): specs that differ
+// only in the placed nonce share a key, so one cached plan serves every
+// nonce of a device class — GetOrBuild patches it to the requested
+// nonce on the way out. Patchable and non-patchable specs never share
+// keys.
 func SpecKey(spec Spec) [32]byte {
 	h := sha256.New()
 	if spec.Golden != nil {
-		d := spec.Golden.Digest()
-		h.Write(d[:])
+		if spec.PatchableNonce {
+			if d, err := fabric.NonceFreeDigest(spec.Golden, spec.nonceBits()); err == nil {
+				h.Write(d[:])
+			} else {
+				// Conservative fallback: an unusable template degrades to
+				// the nonce-bearing key (per-nonce cache entries), never
+				// to a wrong share.
+				d := spec.Golden.Digest()
+				h.Write(d[:])
+			}
+		} else {
+			d := spec.Golden.Digest()
+			h.Write(d[:])
+		}
 	}
 	geo := ""
 	if spec.Geo != nil {
 		geo = spec.Geo.Name
 	}
-	fmt.Fprintf(h, "|geo:%s|off:%d|app:%d|sig:%t|batch:%d|dyn:",
-		geo, spec.Offset, spec.AppSteps, spec.SignatureMode, spec.ConfigBatch)
+	fmt.Fprintf(h, "|patch:%t:%d|geo:%s|off:%d|app:%d|sig:%t|batch:%d|dyn:",
+		spec.PatchableNonce, spec.nonceBits(), geo, spec.Offset, spec.AppSteps, spec.SignatureMode, spec.ConfigBatch)
 	var buf [8]byte
 	for _, f := range spec.DynFrames {
 		binary.BigEndian.PutUint64(buf[:], uint64(f))
@@ -92,6 +113,12 @@ func NewPlanCache(capacity int) *PlanCache {
 // returns it. built reports whether THIS call performed the build — a
 // caller that waited out another goroutine's in-flight build of the same
 // key gets built=false, so build counters stay exact under concurrency.
+//
+// Under Spec.PatchableNonce a cache hit may return a plan built for a
+// different nonce of the same class; GetOrBuild then patches it to the
+// spec's own nonce via WithNonce before returning, so the result is
+// always equivalent to NewPlan(spec) — the hit costs O(nonce column),
+// not O(fabric).
 func (c *PlanCache) GetOrBuild(spec Spec) (plan *Plan, built bool, err error) {
 	key := SpecKey(spec)
 	c.mu.Lock()
@@ -101,13 +128,18 @@ func (c *PlanCache) GetOrBuild(spec Spec) (plan *Plan, built bool, err error) {
 		plan := el.Value.(*cacheEntry).plan
 		c.mu.Unlock()
 		mPlanCacheHits.Inc()
-		return plan, false, nil
+		plan, err := adaptToSpec(plan, spec)
+		return plan, false, err
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		mPlanCacheWaits.Inc()
 		<-fl.done
-		return fl.plan, false, fl.err
+		if fl.err != nil {
+			return fl.plan, false, fl.err
+		}
+		plan, err := adaptToSpec(fl.plan, spec)
+		return plan, false, err
 	}
 	fl := &inflightBuild{done: make(chan struct{})}
 	c.inflight[key] = fl
@@ -134,6 +166,20 @@ func (c *PlanCache) GetOrBuild(spec Spec) (plan *Plan, built bool, err error) {
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.plan, fl.err == nil, fl.err
+}
+
+// adaptToSpec re-nonces a cached patchable plan to the nonce placed in
+// the requesting spec's golden image, so every GetOrBuild return is
+// equivalent to a cold NewPlan(spec). Non-patchable hits pass through.
+func adaptToSpec(plan *Plan, spec Spec) (*Plan, error) {
+	if plan == nil || !spec.PatchableNonce || plan.patch == nil {
+		return plan, nil
+	}
+	nonce, err := fabric.ReadNonce(spec.Golden, plan.patch.bits)
+	if err != nil {
+		return nil, err
+	}
+	return plan.WithNonce(nonce)
 }
 
 // Len returns the number of cached plans.

@@ -57,4 +57,9 @@ var (
 		"Plans evicted from the cache by the LRU bound.")
 	mPlanCacheEntries = obs.Default().Gauge("sacha_plancache_entries",
 		"Plans currently cached across all plan caches.")
+
+	mPlanPatches = obs.Default().Counter("sacha_plan_patches_total",
+		"Plans re-nonced via WithNonce (O(nonce column) patch) instead of a full rebuild.")
+	mPlanPatchSeconds = obs.Default().Histogram("sacha_plan_patch_seconds",
+		"Wall time of per-session nonce patches of shared plans.", nil)
 )

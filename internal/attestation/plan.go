@@ -72,6 +72,29 @@ type Spec struct {
 	// (0 or 1 = one frame per packet, the paper's proof of concept). The
 	// prover bounds accepted batches by its frame buffer.
 	ConfigBatch int
+	// PatchableNonce demotes the placed nonce register's value from plan
+	// identity to per-session input: the plan records where the nonce
+	// bits live (fabric.NonceTemplate), Plan.WithNonce re-derives the
+	// affected configuration packets and comparison frames for a new
+	// nonce in O(nonce column) instead of O(fabric), and SpecKey hashes
+	// the golden image with the nonce bits zeroed — so one cached plan
+	// serves every nonce of a device class. The golden image must hold a
+	// NonceBits-wide netlist.NonceRegister as the first design placed
+	// into fabric.NonceRegion (every core.System golden build does);
+	// NewPlan verifies the template against the built artifacts and
+	// rejects the spec otherwise.
+	PatchableNonce bool
+	// NonceBits is the placed nonce register width under PatchableNonce;
+	// 0 means 64 (core.NonceBits).
+	NonceBits int
+}
+
+// nonceBits resolves the NonceBits default.
+func (s Spec) nonceBits() int {
+	if s.NonceBits == 0 {
+		return 64
+	}
+	return s.NonceBits
 }
 
 // configStep is one pre-encoded configuration packet.
@@ -105,6 +128,10 @@ type Plan struct {
 	// words in CAPTURE mode. mask is nil in CAPTURE mode (raw compare).
 	expected [][]uint32
 	mask     *fabric.Image
+
+	// patch carries the nonce-patching state under Spec.PatchableNonce;
+	// nil for plans whose nonce is part of their identity.
+	patch *noncePatchState
 }
 
 // NewPlan validates the spec and precomputes every fleet-invariant
@@ -150,6 +177,12 @@ func NewPlan(spec Spec) (*Plan, error) {
 		signatureMode: spec.SignatureMode,
 	}
 
+	if spec.PatchableNonce {
+		if err := p.initNoncePatch(spec); err != nil {
+			return nil, err
+		}
+	}
+
 	// Configuration packets, one frame per packet or batched (§6.1).
 	batch := spec.ConfigBatch
 	if batch < 1 {
@@ -177,6 +210,7 @@ func NewPlan(spec Spec) (*Plan, error) {
 			return nil, err
 		}
 		p.configs = append(p.configs, configStep{wire: wire, first: spec.DynFrames[start], count: end - start})
+		p.recordPatchStep(spec, spec.DynFrames[start:end])
 	}
 
 	if spec.AppSteps > 0 {
@@ -226,6 +260,17 @@ func NewPlan(spec Spec) (*Plan, error) {
 		p.mask = fabric.GenerateMask(spec.Geo)
 		for idx := 0; idx < n; idx++ {
 			p.expected[idx] = fabric.ApplyMask(spec.Golden.Frame(idx), p.mask.Frame(idx))
+		}
+	}
+	if p.patch != nil {
+		// Re-derive the nonce-dependent artifacts through the patch path
+		// at the built nonce and demand bit-identity with the cold build
+		// above. This pins WithNonce's correctness at build time: if the
+		// golden image's nonce partition is not the assumed hold-register
+		// layout, the spec is rejected instead of producing plans that
+		// drift from cold builds at other nonces.
+		if err := p.verifyPatchBase(); err != nil {
+			return nil, err
 		}
 	}
 	return p, nil

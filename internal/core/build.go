@@ -30,20 +30,17 @@ func BuildGolden(geo *device.Geometry, app *netlist.Design, buildID, nonce uint6
 	if _, err := fabric.PlaceDesign(im, fabric.AppRegion(geo), app); err != nil {
 		return nil, nil, fmt.Errorf("core: placing application: %w", err)
 	}
-	nonceRegion := fabric.NonceRegion(geo)
-	if _, err := fabric.PlaceDesign(im, nonceRegion, netlist.NonceRegister(NonceBits, nonce)); err != nil {
+	if _, err := fabric.PlaceDesign(im, fabric.NonceRegion(geo), netlist.NonceRegister(NonceBits, nonce)); err != nil {
 		return nil, nil, fmt.Errorf("core: placing nonce: %w", err)
 	}
 
-	base, n, err := geo.ColumnBase(nonceRegion.CLBCols[0][0], device.ColCLB, nonceRegion.CLBCols[0][1])
+	nonceFrames, err := fabric.NonceColumnFrames(geo)
 	if err != nil {
 		return nil, nil, err
 	}
 	nonceCol := map[int]bool{}
-	var nonceFrames []int
-	for i := 0; i < n; i++ {
-		nonceCol[base+i] = true
-		nonceFrames = append(nonceFrames, base+i)
+	for _, idx := range nonceFrames {
+		nonceCol[idx] = true
 	}
 	var dyn []int
 	for _, idx := range fabric.DynRegion(geo).Frames() {

@@ -103,6 +103,7 @@ type System struct {
 	nonceFrames []int // the nonce column
 	rng         *rand.Rand
 	circuitID   uint64 // current DynPUF circuit (0 = StatPart PUF / register)
+	patchGolden *fabric.Image // memoized nonce-0 golden for PatchableSpec; nil until first use, cleared by RotateKey
 
 	// AppPlacement maps the application's pins for examples/tests; it is
 	// identical across attestations (deterministic placement).
@@ -141,14 +142,14 @@ func NewSystem(cfg Config) (*System, error) {
 
 	// Frame split: the application phase covers every dynamic frame that
 	// is not the nonce column; the nonce phase covers the nonce column.
-	nonceCol := map[int]bool{}
-	base, n, err := cfg.Geo.ColumnBase(s.nonceRegion.CLBCols[0][0], device.ColCLB, s.nonceRegion.CLBCols[0][1])
+	nonceFrames, err := fabric.NonceColumnFrames(cfg.Geo)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		nonceCol[base+i] = true
-		s.nonceFrames = append(s.nonceFrames, base+i)
+	s.nonceFrames = nonceFrames
+	nonceCol := map[int]bool{}
+	for _, idx := range nonceFrames {
+		nonceCol[idx] = true
 	}
 	for _, idx := range fabric.DynRegion(cfg.Geo).Frames() {
 		if !nonceCol[idx] {
@@ -281,8 +282,15 @@ func (s *System) RotateKey() error {
 	s.DB.Store(s.cfg.DeviceID, s.circuitID, enr.Key)
 	s.Device.SetKeySource(&prover.PUFKey{Phys: phys, Helper: enr.Helper, Rng: s.rng})
 	s.Verifier.Key = enr.Key
+	// The shipped circuit's marker changes the golden image, so the
+	// memoized patchable golden (and, via ClassKey, any cached plans of
+	// the old generation) is stale.
+	s.patchGolden = nil
 	return nil
 }
+
+// KeyMode returns the system's key provisioning mode.
+func (s *System) KeyMode() KeyMode { return s.cfg.KeyMode }
 
 // AttestOptions tune one attestation.
 type AttestOptions struct {
@@ -324,6 +332,44 @@ func (s *System) PlanSpec(nonce uint64, opts verifier.Options) (attestation.Spec
 		return attestation.Spec{}, err
 	}
 	return s.Verifier.PlanSpec(golden, s.DynFrames(), opts), nil
+}
+
+// PatchableSpec is PlanSpec with the nonce demoted to a per-session
+// input: the golden image is built once at nonce 0 (memoized until a
+// key rotation changes the class) and the spec is marked
+// Spec.PatchableNonce, so attestation.SpecKey ignores the nonce value
+// and one cached plan serves every nonce of this system's class. Use
+// Plan.WithNonce to re-nonce the built plan per session.
+func (s *System) PatchableSpec(opts verifier.Options) (attestation.Spec, error) {
+	if s.patchGolden == nil {
+		golden, err := s.Golden(0)
+		if err != nil {
+			return attestation.Spec{}, err
+		}
+		s.patchGolden = golden
+	}
+	spec := s.Verifier.PlanSpec(s.patchGolden, s.DynFrames(), opts)
+	spec.PatchableNonce = true
+	spec.NonceBits = NonceBits
+	return spec, nil
+}
+
+// PatchablePlan builds a nonce-patchable plan for this system's class:
+// derive the per-session plan with WithNonce instead of rebuilding.
+func (s *System) PatchablePlan(opts verifier.Options) (*attestation.Plan, error) {
+	spec, err := s.PatchableSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	return attestation.NewPlan(spec)
+}
+
+// AttestPlanAgainst runs a precomputed plan against an arbitrary
+// prover-side implementation — the adversary-experiment counterpart of
+// AttestWithPlan, used to replay captured transcripts against patched
+// (re-nonced) plans.
+func (s *System) AttestPlanAgainst(plan *attestation.Plan, serve func(channel.Endpoint) error, opts AttestOptions) (*verifier.Report, error) {
+	return s.runPlan(plan, serve, opts)
 }
 
 // ClassKey identifies the fleet-invariant attestation inputs of this

@@ -115,10 +115,19 @@ func (im *Image) SetFrame(i int, words []uint32) {
 // frame word (big-endian, frames in order). Two images with equal
 // digests configure identically; the attestation plan cache keys on it.
 func (im *Image) Digest() [32]byte {
+	return im.digestWith(nil)
+}
+
+// digestWith hashes the image, passing every frame through the optional
+// normalisation first (NonceFreeDigest zeroes nonce bits this way).
+func (im *Image) digestWith(norm func(idx int, words []uint32) []uint32) [32]byte {
 	h := sha256.New()
 	h.Write([]byte(im.Geo.Name))
 	buf := make([]byte, device.FrameWords*4)
-	for _, f := range im.frames {
+	for idx, f := range im.frames {
+		if norm != nil {
+			f = norm(idx, f)
+		}
 		for i, w := range f {
 			binary.BigEndian.PutUint32(buf[i*4:], w)
 		}

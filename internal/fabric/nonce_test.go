@@ -1,0 +1,125 @@
+package fabric
+
+import (
+	"testing"
+
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+// placeNonce builds a fresh image holding only a placed 64-bit nonce
+// register, the way every golden build configures the nonce partition.
+func placeNonce(t *testing.T, geo *device.Geometry, nonce uint64) *Image {
+	t.Helper()
+	im := NewImage(geo)
+	if _, err := PlaceDesign(im, NonceRegion(geo), netlist.NonceRegister(64, nonce)); err != nil {
+		t.Fatalf("placing nonce register: %v", err)
+	}
+	return im
+}
+
+// TestNonceTemplateMatchesPlacement is the ground truth behind plan
+// patching: the template-predicted init-bit positions must be exactly
+// the bits the placer changes between two nonce values, and rewriting
+// them must reproduce the other placement bit for bit.
+func TestNonceTemplateMatchesPlacement(t *testing.T) {
+	for _, geo := range []*device.Geometry{device.TinyLX(), device.SmallLX()} {
+		t.Run(geo.Name, func(t *testing.T) {
+			const a, b uint64 = 0xDEADBEEF_00C0FFEE, 0x0123_4567_89AB_CDEF
+			imA := placeNonce(t, geo, a)
+			imB := placeNonce(t, geo, b)
+			refs, err := NonceTemplate(geo, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := ReadNonce(imA, refs); got != a {
+				t.Fatalf("ReadNonce = %#x, want %#x", got, a)
+			}
+			if got, _ := ReadNonce(imB, refs); got != b {
+				t.Fatalf("ReadNonce = %#x, want %#x", got, b)
+			}
+			// Rewriting the template bits of the nonce-a placement must
+			// yield the nonce-b placement exactly — no other bit of the
+			// image may depend on the nonce value.
+			if err := WriteNonce(imA, refs, b); err != nil {
+				t.Fatal(err)
+			}
+			if !imA.Equal(imB) {
+				t.Fatal("WriteNonce(a→b) does not reproduce the nonce-b placement — the template misses nonce-dependent bits")
+			}
+			// The capture-bit positions must be the masked bits of the
+			// nonce column: cleared in the mask, zero in the golden image.
+			mask := GenerateMask(geo)
+			for i, ref := range refs {
+				if mask.Frame(ref.CapFrame)[ref.CapWord]&ref.CapMask != 0 {
+					t.Errorf("bit %d: capture position not cleared by the mask", i)
+				}
+				if imB.Frame(ref.CapFrame)[ref.CapWord]&ref.CapMask != 0 {
+					t.Errorf("bit %d: golden image has a set capture bit", i)
+				}
+			}
+		})
+	}
+}
+
+// TestNonceFreeDigestIgnoresNonce: two placements that differ only in
+// the nonce must share a nonce-free digest, which must itself differ
+// from the plain digest and react to any non-nonce tampering.
+func TestNonceFreeDigestIgnoresNonce(t *testing.T) {
+	geo := device.TinyLX()
+	imA := placeNonce(t, geo, 1)
+	imB := placeNonce(t, geo, ^uint64(0))
+	if imA.Digest() == imB.Digest() {
+		t.Fatal("plain digests collide across nonces — test premise broken")
+	}
+	dA, err := NonceFreeDigest(imA, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, err := NonceFreeDigest(imB, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dA != dB {
+		t.Fatal("nonce-free digests differ across nonce values")
+	}
+	// Any bit outside the nonce register must still be covered.
+	imB.Frame(0)[0] ^= 1
+	dT, err := NonceFreeDigest(imB, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dT == dB {
+		t.Fatal("nonce-free digest blind to non-nonce tampering")
+	}
+}
+
+func TestNonceTemplateBounds(t *testing.T) {
+	geo := device.TinyLX()
+	if _, err := NonceTemplate(geo, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NonceTemplate(geo, 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+	if _, err := NonceTemplate(nil, 64); err == nil {
+		t.Error("nil geometry accepted")
+	}
+	frames, err := NonceColumnFrames(geo)
+	if err != nil || len(frames) == 0 {
+		t.Fatalf("NonceColumnFrames: %v (%d frames)", err, len(frames))
+	}
+	refs, err := NonceTemplate(geo, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[int]bool{}
+	for _, f := range frames {
+		set[f] = true
+	}
+	for i, ref := range refs {
+		if !set[ref.InitFrame] || !set[ref.CapFrame] {
+			t.Errorf("bit %d: template frames %d/%d outside the nonce column", i, ref.InitFrame, ref.CapFrame)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package swarm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sacha/internal/attestation"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/prover"
+)
+
+// dynPUFFactory provisions TinyLX members in the DynPart-PUF key mode —
+// the only provisioning whose key can rotate (paper §5.2.1).
+func dynPUFFactory(id uint64) (*core.System, error) {
+	return core.NewSystem(core.Config{
+		Geo:        device.TinyLX(),
+		App:        netlist.Blinker(8),
+		KeyMode:    core.KeyDynPUF,
+		DeviceID:   id,
+		LabLatency: -1,
+		Seed:       int64(id),
+	})
+}
+
+// TestPerDeviceSweepBuildsZeroPlans is the issue's acceptance bar: a
+// repeated PerDevice sweep over one device class must build plans only
+// on the first pass — every later sweep serves WithNonce patches of the
+// cached base — while every device still gets its own nonce.
+func TestPerDeviceSweepBuildsZeroPlans(t *testing.T) {
+	const size = 4
+	f, err := NewFleet(size, tinyFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{
+		Concurrency: 2,
+		SharePlans:  true,
+		Freshness:   attestation.PerDevice,
+		PlanCache:   attestation.NewPlanCache(0),
+	}
+	seen := map[uint64]int{}
+	first := mustSweep(t, f, context.Background(), cfg, nil)
+	if len(first.Healthy) != size {
+		t.Fatalf("first sweep healthy=%v failed=%v", first.Healthy, first.Failed)
+	}
+	if first.PlansBuilt != 1 || first.PlanCacheHits != 0 {
+		t.Fatalf("first sweep built=%d hits=%d, want 1/0", first.PlansBuilt, first.PlanCacheHits)
+	}
+	if first.PlanPatches != size {
+		t.Fatalf("first sweep patches=%d, want %d", first.PlanPatches, size)
+	}
+	for _, r := range first.Results {
+		if !r.PlanPatched {
+			t.Fatalf("device %d was not patched under PerDevice", r.DeviceID)
+		}
+		seen[r.Nonce]++
+	}
+
+	second := mustSweep(t, f, context.Background(), cfg, nil)
+	if len(second.Healthy) != size {
+		t.Fatalf("second sweep healthy=%v failed=%v", second.Healthy, second.Failed)
+	}
+	if second.PlansBuilt != 0 || second.PlanCacheHits != 1 {
+		t.Fatalf("second sweep built=%d hits=%d, want 0/1 — nonce rotation must not cost plan builds",
+			second.PlansBuilt, second.PlanCacheHits)
+	}
+	if second.PlanPatches != size {
+		t.Fatalf("second sweep patches=%d, want %d", second.PlanPatches, size)
+	}
+	for _, r := range second.Results {
+		seen[r.Nonce]++
+	}
+	// 2×size draws of a 64-bit nonce: every one must be distinct (a
+	// repeat here means the rotation is not actually rotating).
+	if len(seen) != 2*size {
+		t.Fatalf("nonces not distinct across sweeps: %d unique of %d", len(seen), 2*size)
+	}
+}
+
+// TestPerDeviceDetectsTamper: the patched plans must keep their teeth —
+// a tampered member is still isolated under PerDevice freshness.
+func TestPerDeviceDetectsTamper(t *testing.T) {
+	f, err := NewFleet(4, tinyFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = 2
+	rep := mustSweep(t, f, context.Background(), SweepConfig{
+		Concurrency: 4,
+		SharePlans:  true,
+		Freshness:   attestation.PerDevice,
+	}, func(id uint64) core.AttestOptions {
+		if id != bad {
+			return core.AttestOptions{}
+		}
+		sys, _ := f.System(id)
+		return core.AttestOptions{TamperDevice: func(d *prover.Device) {
+			d.Fabric.Mem.Frame(sys.DynFrames()[3])[5] ^= 2
+		}}
+	})
+	if len(rep.Compromised) != 1 || rep.Compromised[0] != bad {
+		t.Fatalf("compromised = %v, want [%d]", rep.Compromised, bad)
+	}
+	if len(rep.Healthy) != 3 {
+		t.Fatalf("healthy = %v", rep.Healthy)
+	}
+}
+
+// TestNoncePinPolicyConflict: a pinned sweep nonce and a per-device
+// freshness policy contradict each other; the sweep must refuse with the
+// typed error instead of silently picking one.
+func TestNoncePinPolicyConflict(t *testing.T) {
+	f, err := NewFleet(2, tinyFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := uint64(0xFEED)
+	for _, pol := range []attestation.FreshnessPolicy{attestation.PerDevice, attestation.RotateKey} {
+		_, err := f.Sweep(context.Background(), SweepConfig{Nonce: &nonce, Freshness: pol}, nil)
+		var npe *NoncePolicyError
+		if !errors.As(err, &npe) {
+			t.Fatalf("policy %v with pinned nonce: err = %v, want NoncePolicyError", pol, err)
+		}
+		if npe.Policy != pol {
+			t.Fatalf("error names policy %v, want %v", npe.Policy, pol)
+		}
+	}
+	// The pin is fine under PerSweep.
+	if _, err := f.Sweep(context.Background(), SweepConfig{Nonce: &nonce}, nil); err != nil {
+		t.Fatalf("pinned nonce under PerSweep rejected: %v", err)
+	}
+	// Out-of-range policy values are rejected before any work.
+	if _, err := f.Sweep(context.Background(), SweepConfig{Freshness: attestation.FreshnessPolicy(99)}, nil); err == nil {
+		t.Fatal("invalid freshness policy accepted")
+	}
+}
+
+// TestRotateKeySweep: the strongest policy re-keys every member before
+// attesting. The rotation changes the device class (new PUF circuit in
+// the golden image), so each sweep rebuilds the class plan once and then
+// serves per-device nonce patches off it; verdicts stay intact.
+func TestRotateKeySweep(t *testing.T) {
+	const size = 3
+	f, err := NewFleet(size, dynPUFFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classBefore := f.systems[1].ClassKey()
+	cfg := SweepConfig{
+		Concurrency: 2,
+		SharePlans:  true,
+		Freshness:   attestation.RotateKey,
+		PlanCache:   attestation.NewPlanCache(0),
+	}
+	first := mustSweep(t, f, context.Background(), cfg, nil)
+	if len(first.Healthy) != size {
+		t.Fatalf("first sweep healthy=%v failed=%v compromised=%v", first.Healthy, first.Failed, first.Compromised)
+	}
+	if first.KeysRotated != size {
+		t.Fatalf("keys rotated = %d, want %d", first.KeysRotated, size)
+	}
+	if first.PlansBuilt != 1 || first.PlanPatches != size {
+		t.Fatalf("first sweep built=%d patches=%d, want 1/%d", first.PlansBuilt, first.PlanPatches, size)
+	}
+	classAfter := f.systems[1].ClassKey()
+	if classBefore == classAfter {
+		t.Fatal("key rotation did not change the device class")
+	}
+	// Every sweep rotates again: a fresh key generation is a fresh class,
+	// so the old cached plan cannot be (and is not) reused.
+	second := mustSweep(t, f, context.Background(), cfg, nil)
+	if len(second.Healthy) != size {
+		t.Fatalf("second sweep healthy=%v failed=%v", second.Healthy, second.Failed)
+	}
+	if second.KeysRotated != size || second.PlansBuilt != 1 || second.PlanCacheHits != 0 {
+		t.Fatalf("second sweep rotated=%d built=%d hits=%d, want %d/1/0",
+			second.KeysRotated, second.PlansBuilt, second.PlanCacheHits, size)
+	}
+}
+
+// TestRotateKeyDetectsTamper: rotation must not blunt detection.
+func TestRotateKeyDetectsTamper(t *testing.T) {
+	f, err := NewFleet(3, dynPUFFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = 1
+	rep := mustSweep(t, f, context.Background(), SweepConfig{
+		Concurrency: 3,
+		SharePlans:  true,
+		Freshness:   attestation.RotateKey,
+	}, func(id uint64) core.AttestOptions {
+		if id != bad {
+			return core.AttestOptions{}
+		}
+		sys, _ := f.System(id)
+		return core.AttestOptions{TamperDevice: func(d *prover.Device) {
+			d.Fabric.Mem.Frame(sys.DynFrames()[3])[5] ^= 2
+		}}
+	})
+	if len(rep.Compromised) != 1 || rep.Compromised[0] != bad {
+		t.Fatalf("compromised = %v, want [%d]", rep.Compromised, bad)
+	}
+}
+
+// TestRotateKeyRequiresDynPUF: members whose keys cannot rotate fail the
+// sweep validation with the typed error naming the offending device.
+func TestRotateKeyRequiresDynPUF(t *testing.T) {
+	f, err := NewFleet(2, tinyFactory) // KeyStatPUF members
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Sweep(context.Background(), SweepConfig{Freshness: attestation.RotateKey}, nil)
+	var kme *KeyModeError
+	if !errors.As(err, &kme) {
+		t.Fatalf("err = %v, want KeyModeError", err)
+	}
+	if kme.Mode != core.KeyStatPUF {
+		t.Fatalf("error names mode %d, want %d", kme.Mode, core.KeyStatPUF)
+	}
+}

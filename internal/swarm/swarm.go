@@ -39,7 +39,34 @@ var (
 		"Fleet sweeps run.")
 	mClassState = obs.Default().GaugeVec("sacha_sweep_class_state",
 		"Per-class health partition of the most recent fleet sweep.", "class", "state")
+	mKeysRotated = obs.Default().Counter("sacha_sweep_keys_rotated_total",
+		"Per-device PUF key rotations performed by RotateKey-policy sweeps.")
 )
+
+// NoncePolicyError reports a SweepConfig whose pinned Nonce contradicts
+// its freshness policy: a pinned nonce fixes one nonce for the whole
+// sweep, while PerDevice and RotateKey exist to draw fresh per-device
+// nonces. The two requests are silently resolvable either way, so the
+// sweep refuses to guess.
+type NoncePolicyError struct {
+	Policy attestation.FreshnessPolicy
+}
+
+func (e *NoncePolicyError) Error() string {
+	return fmt.Sprintf("swarm: SweepConfig pins a nonce but selects the %s freshness policy — a pinned nonce implies per-sweep freshness; drop the pin or the policy", e.Policy)
+}
+
+// KeyModeError reports a RotateKey-policy sweep over a fleet member
+// whose key provisioning cannot rotate (only the DynPart-PUF mode ships
+// replaceable key circuits).
+type KeyModeError struct {
+	DeviceID uint64
+	Mode     core.KeyMode
+}
+
+func (e *KeyModeError) Error() string {
+	return fmt.Sprintf("swarm: freshness policy rotate-key requires the DynPart-PUF key mode on every member, but device %d uses key mode %d", e.DeviceID, e.Mode)
+}
 
 // DeviceResult is the outcome for one fleet member.
 type DeviceResult struct {
@@ -50,6 +77,12 @@ type DeviceResult struct {
 	Report  *verifier.Report
 	Err     error
 	Elapsed time.Duration
+	// PlanPatched reports that this device was attested through a
+	// WithNonce patch of its class's shared plan (PerDevice or RotateKey
+	// freshness under SharePlans); Nonce is then the per-device nonce
+	// the patch encoded.
+	PlanPatched bool
+	Nonce       uint64
 }
 
 // Healthy reports whether the device attested successfully.
@@ -152,6 +185,13 @@ type Report struct {
 	// PlanCacheHits counts device classes whose plan came out of the
 	// sweep's PlanCache instead of being built.
 	PlanCacheHits int
+	// PlanPatches counts devices attested through a WithNonce patch of
+	// their class's shared plan — the per-device freshness rotations that
+	// did NOT cost a plan rebuild.
+	PlanPatches int
+	// KeysRotated counts the per-device PUF key rotations a RotateKey
+	// sweep performed before attesting.
+	KeysRotated int
 }
 
 // SweepConfig bounds a fleet sweep.
@@ -173,8 +213,18 @@ type SweepConfig struct {
 	SharePlans bool
 	// Nonce fixes the sweep nonce under SharePlans; nil draws a fresh
 	// one. Ignored when SharePlans is unset (each device then draws its
-	// own nonce as before).
+	// own nonce as before). A pinned Nonce is only meaningful under the
+	// PerSweep freshness policy; combining it with PerDevice or
+	// RotateKey is a NoncePolicyError.
 	Nonce *uint64
+	// Freshness selects the sweep's freshness unit: PerSweep (the zero
+	// value and status quo — one nonce shared by the whole sweep),
+	// PerDevice (a fresh nonce per device, served as WithNonce patches
+	// of each class's shared plan so the plan cache keeps hitting), or
+	// RotateKey (PerDevice plus a PUF re-keying of every device before
+	// the sweep, which rebuilds each class's plan once). RotateKey
+	// requires every member to use core.KeyDynPUF.
+	Freshness attestation.FreshnessPolicy
 	// PlanOpts are the fleet-wide plan-shaping options under SharePlans
 	// (Offset, Permutation, AppSteps, SignatureMode, ConfigBatch).
 	PlanOpts verifier.Options
@@ -194,18 +244,24 @@ type SweepConfig struct {
 // not specify one.
 const DefaultConcurrency = 8
 
-// planEntry is the outcome of one per-class plan build.
+// planEntry is the outcome of one per-class plan build. patch marks the
+// plan as a nonce-patchable base: each device derives its own nonce via
+// Plan.WithNonce instead of running the plan as built.
 type planEntry struct {
-	plan *attestation.Plan
-	err  error
+	plan  *attestation.Plan
+	patch bool
+	err   error
 }
 
 // buildPlans constructs (or fetches from the cache) one shared plan per
-// device class for the sweep nonce, reporting how many were really built
-// versus served from the cache. A class whose plan fails to build carries
-// the error to every member (reported Failed, not Unreachable — nothing
-// was transported).
+// device class, reporting how many were really built versus served from
+// the cache. Under PerSweep the plan bakes in the sweep nonce as before;
+// under PerDevice/RotateKey it is a nonce-patchable base (built from
+// PatchableSpec, cache-keyed nonce-free) that attestOne re-nonces per
+// device. A class whose plan fails to build carries the error to every
+// member (reported Failed, not Unreachable — nothing was transported).
 func (f *Fleet) buildPlans(cfg SweepConfig) (plans map[string]planEntry, built, cacheHits int) {
+	patchable := cfg.Freshness != attestation.PerSweep
 	nonce := rand.Uint64()
 	if cfg.Nonce != nil {
 		nonce = *cfg.Nonce
@@ -217,14 +273,20 @@ func (f *Fleet) buildPlans(cfg SweepConfig) (plans map[string]planEntry, built, 
 		if _, ok := plans[key]; ok {
 			continue
 		}
+		var spec attestation.Spec
+		var err error
+		if patchable {
+			spec, err = sys.PatchableSpec(cfg.PlanOpts)
+		} else {
+			spec, err = sys.PlanSpec(nonce, cfg.PlanOpts)
+		}
+		if err != nil {
+			plans[key] = planEntry{err: err}
+			continue
+		}
 		if cfg.PlanCache != nil {
-			spec, err := sys.PlanSpec(nonce, cfg.PlanOpts)
-			if err != nil {
-				plans[key] = planEntry{err: err}
-				continue
-			}
 			p, didBuild, err := cfg.PlanCache.GetOrBuild(spec)
-			plans[key] = planEntry{plan: p, err: err}
+			plans[key] = planEntry{plan: p, patch: patchable, err: err}
 			if err == nil {
 				if didBuild {
 					built++
@@ -234,17 +296,42 @@ func (f *Fleet) buildPlans(cfg SweepConfig) (plans map[string]planEntry, built, 
 			}
 			continue
 		}
-		p, err := sys.Plan(nonce, cfg.PlanOpts)
-		plans[key] = planEntry{plan: p, err: err}
+		p, err := attestation.NewPlan(spec)
+		plans[key] = planEntry{plan: p, patch: patchable, err: err}
 		built++
 	}
 	return plans, built, cacheHits
 }
 
+// validate rejects contradictory sweep configurations before any
+// network or fabric work starts.
+func (f *Fleet) validate(cfg SweepConfig) error {
+	if !cfg.Freshness.Valid() {
+		return fmt.Errorf("swarm: unknown freshness policy %d", int(cfg.Freshness))
+	}
+	if cfg.Nonce != nil && cfg.Freshness != attestation.PerSweep {
+		return &NoncePolicyError{Policy: cfg.Freshness}
+	}
+	if cfg.Freshness == attestation.RotateKey {
+		for _, id := range f.order {
+			if mode := f.systems[id].KeyMode(); mode != core.KeyDynPUF {
+				return &KeyModeError{DeviceID: id, Mode: mode}
+			}
+		}
+	}
+	return nil
+}
+
 // Sweep attests every device through a bounded worker pool. The context
 // cancels the whole sweep: devices not yet started when ctx is done are
-// reported Unreachable with ctx's error.
-func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID uint64) core.AttestOptions) *Report {
+// reported Unreachable with ctx's error. A contradictory configuration
+// (pinned nonce under a per-device freshness policy, RotateKey over a
+// non-rotatable key mode) is rejected with a typed error before any
+// device is touched.
+func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID uint64) core.AttestOptions) (*Report, error) {
+	if err := f.validate(cfg); err != nil {
+		return nil, err
+	}
 	if opts == nil {
 		opts = func(uint64) core.AttestOptions { return core.AttestOptions{} }
 	}
@@ -257,6 +344,19 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 	}
 	start := time.Now()
 	mSweeps.Inc()
+	keysRotated := 0
+	if cfg.Freshness == attestation.RotateKey {
+		// Rotate every key before plan building: the shipped PUF circuit
+		// changes each class's golden image, so the per-class plans below
+		// are rebuilt for the new key generation.
+		for _, id := range f.order {
+			if err := f.systems[id].RotateKey(); err != nil {
+				return nil, fmt.Errorf("swarm: rotating key of device %d: %w", id, err)
+			}
+			keysRotated++
+		}
+		mKeysRotated.Add(uint64(keysRotated))
+	}
 	var plans map[string]planEntry
 	var plansBuilt, planCacheHits int
 	if cfg.SharePlans {
@@ -273,7 +373,8 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 		cfg.Tracker.Begin(targets)
 	}
 	obs.Logger().Info("sweep start", "devices", len(f.order), "workers", workers,
-		"share_plans", cfg.SharePlans, "plans_built", plansBuilt, "plan_cache_hits", planCacheHits)
+		"share_plans", cfg.SharePlans, "freshness", cfg.Freshness.String(),
+		"plans_built", plansBuilt, "plan_cache_hits", planCacheHits, "keys_rotated", keysRotated)
 	results := make([]DeviceResult, len(f.order))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -298,9 +399,13 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 		Elapsed:       time.Since(start),
 		PlansBuilt:    plansBuilt,
 		PlanCacheHits: planCacheHits,
+		KeysRotated:   keysRotated,
 		PerClass:      make(map[string]ClassHealth, len(plans)),
 	}
 	for _, r := range results {
+		if r.PlanPatched {
+			out.PlanPatches++
+		}
 		ch := out.PerClass[r.Class]
 		switch {
 		case r.Healthy():
@@ -331,8 +436,9 @@ func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID u
 	obs.Logger().Info("sweep done", "elapsed", out.Elapsed,
 		"healthy", len(out.Healthy), "compromised", len(out.Compromised),
 		"unreachable", len(out.Unreachable), "failed", len(out.Failed),
-		"retries", out.Retries, "transport_faults", out.TransportFaults)
-	return out
+		"retries", out.Retries, "transport_faults", out.TransportFaults,
+		"plan_patches", out.PlanPatches, "keys_rotated", out.KeysRotated)
+	return out, nil
 }
 
 // attestOne runs a single device attestation under the sweep's deadline
@@ -368,13 +474,27 @@ func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string
 		return DeviceResult{DeviceID: id, Err: err}
 	}
 	attest := sys.Attest
+	var patched bool
+	var deviceNonce uint64
 	if plans != nil {
 		entry := plans[class]
 		if entry.err != nil {
 			return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: plan for device %d: %w", id, entry.err), Elapsed: time.Since(t0)}
 		}
+		plan := entry.plan
+		if entry.patch {
+			// Per-device freshness: re-nonce the class's shared plan for
+			// this device. The patch is O(nonce column) and never mutates
+			// the base, so concurrent workers patch the same plan freely.
+			deviceNonce = rand.Uint64()
+			pp, err := plan.WithNonce(deviceNonce)
+			if err != nil {
+				return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: patching nonce for device %d: %w", id, err), Elapsed: time.Since(t0)}
+			}
+			plan, patched = pp, true
+		}
 		attest = func(o core.AttestOptions) (*verifier.Report, error) {
-			return sys.AttestWithPlan(entry.plan, o)
+			return sys.AttestWithPlan(plan, o)
 		}
 	}
 	dctx := ctx
@@ -394,19 +514,19 @@ func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string
 	}()
 	select {
 	case oc := <-done:
-		return DeviceResult{DeviceID: id, Report: oc.rep, Err: oc.err, Elapsed: time.Since(t0)}
+		return DeviceResult{DeviceID: id, Report: oc.rep, Err: oc.err, Elapsed: time.Since(t0), PlanPatched: patched, Nonce: deviceNonce}
 	case <-dctx.Done():
 		// The attestation goroutine finishes on its own (the simulated
 		// protocol always terminates; a TCP one hits its own timeouts)
 		// and its result is discarded — the deadline verdict stands.
-		return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: device %d: %w", id, dctx.Err()), Elapsed: time.Since(t0)}
+		return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: device %d: %w", id, dctx.Err()), Elapsed: time.Since(t0), PlanPatched: patched, Nonce: deviceNonce}
 	}
 }
 
 // AttestAll attests every device. With parallel=true the sweep uses the
 // default bounded worker pool; sequential otherwise. It is the
 // context-free convenience form of Sweep.
-func (f *Fleet) AttestAll(parallel bool, opts func(deviceID uint64) core.AttestOptions) *Report {
+func (f *Fleet) AttestAll(parallel bool, opts func(deviceID uint64) core.AttestOptions) (*Report, error) {
 	conc := 1
 	if parallel {
 		conc = DefaultConcurrency

@@ -49,7 +49,7 @@ func TestLargeFleetBoundedSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 8}, nil)
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 8}, nil)
 	if len(rep.Healthy) != fleetSize {
 		t.Fatalf("healthy=%d compromised=%v unreachable=%v failed=%v",
 			len(rep.Healthy), rep.Compromised, rep.Unreachable, rep.Failed)
@@ -77,7 +77,7 @@ func TestUnreachableVsCompromised(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 3}, func(id uint64) core.AttestOptions {
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 3}, func(id uint64) core.AttestOptions {
 		switch id {
 		case tampered:
 			sys, _ := f.System(id)
@@ -125,7 +125,7 @@ func TestPerDeviceTimeoutIsUnreachable(t *testing.T) {
 	// shortly after. The deadline leaves healthy members a wide margin:
 	// a TinyLX attestation finishes in well under a second even with the
 	// race detector on a loaded machine.
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 2, PerDeviceTimeout: 3 * time.Second},
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 2, PerDeviceTimeout: 3 * time.Second},
 		func(id uint64) core.AttestOptions {
 			if id != slow {
 				return core.AttestOptions{}
@@ -162,7 +162,7 @@ func TestSweepCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	rep := f.Sweep(ctx, SweepConfig{Concurrency: 2}, nil)
+	rep := mustSweep(t, f, ctx, SweepConfig{Concurrency: 2}, nil)
 	if len(rep.Unreachable) != f.Size() {
 		t.Fatalf("unreachable=%v healthy=%v failed=%v", rep.Unreachable, rep.Healthy, rep.Failed)
 	}

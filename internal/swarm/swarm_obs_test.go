@@ -40,7 +40,7 @@ func TestPerClassHealthPartition(t *testing.T) {
 	}
 	const bad = 3 // odd → TinyLX class
 	badClass := f.systems[bad].ClassKey()
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 3}, func(id uint64) core.AttestOptions {
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 3}, func(id uint64) core.AttestOptions {
 		if id != bad {
 			return core.AttestOptions{}
 		}
@@ -82,7 +82,7 @@ func TestSweepRollsUpTransportPressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 2}, func(id uint64) core.AttestOptions {
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 2}, func(id uint64) core.AttestOptions {
 		retry := sweepRetry()
 		retry.MaxRetries = 10 // generous budget: the point is the rollup, not the loss rate
 		return core.AttestOptions{
@@ -120,7 +120,7 @@ func TestSweepFeedsTracker(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracker := obs.NewSweepTracker()
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 2, Tracker: tracker}, nil)
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 2, Tracker: tracker}, nil)
 	snap := tracker.Snapshot()
 	if snap.Total != 5 || snap.Completed != 5 || snap.InFlight != 0 {
 		t.Fatalf("snapshot total=%d completed=%d inflight=%d, want 5/5/0",

@@ -23,6 +23,26 @@ func factory(id uint64) (*core.System, error) {
 	})
 }
 
+// mustSweep and mustAttestAll run a sweep that the test expects to pass
+// config validation; a validation error is a test bug, not a verdict.
+func mustSweep(t testing.TB, f *Fleet, ctx context.Context, cfg SweepConfig, opts func(uint64) core.AttestOptions) *Report {
+	t.Helper()
+	rep, err := f.Sweep(ctx, cfg, opts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	return rep
+}
+
+func mustAttestAll(t testing.TB, f *Fleet, parallel bool, opts func(uint64) core.AttestOptions) *Report {
+	t.Helper()
+	rep, err := f.AttestAll(parallel, opts)
+	if err != nil {
+		t.Fatalf("AttestAll: %v", err)
+	}
+	return rep
+}
+
 func TestHealthyFleet(t *testing.T) {
 	f, err := NewFleet(4, factory)
 	if err != nil {
@@ -31,7 +51,7 @@ func TestHealthyFleet(t *testing.T) {
 	if f.Size() != 4 {
 		t.Fatalf("size %d", f.Size())
 	}
-	rep := f.AttestAll(false, nil)
+	rep := mustAttestAll(t, f, false, nil)
 	if len(rep.Healthy) != 4 || len(rep.Compromised) != 0 {
 		t.Fatalf("healthy=%v compromised=%v", rep.Healthy, rep.Compromised)
 	}
@@ -48,7 +68,7 @@ func TestCompromisedMemberIsolated(t *testing.T) {
 		t.Fatal(err)
 	}
 	const bad = 3
-	rep := f.AttestAll(true, func(id uint64) core.AttestOptions {
+	rep := mustAttestAll(t, f, true, func(id uint64) core.AttestOptions {
 		if id != bad {
 			return core.AttestOptions{}
 		}
@@ -70,8 +90,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := f.AttestAll(false, nil)
-	par := f.AttestAll(true, nil)
+	seq := mustAttestAll(t, f, false, nil)
+	par := mustAttestAll(t, f, true, nil)
 	if len(seq.Healthy) != len(par.Healthy) {
 		t.Fatalf("sequential %d healthy vs parallel %d", len(seq.Healthy), len(par.Healthy))
 	}
@@ -98,7 +118,7 @@ func TestSharedPlanSweepHealthy(t *testing.T) {
 		t.Fatal(err)
 	}
 	nonce := uint64(0xFEED)
-	rep := f.Sweep(context.Background(), SweepConfig{
+	rep := mustSweep(t, f, context.Background(), SweepConfig{
 		Concurrency: 4,
 		SharePlans:  true,
 		Nonce:       &nonce,
@@ -119,7 +139,7 @@ func TestColdSweepBuildsNoSharedPlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := f.Sweep(context.Background(), SweepConfig{Concurrency: 2}, nil)
+	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 2}, nil)
 	if rep.PlansBuilt != 0 {
 		t.Fatalf("plans built = %d without SharePlans", rep.PlansBuilt)
 	}
@@ -137,7 +157,7 @@ func TestSharedPlanDetectsTamper(t *testing.T) {
 		t.Fatal(err)
 	}
 	const bad = 2
-	rep := f.Sweep(context.Background(), SweepConfig{
+	rep := mustSweep(t, f, context.Background(), SweepConfig{
 		Concurrency: 4,
 		SharePlans:  true,
 	}, func(id uint64) core.AttestOptions {
@@ -183,14 +203,14 @@ func TestPlanCacheRepeatedSweepBuildsZeroPlans(t *testing.T) {
 		Nonce:       &nonce,
 		PlanCache:   cache,
 	}
-	first := f.Sweep(context.Background(), cfg, nil)
+	first := mustSweep(t, f, context.Background(), cfg, nil)
 	if len(first.Healthy) != 4 {
 		t.Fatalf("first sweep healthy = %v (failed=%v)", first.Healthy, first.Failed)
 	}
 	if first.PlansBuilt != 1 || first.PlanCacheHits != 0 {
 		t.Fatalf("first sweep built=%d hits=%d, want 1/0", first.PlansBuilt, first.PlanCacheHits)
 	}
-	second := f.Sweep(context.Background(), cfg, nil)
+	second := mustSweep(t, f, context.Background(), cfg, nil)
 	if len(second.Healthy) != 4 {
 		t.Fatalf("second sweep healthy = %v", second.Healthy)
 	}
@@ -201,7 +221,7 @@ func TestPlanCacheRepeatedSweepBuildsZeroPlans(t *testing.T) {
 	// serve the old plan for it.
 	other := uint64(0xD1CE)
 	cfg.Nonce = &other
-	third := f.Sweep(context.Background(), cfg, nil)
+	third := mustSweep(t, f, context.Background(), cfg, nil)
 	if third.PlansBuilt != 1 || third.PlanCacheHits != 0 {
 		t.Fatalf("new-nonce sweep built=%d hits=%d, want 1/0", third.PlansBuilt, third.PlanCacheHits)
 	}
@@ -215,7 +235,7 @@ func TestWindowedSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	nonce := uint64(0xFEED)
-	rep := f.Sweep(context.Background(), SweepConfig{
+	rep := mustSweep(t, f, context.Background(), SweepConfig{
 		Concurrency: 3,
 		SharePlans:  true,
 		Nonce:       &nonce,
