@@ -432,13 +432,20 @@ func RemoteUpdateTamper(sys *core.System) Result {
 		Class:       "remote",
 		Description: "adversary rewrites ICAP_config frames between verifier and device",
 	}
+	// Corrupt a handful of frames spread across the update. The cadence
+	// must scale with the geometry: a fixed period larger than the
+	// dynamic partition's frame count would never fire on small devices
+	// and the "attack" would silently degenerate into an honest run.
+	period := len(fabric.DynRegion(sys.Geo).Frames()) / 8
+	if period < 1 {
+		period = 1
+	}
 	tampered := 0
 	rep, err := sys.AttestAgainst(func(ep channel.Endpoint) error {
 		mitm := &channel.Tap{Inner: ep, OnRecv: func(m []byte) []byte {
-			// Corrupt every 500th configuration frame's payload.
 			if len(m) > 0 && m[0] == byte(protocol.MsgICAPConfig) {
 				tampered++
-				if tampered%500 == 0 {
+				if tampered%period == 0 {
 					cp := make([]byte, len(m))
 					copy(cp, m)
 					cp[len(cp)/2] ^= 0x20
@@ -454,26 +461,41 @@ func RemoteUpdateTamper(sys *core.System) Result {
 	return r
 }
 
+// Named is one registered adversary: a stable key for schedulers and
+// reports, plus the experiment function.
+type Named struct {
+	Key string
+	Fn  func(*core.System) Result
+}
+
+// Registry lists every implemented adversary in a stable order — the
+// single source All and the campaign scheduler draw from, so a new
+// adversary added here is automatically replayed one-shot (All) and
+// soaked long-horizon (internal/campaign).
+func Registry() []Named {
+	return []Named{
+		{Key: "dynpart-module", Fn: DynPartModule},
+		{Key: "statpart-module", Fn: StatPartModule},
+		{Key: "impersonation", Fn: Impersonation},
+		{Key: "external-proxy", Fn: ExternalProxy},
+		{Key: "replay", Fn: Replay},
+		{Key: "nonce-reuse", Fn: NonceReuse},
+		{Key: "stale-nonce-replay", Fn: StaleNonceReplay},
+		{Key: "remote-update-tamper", Fn: RemoteUpdateTamper},
+	}
+}
+
 // All runs every §7.2 adversary plus the §3 remote adversary, each
 // against a freshly provisioned system from newSys.
 func All(newSys func() (*core.System, error)) ([]Result, error) {
-	attacks := []func(*core.System) Result{
-		DynPartModule,
-		StatPartModule,
-		Impersonation,
-		ExternalProxy,
-		Replay,
-		NonceReuse,
-		StaleNonceReplay,
-		RemoteUpdateTamper,
-	}
-	out := make([]Result, 0, len(attacks))
-	for _, atk := range attacks {
+	reg := Registry()
+	out := make([]Result, 0, len(reg))
+	for _, atk := range reg {
 		sys, err := newSys()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, atk(sys))
+		out = append(out, atk.Fn(sys))
 	}
 	return out, nil
 }

@@ -132,6 +132,32 @@ func TestRemoteUpdateTamperDetected(t *testing.T) {
 	}
 }
 
+// The MITM's corruption cadence must scale with the geometry: a fixed
+// every-500th-frame period exceeded TinyLX's whole dynamic partition,
+// so the attack silently became an honest run there (caught by the
+// campaign soak, which round-robins every adversary over a mixed
+// fleet).
+func TestRemoteUpdateTamperDetectedOnTiny(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{
+		Geo:        device.TinyLX(),
+		App:        netlist.Blinker(8),
+		KeyMode:    core.KeyStatPUF,
+		DeviceID:   7,
+		LabLatency: -1,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RemoteUpdateTamper(sys)
+	if !r.Detected {
+		t.Fatalf("not detected on TinyLX: %+v", r)
+	}
+	if r.Err != nil {
+		t.Fatalf("want verdict, got transport error: %v", r.Err)
+	}
+}
+
 func TestAllAdversariesDetected(t *testing.T) {
 	results, err := All(newSmallSystem)
 	if err != nil {

@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// FuzzCampaignScenario mutates the compact scenario spelling and holds
+// the parser and the scheduler to their contracts: whatever parses must
+// validate, round-trip through String(), and drive a deterministic
+// scheduler — the same parsed scenario must always produce the same
+// event sequence.
+func FuzzCampaignScenario(f *testing.F) {
+	f.Add("seed=7,fleet=32,events=40")
+	f.Add("seed=-1,fleet=2,duration=60s,conc=1,heap-mb=1,cache=1")
+	f.Add("events=5,weights=sweep:4;storm:2;attack:3;seu:2;kill:1")
+	f.Add("events=3,weights=kill:1")
+	f.Add("seed=0x7fffffffffffffff,fleet=65536,events=1")
+	f.Add("duration=1ns,weights=seu:1")
+	f.Add(" seed = 9 , events = 2 , weights = sweep:1 ; attack:1 ")
+	f.Add("events=9999999,heap-mb=2147483647")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseScenario(s)
+		if err != nil {
+			return
+		}
+		// Whatever the parser accepted must be a runnable scenario.
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("ParseScenario(%q) accepted an invalid scenario: %v", s, verr)
+		}
+		// ... and survive the round trip through its canonical spelling.
+		again, err := ParseScenario(sc.String())
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not re-parse: %v", s, err)
+		}
+		if again != sc {
+			t.Fatalf("round trip drifted for %q:\n  %+v\n  %+v", s, sc, again)
+		}
+		// Scheduler determinism: same scenario, same stream. Cap the fleet
+		// so per-event subset draws stay cheap under the fuzzer.
+		if sc.Fleet > 256 {
+			sc.Fleet = 256
+		}
+		a, b := NewScheduler(sc), NewScheduler(sc)
+		for i := 0; i < 12; i++ {
+			ea, eb := a.Next(i), b.Next(i)
+			if ea.Desc() != eb.Desc() {
+				t.Fatalf("scenario %q: event %d diverged:\n  %s\n  %s", s, i, ea.Desc(), eb.Desc())
+			}
+			if ea.Index != i {
+				t.Fatalf("event index %d != %d", ea.Index, i)
+			}
+		}
+	})
+}

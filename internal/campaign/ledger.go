@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// Expectation names the ledger's view of what a device was allowed to
+// report in one event — the rows of the verdict matrix.
+const (
+	// ExpectClean: untampered, unfaulted, uncancelled — must be Healthy.
+	ExpectClean = "clean"
+	// ExpectTampered: tampered on a clean link — must be Compromised.
+	ExpectTampered = "tampered"
+	// ExpectFaulted: faulted but untampered — Healthy or Unreachable.
+	ExpectFaulted = "faulted"
+	// ExpectTamperedFaulted: both — Compromised or Unreachable.
+	ExpectTamperedFaulted = "tampered-faulted"
+	// ExpectInterrupted: member of a cancelled sweep — Healthy or
+	// Unreachable. The matrix folds both into VerdictInterruptedOK so
+	// the matrix stays identical across reruns even though the exact
+	// split depends on which sessions were in flight at cancel time.
+	ExpectInterrupted = "interrupted"
+)
+
+// VerdictInterruptedOK is the folded matrix column for allowed verdicts
+// of interrupted devices.
+const VerdictInterruptedOK = "interrupted-ok"
+
+// Violation is one invariant breach.
+type Violation struct {
+	Event  int    `json:"event"`
+	Kind   string `json:"kind"`
+	Device uint64 `json:"device,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// AdversaryTally aggregates one adversary's campaign outcomes.
+type AdversaryTally struct {
+	Runs       int            `json:"runs"`
+	Detected   int            `json:"detected"`
+	Mechanisms map[string]int `json:"mechanisms"`
+}
+
+// SEUTally aggregates the SEU/scrub cycles.
+type SEUTally struct {
+	Cycles   int `json:"cycles"`
+	Injected int `json:"injected"`
+	Detected int `json:"detected"`
+	Repaired int `json:"repaired"`
+}
+
+// Report is the machine-readable campaign outcome cmd/sacha-soak emits.
+type Report struct {
+	Scenario Scenario `json:"scenario"`
+	// Events is how many events executed; re-running the same seed with
+	// MaxEvents=Events reproduces this report's EventHash and Matrix.
+	Events   int      `json:"events"`
+	EventLog []string `json:"event_log"`
+	// EventHash is sha256 over the newline-joined event log — the
+	// compact determinism witness.
+	EventHash string `json:"event_hash"`
+	Sweeps    int    `json:"sweeps"`
+	// Matrix counts device outcomes by expectation row and verdict
+	// column.
+	Matrix      map[string]map[string]int  `json:"matrix"`
+	Adversaries map[string]*AdversaryTally `json:"adversaries"`
+	SEU         SEUTally                   `json:"seu"`
+	// HeapPeakBytes is the largest HeapAlloc sampled between events.
+	HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+	// Retries and TransportFaults aggregate sweep transport pressure.
+	Retries         int `json:"retries"`
+	TransportFaults int `json:"transport_faults"`
+	// KeysRotated counts PUF re-enrollments by RotateKey sweeps.
+	KeysRotated int `json:"keys_rotated"`
+	// PlansBuilt and PlanCacheHits show the plan cache under churn.
+	PlansBuilt    int `json:"plans_built"`
+	PlanCacheHits int `json:"plan_cache_hits"`
+	// Violations is empty on a passing campaign.
+	Violations []Violation   `json:"violations"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+}
+
+// OK reports whether the campaign held all three invariants.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Summary renders the human-readable digest the soak CLI prints.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("campaign: %d events (%d sweeps) in %v, seed %d, fleet %d\n",
+		r.Events, r.Sweeps, r.Elapsed.Round(time.Millisecond), r.Scenario.Seed, r.Scenario.Fleet)
+	s += fmt.Sprintf("  event hash %s\n", r.EventHash)
+	for _, exp := range []string{ExpectClean, ExpectTampered, ExpectFaulted, ExpectTamperedFaulted, ExpectInterrupted} {
+		if row := r.Matrix[exp]; len(row) > 0 {
+			s += fmt.Sprintf("  %-17s %v\n", exp, row)
+		}
+	}
+	for name, t := range r.Adversaries {
+		s += fmt.Sprintf("  adversary %-21s %d/%d detected %v\n", name, t.Detected, t.Runs, t.Mechanisms)
+	}
+	if r.SEU.Cycles > 0 {
+		s += fmt.Sprintf("  seu: %d cycles, %d injected, %d detected, %d repaired\n",
+			r.SEU.Cycles, r.SEU.Injected, r.SEU.Detected, r.SEU.Repaired)
+	}
+	s += fmt.Sprintf("  transport: %d retries, %d faults seen; plans built %d, cache hits %d, keys rotated %d\n",
+		r.Retries, r.TransportFaults, r.PlansBuilt, r.PlanCacheHits, r.KeysRotated)
+	s += fmt.Sprintf("  heap peak %.1f MiB (ceiling %d MiB)\n",
+		float64(r.HeapPeakBytes)/(1<<20), r.Scenario.HeapCeilingMB)
+	if r.OK() {
+		s += "  invariants: OK\n"
+	} else {
+		s += fmt.Sprintf("  INVARIANT VIOLATIONS: %d\n", len(r.Violations))
+		for _, v := range r.Violations {
+			s += fmt.Sprintf("    event %d [%s] device %d: %s\n", v.Event, v.Kind, v.Device, v.Detail)
+		}
+	}
+	return s
+}
+
+// ledger accumulates the campaign ground truth the obs metrics are
+// audited against.
+type ledger struct {
+	eventLog    []string
+	matrix      map[string]map[string]int
+	adversaries map[string]*AdversaryTally
+	seu         SEUTally
+	violations  []Violation
+	sweeps      int
+	// sweepVerdicts counts every per-device sweep outcome by verdict —
+	// the exact amount the obs sweep counters must have advanced by.
+	sweepVerdicts   map[string]int
+	heapPeak        uint64
+	retries, faults int
+	keysRotated     int
+	plansBuilt      int
+	planCacheHits   int
+}
+
+func newLedger() *ledger {
+	return &ledger{
+		matrix:        make(map[string]map[string]int),
+		adversaries:   make(map[string]*AdversaryTally),
+		sweepVerdicts: make(map[string]int),
+	}
+}
+
+func (l *ledger) logEvent(ev Event) { l.eventLog = append(l.eventLog, ev.Desc()) }
+
+func (l *ledger) count(expectation, verdict string) {
+	row := l.matrix[expectation]
+	if row == nil {
+		row = make(map[string]int)
+		l.matrix[expectation] = row
+	}
+	row[verdict]++
+}
+
+func (l *ledger) violate(ev Event, device uint64, format string, args ...any) {
+	l.violations = append(l.violations, Violation{
+		Event:  ev.Index,
+		Kind:   ev.Kind.String(),
+		Device: device,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (l *ledger) adversary(key string) *AdversaryTally {
+	t := l.adversaries[key]
+	if t == nil {
+		t = &AdversaryTally{Mechanisms: make(map[string]int)}
+		l.adversaries[key] = t
+	}
+	return t
+}
+
+func (l *ledger) report(sc Scenario, elapsed time.Duration) *Report {
+	sum := sha256.Sum256([]byte(joinLines(l.eventLog)))
+	return &Report{
+		Scenario:        sc,
+		Events:          len(l.eventLog),
+		EventLog:        l.eventLog,
+		EventHash:       hex.EncodeToString(sum[:]),
+		Sweeps:          l.sweeps,
+		Matrix:          l.matrix,
+		Adversaries:     l.adversaries,
+		SEU:             l.seu,
+		HeapPeakBytes:   l.heapPeak,
+		Retries:         l.retries,
+		TransportFaults: l.faults,
+		KeysRotated:     l.keysRotated,
+		PlansBuilt:      l.plansBuilt,
+		PlanCacheHits:   l.planCacheHits,
+		Violations:      append([]Violation{}, l.violations...),
+		Elapsed:         elapsed,
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := Scenario{Seed: 3, MaxEvents: 5}.Normalized()
+	if sc.Fleet != DefaultFleet || sc.Concurrency != DefaultConcurrency {
+		t.Fatalf("fleet/concurrency defaults: %+v", sc)
+	}
+	if sc.HeapCeilingMB != DefaultHeapMB || sc.PlanCacheSize != DefaultPlanCache {
+		t.Fatalf("heap/cache defaults: %+v", sc)
+	}
+	if sc.Weights != DefaultWeights {
+		t.Fatalf("weights default: %+v", sc.Weights)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("normalized default scenario invalid: %v", err)
+	}
+}
+
+func TestScenarioValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"unbounded", Scenario{Seed: 1}, "unbounded"},
+		{"one-device", Scenario{Fleet: 1, MaxEvents: 3}, "mixed-geometry"},
+		{"huge-fleet", Scenario{Fleet: 1 << 20, MaxEvents: 3}, "bound"},
+		{"negative-events", Scenario{MaxEvents: -1}, "negative"},
+		{"negative-duration", Scenario{Duration: -time.Second}, "negative"},
+		{"negative-weight", Scenario{MaxEvents: 3, Weights: Weights{Sweep: -1, Storm: 2}}, "negative event weight"},
+		{"zero-weights", Scenario{MaxEvents: 3, Weights: Weights{}}, ""}, // zero value → defaults, valid
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestParseScenarioRoundTrip(t *testing.T) {
+	in := "seed=7,fleet=32,events=40,duration=60s,conc=8,heap-mb=512,cache=4," +
+		"weights=sweep:4;storm:2;attack:3;seu:2;kill:1"
+	sc, err := ParseScenario(in)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sc.Seed != 7 || sc.Fleet != 32 || sc.MaxEvents != 40 || sc.Duration != time.Minute ||
+		sc.Concurrency != 8 || sc.HeapCeilingMB != 512 || sc.PlanCacheSize != 4 {
+		t.Fatalf("parsed fields wrong: %+v", sc)
+	}
+	if sc.Weights != (Weights{Sweep: 4, Storm: 2, Attack: 3, SEU: 2, Kill: 1}) {
+		t.Fatalf("weights: %+v", sc.Weights)
+	}
+	again, err := ParseScenario(sc.String())
+	if err != nil {
+		t.Fatalf("re-parse of String(): %v", err)
+	}
+	if again != sc {
+		t.Fatalf("round trip drifted:\n  %+v\n  %+v", sc, again)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",                       // no bound
+		"bogus=1,events=3",       // unknown key
+		"seed",                   // not key=value
+		"events=notanumber",      // malformed value
+		"events=3,weights=zap:1", // unknown event kind
+		"events=3,weights=sweep", // malformed weight
+		"fleet=1,events=3",       // invalid combination
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseScenarioPartialWeights(t *testing.T) {
+	sc, err := ParseScenario("events=5,weights=sweep:1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sc.Weights != (Weights{Sweep: 1}) {
+		t.Fatalf("partial weights: %+v", sc.Weights)
+	}
+}

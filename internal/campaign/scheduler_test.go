@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"testing"
+
+	"sacha/internal/attack"
+	"sacha/internal/attestation"
+)
+
+// drawStream renders the first n event descriptors of a scenario.
+func drawStream(sc Scenario, n int) []string {
+	s := NewScheduler(sc)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Next(i).Desc()
+	}
+	return out
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	sc := Scenario{Seed: 99, Fleet: 32, MaxEvents: 200}
+	a := drawStream(sc, 200)
+	b := drawStream(sc, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	if c := drawStream(Scenario{Seed: 100, Fleet: 32, MaxEvents: 200}, 200); a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Fatalf("different seeds produced an identical stream prefix")
+	}
+}
+
+func TestSchedulerCoversAllKindsAndPolicies(t *testing.T) {
+	sc := Scenario{Seed: 5, Fleet: 16, MaxEvents: 100}
+	s := NewScheduler(sc)
+	kinds := make(map[EventKind]int)
+	policies := make(map[attestation.FreshnessPolicy]int)
+	adversaries := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		ev := s.Next(i)
+		kinds[ev.Kind]++
+		switch ev.Kind {
+		case EventSweep, EventStorm, EventKill:
+			policies[ev.Freshness]++
+		case EventAttack:
+			adversaries[ev.Adversary] = true
+		}
+	}
+	for _, k := range []EventKind{EventSweep, EventStorm, EventAttack, EventSEU, EventKill} {
+		if kinds[k] == 0 {
+			t.Errorf("100 events never drew kind %s", k)
+		}
+	}
+	for _, p := range []attestation.FreshnessPolicy{attestation.PerSweep, attestation.PerDevice, attestation.RotateKey} {
+		if policies[p] == 0 {
+			t.Errorf("policy churn never reached %s", p)
+		}
+	}
+	if len(adversaries) < 4 {
+		t.Errorf("attack draws covered only %d adversaries", len(adversaries))
+	}
+}
+
+func TestSchedulerEventShape(t *testing.T) {
+	sc := Scenario{Seed: 11, Fleet: 8, MaxEvents: 300}
+	s := NewScheduler(sc)
+	valid := make(map[string]bool)
+	for _, a := range attack.Registry() {
+		valid[a.Key] = true
+	}
+	for i := 0; i < 300; i++ {
+		ev := s.Next(i)
+		switch ev.Kind {
+		case EventSweep, EventStorm:
+			for _, id := range ev.Tampered {
+				if id < 1 || id > 8 {
+					t.Fatalf("event %d: tampered device %d out of range", i, id)
+				}
+			}
+			for _, f := range ev.Faults {
+				if f.Device < 1 || f.Device > 8 {
+					t.Fatalf("event %d: faulted device %d out of range", i, f.Device)
+				}
+				if f.ResetAt < -1 {
+					t.Fatalf("event %d: reset index %d", i, f.ResetAt)
+				}
+			}
+			if ev.Kind == EventSweep && ev.Window != 1 && ev.Window != 8 && ev.Window != 16 {
+				t.Fatalf("event %d: window %d", i, ev.Window)
+			}
+			if ev.Kind == EventStorm && ev.Window != 1 {
+				t.Fatalf("event %d: storm must be lockstep, got window %d", i, ev.Window)
+			}
+		case EventKill:
+			// A killed sweep's verdicts must be explainable by the
+			// cancellation alone — the scheduler must not mix in tampers
+			// or faults.
+			if len(ev.Tampered) != 0 || len(ev.Faults) != 0 {
+				t.Fatalf("event %d: kill with tampers/faults: %+v", i, ev)
+			}
+			if ev.KillAfter < 0 || ev.KillAfter >= 8 {
+				t.Fatalf("event %d: kill-after %d out of [0,8)", i, ev.KillAfter)
+			}
+		case EventAttack:
+			if !valid[ev.Adversary] {
+				t.Fatalf("event %d: unknown adversary %q", i, ev.Adversary)
+			}
+			if ev.Device < 1 || ev.Device > 8 {
+				t.Fatalf("event %d: attack device %d out of range", i, ev.Device)
+			}
+		case EventSEU:
+			if ev.Flips < 1 || ev.Flips > 8 {
+				t.Fatalf("event %d: %d flips", i, ev.Flips)
+			}
+			if ev.Device < 1 || ev.Device > 8 {
+				t.Fatalf("event %d: SEU device %d out of range", i, ev.Device)
+			}
+		}
+	}
+}
+
+func TestSchedulerPolicyChurnOrder(t *testing.T) {
+	sc := Scenario{Seed: 2, Fleet: 8, MaxEvents: 400}
+	s := NewScheduler(sc)
+	var seq []attestation.FreshnessPolicy
+	for i := 0; len(seq) < 3*policyChurnPeriod && i < 400; i++ {
+		ev := s.Next(i)
+		switch ev.Kind {
+		case EventSweep, EventStorm, EventKill:
+			seq = append(seq, ev.Freshness)
+		}
+	}
+	if len(seq) < 3*policyChurnPeriod {
+		t.Fatalf("only %d sweep-family events in 400 draws", len(seq))
+	}
+	want := []attestation.FreshnessPolicy{
+		attestation.PerSweep, attestation.PerDevice, attestation.RotateKey,
+	}
+	for i, p := range seq[:3*policyChurnPeriod] {
+		if p != want[i/policyChurnPeriod] {
+			t.Fatalf("sweep-family event %d ran under %s, want %s (churn seq %v)",
+				i, p, want[i/policyChurnPeriod], seq)
+		}
+	}
+}

@@ -93,6 +93,15 @@ type FaultConfig struct {
 	// Seed drives the fault lottery and the corruption bit choice; equal
 	// seeds reproduce identical fault sequences.
 	Seed int64
+	// Source, if non-nil, replaces the rand source derived from Seed —
+	// the hook a campaign scheduler uses to hand the injector a stream
+	// it controls end to end. Seed is ignored when Source is set.
+	Source rand.Source
+	// Sleep, if non-nil, replaces time.Sleep for FaultDelay injection.
+	// Soak campaigns substitute a virtual clock here so delay storms
+	// exercise the delay code path without wall-clock races deciding
+	// whether a delayed message beats a retry timer.
+	Sleep func(time.Duration)
 	// DropProb, DupProb, CorruptProb, ReorderProb, DelayProb select the
 	// per-message fault, drawn in that order.
 	DropProb, DupProb, CorruptProb, ReorderProb, DelayProb float64
@@ -133,6 +142,7 @@ type held struct {
 type FaultEndpoint struct {
 	inner Endpoint
 	cfg   FaultConfig
+	sleep func(time.Duration)
 
 	mu    sync.Mutex // guards rng, stats, reset
 	rng   *rand.Rand
@@ -154,10 +164,19 @@ func NewFault(inner Endpoint, cfg FaultConfig) *FaultEndpoint {
 	if cfg.ReorderWindow < 1 {
 		cfg.ReorderWindow = 1
 	}
+	src := cfg.Source
+	if src == nil {
+		src = rand.NewSource(cfg.Seed)
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	return &FaultEndpoint{
 		inner: inner,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sleep: sleep,
+		rng:   rand.New(src),
 	}
 }
 
@@ -266,7 +285,7 @@ func (f *FaultEndpoint) Send(msg []byte) error {
 	case FaultCorrupt:
 		err = f.inner.Send(corrupted)
 	case FaultDelay:
-		time.Sleep(f.cfg.Delay)
+		f.sleep(f.cfg.Delay)
 		err = f.inner.Send(msg)
 	case FaultReset:
 		f.doReset()
@@ -363,7 +382,7 @@ func (f *FaultEndpoint) Recv() ([]byte, error) {
 		case FaultCorrupt:
 			return corrupted, nil
 		case FaultDelay:
-			time.Sleep(f.cfg.Delay)
+			f.sleep(f.cfg.Delay)
 			return raw, nil
 		case FaultReset:
 			f.doReset()

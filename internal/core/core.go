@@ -102,7 +102,7 @@ type System struct {
 	appFrames   []int // DynMem minus the nonce column, transmission order
 	nonceFrames []int // the nonce column
 	rng         *rand.Rand
-	circuitID   uint64 // current DynPUF circuit (0 = StatPart PUF / register)
+	circuitID   uint64        // current DynPUF circuit (0 = StatPart PUF / register)
 	patchGolden *fabric.Image // memoized nonce-0 golden for PatchableSpec; nil until first use, cleared by RotateKey
 
 	// AppPlacement maps the application's pins for examples/tests; it is
@@ -394,12 +394,22 @@ func (s *System) serveFunc(opts AttestOptions) func(channel.Endpoint) error {
 	}
 	// The adversary's window is after configuration and before
 	// readback: the hook fires on the prover side when the device is
-	// about to process the first ICAP_readback command, i.e. after
-	// every configuration frame has been applied.
+	// about to process the first ICAP_readback command. Under the
+	// reliable transport the command rides inside a sequence envelope
+	// (type + seq + crc before the inner message), so the tap peeks at
+	// both spellings.
+	isReadback := func(m []byte) bool {
+		if len(m) > 0 && m[0] == byte(protocol.MsgICAPReadback) {
+			return true
+		}
+		const envHdr = 9 // MsgSeqReq type byte + uint32 seq + uint32 crc
+		return len(m) > envHdr && m[0] == byte(protocol.MsgSeqReq) &&
+			m[envHdr] == byte(protocol.MsgICAPReadback)
+	}
 	return func(ep channel.Endpoint) error {
 		armed := false
 		tapped := &channel.Tap{Inner: ep, OnRecv: func(m []byte) []byte {
-			if !armed && len(m) > 0 && m[0] == byte(protocol.MsgICAPReadback) {
+			if !armed && isReadback(m) {
 				armed = true
 				opts.TamperDevice(s.Device)
 			}

@@ -1,0 +1,96 @@
+package e2e
+
+import (
+	"testing"
+
+	"sacha/internal/attack"
+	"sacha/internal/attestation"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+)
+
+// advSystem provisions one fresh device for an adversary run.
+func advSystem(t *testing.T, mode core.KeyMode, seed int64) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Geo:        device.SmallLX(),
+		App:        netlist.Blinker(8),
+		KeyMode:    mode,
+		DeviceID:   9,
+		BuildID:    rigBuildID,
+		LabLatency: -1,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	return sys
+}
+
+// TestAdversaryExhaustiveness runs every registered adversary under
+// device states shaped by each of the three freshness policies and
+// requires detection to be exactly a Compromised verdict:
+//
+//   - Detected must be true — the adversary never slips through;
+//   - Err must be nil — detection must come from the protocol's verdict
+//     (MAC or masked-bitstream mismatch), not from a transport-looking
+//     failure. In a fleet sweep a non-nil error files the device under
+//     Unreachable or Failed, and an adversary that only "fails the
+//     connection" would hide in the partition operators ignore.
+//
+// The policy dimension shapes the device the adversary meets: PerSweep
+// attacks a freshly provisioned static-PUF device (the shared-plan
+// fleet state), PerDevice one that already served a sweep attestation
+// (per-device nonce churn has advanced its dynamic state), RotateKey a
+// dynamic-PUF device whose key circuit was just re-enrolled.
+func TestAdversaryExhaustiveness(t *testing.T) {
+	policies := []struct {
+		policy attestation.FreshnessPolicy
+		mode   core.KeyMode
+		prep   func(t *testing.T, sys *core.System)
+	}{
+		{attestation.PerSweep, core.KeyStatPUF, nil},
+		{attestation.PerDevice, core.KeyStatPUF, func(t *testing.T, sys *core.System) {
+			nonce := uint64(0xFEED5EED)
+			rep, err := sys.Attest(core.AttestOptions{Nonce: &nonce})
+			if err != nil || !rep.Accepted {
+				t.Fatalf("baseline attestation: accepted=%v err=%v", rep != nil && rep.Accepted, err)
+			}
+		}},
+		{attestation.RotateKey, core.KeyDynPUF, func(t *testing.T, sys *core.System) {
+			if err := sys.RotateKey(); err != nil {
+				t.Fatalf("rotate: %v", err)
+			}
+		}},
+	}
+	reg := attack.Registry()
+	if len(reg) < 8 {
+		t.Fatalf("adversary registry shrank to %d entries", len(reg))
+	}
+	for pi, pc := range policies {
+		for ai, adv := range reg {
+			adv := adv
+			pc := pc
+			t.Run(pc.policy.String()+"/"+adv.Key, func(t *testing.T) {
+				t.Parallel()
+				sys := advSystem(t, pc.mode, int64(1000+100*pi+ai))
+				if pc.prep != nil {
+					pc.prep(t, sys)
+				}
+				res := adv.Fn(sys)
+				if !res.Detected {
+					t.Fatalf("%s NOT detected under %s (mechanism=%q err=%v)",
+						adv.Key, pc.policy, res.Mechanism, res.Err)
+				}
+				if res.Err != nil {
+					t.Fatalf("%s under %s detected only via protocol failure (would sweep as Unreachable/Failed, not Compromised): %v",
+						adv.Key, pc.policy, res.Err)
+				}
+				if res.Mechanism == "" {
+					t.Fatalf("%s under %s detected without a mechanism", adv.Key, pc.policy)
+				}
+			})
+		}
+	}
+}

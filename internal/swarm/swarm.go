@@ -238,6 +238,14 @@ type SweepConfig struct {
 	// pending/running/done states with verdicts, served by the verifier
 	// CLI as the /debug/sweep snapshot.
 	Tracker *obs.SweepTracker
+	// Sessions, if non-nil, is Add(1)-ed for every attestation session
+	// the sweep actually launches and Done-ed when that session's
+	// goroutine finishes — including sessions a per-device deadline or a
+	// sweep cancellation abandoned, which otherwise keep running (and
+	// mutating their device) after Sweep returns. Campaign soaks and
+	// leak tests Wait on it to quarantine consecutive events from each
+	// other's stragglers.
+	Sessions *sync.WaitGroup
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does
@@ -508,7 +516,13 @@ func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string
 		err error
 	}
 	done := make(chan outcome, 1)
+	if cfg.Sessions != nil {
+		cfg.Sessions.Add(1)
+	}
 	go func() {
+		if cfg.Sessions != nil {
+			defer cfg.Sessions.Done()
+		}
 		rep, err := attest(o)
 		done <- outcome{rep, err}
 	}()
