@@ -1,0 +1,125 @@
+// Command sacha-fleetd runs the fleet coordinator: a long-lived daemon
+// that provisions an in-process mixed-geometry fleet, sweeps it through
+// the sharded dispatcher, and exposes a JSON control API on the
+// observability endpoint:
+//
+//	sacha-fleetd -fleet 32 -shards 4 -freshness per-device \
+//	             -obs-addr 127.0.0.1:9090 -every 30s -jitter 5s
+//
+//	curl -X POST localhost:9090/fleet/sweep      # trigger a sweep
+//	curl localhost:9090/fleet/status             # daemon + last sweep
+//	curl localhost:9090/fleet/sweeps             # sweep history
+//	curl localhost:9090/fleet/devices            # membership + shards
+//	curl localhost:9090/debug/sweep              # live per-device rows
+//
+// -every enables continuous re-attestation: every device class gets
+// its own scheduler loop with that cadence (plus up to -jitter of
+// seeded spread, so classes de-synchronize). Without -every the daemon
+// sweeps only on POST /fleet/sweep.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the API refuses new
+// sweeps with 503, the in-flight sweep finishes (bounded by
+// -drain-grace), every attestation session is joined, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sacha/internal/attestation"
+	"sacha/internal/cliutil"
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/fleet"
+	"sacha/internal/fleet/dispatch"
+	"sacha/internal/fleet/fleetd"
+	"sacha/internal/fleet/registry"
+	"sacha/internal/fleet/scheduler"
+	"sacha/internal/netlist"
+	"sacha/internal/obs"
+)
+
+func main() {
+	fleetSize := flag.Int("fleet", 16, "fleet size (odd IDs TinyLX, even SmallLX)")
+	seed := flag.Int64("seed", 1, "fleet provisioning seed (per-device PUF/SRAM state derives from it)")
+	buildID := flag.Uint64("build", 0xF1EE7, "static bitstream build ID shared by the fleet")
+	shards := flag.Int("shards", 4, "verifier shards (class-affinity routed, work-stealing)")
+	planCache := flag.Int("plan-cache", 8, "per-shard plan-cache capacity (0 disables; warm sweeps then rebuild plans)")
+	concurrency := flag.Int("concurrency", fleet.DefaultConcurrency, "attestation sessions in flight across all shards")
+	freshness := flag.String("freshness", "per-device", "nonce freshness policy: per-sweep, per-device or rotate-key")
+	timeout := flag.Duration("device-timeout", 0, "per-device attestation deadline (0 = none)")
+	every := flag.Duration("every", 0, "re-attest each device class on this cadence (0 = API-triggered sweeps only)")
+	jitter := flag.Duration("jitter", 0, "seeded per-class cadence spread added to -every")
+	history := flag.Int("history", 64, "sweep records retained for /fleet/sweeps")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown bound for the in-flight sweep before it is cancelled (0 = wait)")
+	obsFlags := cliutil.RegisterObs(flag.CommandLine, "127.0.0.1:9090")
+	flag.Parse()
+
+	policy, err := attestation.ParseFreshnessPolicy(*freshness)
+	fatal(err)
+
+	// The in-process fleet mirrors the campaign harness's layout: mixed
+	// TinyLX/SmallLX geometries and DynPart-PUF keys, so every freshness
+	// policy (rotate-key included) is exercisable, and two classes give
+	// the affinity router something to route.
+	reg, err := registry.New(*fleetSize, func(id uint64) (*core.System, error) {
+		geo := device.TinyLX()
+		if id%2 == 0 {
+			geo = device.SmallLX()
+		}
+		return core.NewSystem(core.Config{
+			Geo:        geo,
+			App:        netlist.Blinker(8),
+			KeyMode:    core.KeyDynPUF,
+			DeviceID:   id,
+			BuildID:    *buildID,
+			LabLatency: -1,
+			Seed:       *seed*0x1000193 + int64(id),
+		})
+	})
+	fatal(err)
+
+	daemon := fleetd.New(fleetd.Config{
+		Registry:   reg,
+		Dispatcher: dispatch.New(dispatch.Config{Shards: *shards, PlanCacheSize: *planCache}),
+		Template: fleet.SweepConfig{
+			Concurrency:      *concurrency,
+			PerDeviceTimeout: *timeout,
+			SharePlans:       true,
+			Freshness:        policy,
+		},
+		Scheduler: scheduler.Config{
+			Default: scheduler.Cadence{Every: *every, Jitter: *jitter},
+			Seed:    *seed,
+		},
+		History:    *history,
+		DrainGrace: *drainGrace,
+	})
+
+	bound, stopObs, err := obsFlags.Start("sacha-fleetd", daemon.Tracker(), daemon.Routes()...)
+	fatal(err)
+	defer stopObs()
+	if bound != nil {
+		fmt.Fprintf(os.Stderr, "sacha-fleetd: fleet control API on http://%s/fleet/{devices,sweeps,sweep,status}\n", bound)
+	}
+	obs.Logger().Info("fleetd up", "fleet", *fleetSize, "shards", *shards,
+		"freshness", policy.String(), "every", *every, "obs", obsFlags.Addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	daemon.Run(ctx)
+	fmt.Fprintln(os.Stderr, "sacha-fleetd: drained, exiting")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sacha-fleetd:", err)
+		os.Exit(1)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"sacha/internal/apps"
 	"sacha/internal/attestation"
 	"sacha/internal/channel"
+	"sacha/internal/cliutil"
 	"sacha/internal/core"
 	"sacha/internal/device"
 	"sacha/internal/obs"
@@ -75,22 +76,18 @@ func main() {
 	plain := flag.Bool("plain", false, "disable the fault-tolerant transport (paper's bare protocol)")
 	window := flag.Int("window", 1, "pipelined frames in flight per prover (1 = lockstep; needs the reliable transport)")
 	concurrency := flag.Int("concurrency", 4, "concurrent connections when attesting several provers")
-	obsAddr := flag.String("obs-addr", "", "serve Prometheus /metrics, JSON /debug/sweep and pprof on this address (e.g. 127.0.0.1:9090)")
-	obsLinger := flag.Duration("obs-linger", 0, "keep the observability endpoint up this long after the sweep (needs -obs-addr)")
+	obsFlags := cliutil.RegisterObs(flag.CommandLine, "")
 	flag.Parse()
 
 	// SACHA_LOG / SACHA_LOG_FORMAT pick level and encoding; the endpoint
 	// below serves the matching metric families live during the sweep.
-	logger := obs.Logger()
 	var tracker *obs.SweepTracker
-	if *obsAddr != "" {
+	if obsFlags.Enabled() {
 		tracker = obs.NewSweepTracker()
-		srv, bound, err := obs.Serve(*obsAddr, nil, tracker)
-		fatal(err)
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "sacha-verifier: observability endpoint on http://%s/ (metrics, debug/sweep, debug/pprof)\n", bound)
-		logger.Info("observability endpoint up", "addr", bound.String())
 	}
+	_, stopObs, err := obsFlags.Start("sacha-verifier", tracker)
+	fatal(err)
+	defer stopObs()
 
 	geo, err := device.ByName(*devName)
 	fatal(err)
@@ -167,14 +164,14 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				targets[i] = attestOne(addrs[i], plan, *nonce, policy, tracker, runOptions(
+				targets[i] = attestOne(addrs[i], plan, *nonce, policy, tracker, worker, runOptions(
 					key, *trace && len(addrs) == 1,
 					*plain, *timeout, *retries, *backoff, *window))
 			}
-		}()
+		}(w)
 	}
 	for i := range addrs {
 		jobs <- i
@@ -222,10 +219,7 @@ func main() {
 			fmt.Printf("verdict:           REJECTED (%d mismatching frames)\n", len(rep.Mismatches))
 		}
 	}
-	if *obsAddr != "" && *obsLinger > 0 {
-		fmt.Fprintf(os.Stderr, "sacha-verifier: lingering %v for metric scrapes\n", *obsLinger)
-		time.Sleep(*obsLinger)
-	}
+	obsFlags.LingerNow("sacha-verifier")
 	if !allOK {
 		os.Exit(1)
 	}
@@ -251,12 +245,14 @@ func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries 
 	return opts
 }
 
-func attestOne(addr string, plan *attestation.Plan, nonce uint64, policy attestation.FreshnessPolicy, tracker *obs.SweepTracker, opts attestation.RunOpts) target {
+func attestOne(addr string, plan *attestation.Plan, nonce uint64, policy attestation.FreshnessPolicy, tracker *obs.SweepTracker, worker int, opts attestation.RunOpts) target {
 	tg := target{addr: addr, nonce: nonce}
 	if tracker != nil {
 		tracker.Start(addr)
 		defer func() {
-			out := obs.SweepOutcome{Verdict: verdictOf(tg), Elapsed: tg.wall}
+			// The CLI sweep is a single shared-plan engine: shard 0, with
+			// the pool worker as the /debug/sweep attribution.
+			out := obs.SweepOutcome{Verdict: verdictOf(tg), Elapsed: tg.wall, Shard: 0, Worker: worker}
 			if tg.rep != nil {
 				out.Retries = tg.rep.Retries
 				out.TransportFaults = tg.rep.TransportFaults

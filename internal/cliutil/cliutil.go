@@ -1,0 +1,73 @@
+// Package cliutil is the flag/observability wiring shared by the SACHa
+// command-line entrypoints. sacha-verifier and sacha-fleetd (and any
+// future daemon) register the same -obs-addr/-obs-linger surface and
+// bring the endpoint up through one code path, so the two never drift
+// in flag names, defaults, or the stderr/structured-log announcement.
+// Logging itself is configured the existing way — SACHA_LOG and
+// SACHA_LOG_FORMAT through obs.Logger() — which is environment-driven
+// and therefore already identical across binaries.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"sacha/internal/obs"
+)
+
+// ObsFlags is the shared observability flag set.
+type ObsFlags struct {
+	// Addr is -obs-addr: where to serve Prometheus /metrics, the JSON
+	// /debug/sweep snapshot and pprof. Empty disables the endpoint.
+	Addr string
+	// Linger is -obs-linger: how long a one-shot command keeps the
+	// endpoint up after its work, so scrapers catch the final state.
+	Linger time.Duration
+}
+
+// RegisterObs registers -obs-addr and -obs-linger on fs (use
+// flag.CommandLine in main) and returns the destination struct, to be
+// read after fs.Parse.
+func RegisterObs(fs *flag.FlagSet, defaultAddr string) *ObsFlags {
+	f := &ObsFlags{}
+	fs.StringVar(&f.Addr, "obs-addr", defaultAddr,
+		"serve Prometheus /metrics, JSON /debug/sweep and pprof on this address (e.g. 127.0.0.1:9090); empty disables")
+	fs.DurationVar(&f.Linger, "obs-linger", 0,
+		"keep the observability endpoint up this long after the work finishes (needs -obs-addr)")
+	return f
+}
+
+// Enabled reports whether -obs-addr selects an endpoint.
+func (f *ObsFlags) Enabled() bool { return f.Addr != "" }
+
+// Start brings the observability endpoint up when enabled, announcing
+// it on stderr and the structured log exactly like the historic
+// verifier wiring. It returns the bound address (nil when disabled)
+// and a stop func that is always safe to defer. Extra routes let a
+// daemon mount its control API on the same mux.
+func (f *ObsFlags) Start(name string, tracker *obs.SweepTracker, extra ...obs.Route) (net.Addr, func(), error) {
+	if !f.Enabled() {
+		return nil, func() {}, nil
+	}
+	srv, bound, err := obs.Serve(f.Addr, nil, tracker, extra...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: observability endpoint on http://%s/ (metrics, debug/sweep, debug/pprof)\n", name, bound)
+	obs.Logger().Info("observability endpoint up", "addr", bound.String())
+	return bound, func() { srv.Close() }, nil
+}
+
+// LingerNow blocks for -obs-linger (if the endpoint is enabled),
+// announcing the pause — the tail of every one-shot command that wants
+// its final metrics scrapeable.
+func (f *ObsFlags) LingerNow(name string) {
+	if !f.Enabled() || f.Linger <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: lingering %v for metric scrapes\n", name, f.Linger)
+	time.Sleep(f.Linger)
+}

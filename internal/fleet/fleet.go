@@ -1,0 +1,253 @@
+// Package fleet holds the shared vocabulary of the layered fleet
+// stack: the sweep configuration, the per-device and per-sweep result
+// types, and the typed configuration errors. The layers compose as
+//
+//	registry  — device membership, class index, key-generation state
+//	scheduler — scheduled/continuous sweep loops (per-class cadence)
+//	dispatch  — N verifier shards, class-affinity routing, work stealing
+//
+// with swarm.Fleet surviving as a thin single-shard facade so existing
+// callers (the verifier CLI, the campaign harness, the e2e rigs) keep
+// working unchanged. The types live here, below all three layers, so
+// the facade can alias them without an import cycle.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sacha/internal/attestation"
+	"sacha/internal/core"
+	"sacha/internal/obs"
+	"sacha/internal/verifier"
+)
+
+// NoncePolicyError reports a SweepConfig whose pinned Nonce contradicts
+// its freshness policy: a pinned nonce fixes one nonce for the whole
+// sweep, while PerDevice and RotateKey exist to draw fresh per-device
+// nonces. The two requests are silently resolvable either way, so the
+// sweep refuses to guess.
+type NoncePolicyError struct {
+	Policy attestation.FreshnessPolicy
+}
+
+func (e *NoncePolicyError) Error() string {
+	return fmt.Sprintf("swarm: SweepConfig pins a nonce but selects the %s freshness policy — a pinned nonce implies per-sweep freshness; drop the pin or the policy", e.Policy)
+}
+
+// KeyModeError reports a RotateKey-policy sweep over a fleet member
+// whose key provisioning cannot rotate (only the DynPart-PUF mode ships
+// replaceable key circuits).
+type KeyModeError struct {
+	DeviceID uint64
+	Mode     core.KeyMode
+}
+
+func (e *KeyModeError) Error() string {
+	return fmt.Sprintf("swarm: freshness policy rotate-key requires the DynPart-PUF key mode on every member, but device %d uses key mode %d", e.DeviceID, e.Mode)
+}
+
+// DeviceResult is the outcome for one fleet member.
+type DeviceResult struct {
+	DeviceID uint64
+	// Class is the device's core.System.ClassKey — the plan-sharing
+	// group the per-class health tallies aggregate over.
+	Class   string
+	Report  *verifier.Report
+	Err     error
+	Elapsed time.Duration
+	// PlanPatched reports that this device was attested through a
+	// WithNonce patch of its class's shared plan (PerDevice or RotateKey
+	// freshness under SharePlans); Nonce is then the per-device nonce
+	// the patch encoded.
+	PlanPatched bool
+	Nonce       uint64
+	// Shard is the dispatcher shard whose plan served this device and
+	// Worker the pool worker that ran the session. Stolen devices keep
+	// the victim's Shard (the plan they attested through) while Worker
+	// names the thief. Single-engine sweeps report shard 0.
+	Shard, Worker int
+}
+
+// Healthy reports whether the device attested successfully.
+func (r DeviceResult) Healthy() bool {
+	return r.Err == nil && r.Report != nil && r.Report.Accepted
+}
+
+// Unreachable reports whether the sweep could not complete the protocol
+// with the device for transport reasons: retry budget exhausted, link
+// reset, or the per-device deadline expired. An unreachable device has
+// no verdict — it is neither healthy nor compromised.
+func (r DeviceResult) Unreachable() bool {
+	return r.Err != nil && (verifier.IsTransport(r.Err) ||
+		errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled))
+}
+
+// Compromised reports whether the protocol completed and the verifier
+// rejected the device (MAC or bitstream mismatch).
+func (r DeviceResult) Compromised() bool {
+	return r.Err == nil && r.Report != nil && !r.Report.Accepted
+}
+
+// Verdict names the health partition this result falls into: one of
+// obs.VerdictHealthy, VerdictCompromised, VerdictUnreachable or
+// VerdictFailed.
+func (r DeviceResult) Verdict() string {
+	switch {
+	case r.Healthy():
+		return obs.VerdictHealthy
+	case r.Compromised():
+		return obs.VerdictCompromised
+	case r.Unreachable():
+		return obs.VerdictUnreachable
+	default:
+		return obs.VerdictFailed
+	}
+}
+
+// ClassHealth partitions one device class's sweep outcomes.
+type ClassHealth struct {
+	Healthy, Compromised, Unreachable, Failed int
+}
+
+// ShardStats is one dispatcher shard's share of a sweep. Routed counts
+// the devices class-affinity routing assigned to the shard; Stolen the
+// devices its workers took from other shards' queues after draining
+// their own. Plan accounting is per shard because each shard owns the
+// plans (and, in a long-lived dispatcher, the PlanCache) of its
+// classes — the hot path class-affinity routing exists to protect.
+type ShardStats struct {
+	Shard         int
+	Routed        int
+	Stolen        int
+	Classes       int
+	PlansBuilt    int
+	PlanCacheHits int
+}
+
+// Report aggregates a fleet sweep.
+type Report struct {
+	Results []DeviceResult
+	// Healthy, Compromised, Unreachable and Failed partition the fleet:
+	// accepted verdicts, rejected verdicts, transport failures, and
+	// non-transport errors (e.g. a local golden-image build failure).
+	Healthy, Compromised, Unreachable, Failed []uint64
+	// PerClass partitions the same outcomes by device class
+	// (core.System.ClassKey) — the multi-geometry fleet view: a class
+	// whose members all land Unreachable points at a transport or
+	// plan problem, one with Compromised members at an attack.
+	PerClass map[string]ClassHealth
+	// PerShard is the dispatcher's shard-by-shard accounting, indexed by
+	// shard. Single-engine sweeps report exactly one entry.
+	PerShard []ShardStats
+	// Retries and TransportFaults aggregate the per-run transport
+	// counters across the fleet, so sweep-level fault pressure is
+	// visible without scraping individual reports.
+	Retries, TransportFaults int
+	// Elapsed is the wall time of the sweep.
+	Elapsed time.Duration
+	// PlansBuilt counts the attestation plans actually constructed for the
+	// sweep: one per device class under SharePlans, fewer (down to zero)
+	// when a PlanCache serves classes it has seen before.
+	PlansBuilt int
+	// PlanCacheHits counts device classes whose plan came out of the
+	// sweep's PlanCache instead of being built.
+	PlanCacheHits int
+	// PlanPatches counts devices attested through a WithNonce patch of
+	// their class's shared plan — the per-device freshness rotations that
+	// did NOT cost a plan rebuild.
+	PlanPatches int
+	// KeysRotated counts the per-device PUF key rotations a RotateKey
+	// sweep performed before attesting.
+	KeysRotated int
+	// Steals counts devices attested by a worker whose home shard had
+	// drained — the work-stealing rollup of PerShard[i].Stolen.
+	Steals int
+}
+
+// SweepConfig bounds a fleet sweep.
+type SweepConfig struct {
+	// Concurrency is the worker-pool size; at most Concurrency devices
+	// are attested at any moment — across ALL shards of a sharded
+	// dispatch, which splits the same budget instead of multiplying it.
+	// Values < 1 default to min(8, fleet).
+	Concurrency int
+	// PerDeviceTimeout bounds each device's attestation; expired devices
+	// are reported Unreachable. Zero means no per-device deadline.
+	PerDeviceTimeout time.Duration
+	// SharePlans, when set, builds one attestation.Plan per device class
+	// (same geometry, application, build, key mode, ROM — see
+	// core.System.ClassKey) before the worker pool starts, and shares it
+	// read-only across all concurrent per-device Runs. The whole sweep
+	// then uses one nonce and one set of plan-shaping options (PlanOpts);
+	// per-device AttestOptions contribute only their per-run knobs
+	// (Retry, Trace, adversary and channel hooks). This converts the
+	// golden-image work from O(fleet × fabric) to O(classes × fabric).
+	SharePlans bool
+	// Nonce fixes the sweep nonce under SharePlans; nil draws a fresh
+	// one. Ignored when SharePlans is unset (each device then draws its
+	// own nonce as before). A pinned Nonce is only meaningful under the
+	// PerSweep freshness policy; combining it with PerDevice or
+	// RotateKey is a NoncePolicyError.
+	Nonce *uint64
+	// NonceSeed pins the base of the per-device nonce derivation under
+	// the PerDevice and RotateKey policies: device d's nonce is then
+	// DeviceNonce(*NonceSeed, d) — still distinct per device, but
+	// reproducible, which is what lets a sharded dispatch be proven
+	// bit-identical (verdicts AND H_Vrf) to a single-engine sweep. Nil
+	// draws a random base per sweep. Ignored under PerSweep, where
+	// Nonce already pins the single sweep nonce.
+	NonceSeed *uint64
+	// Freshness selects the sweep's freshness unit: PerSweep (the zero
+	// value and status quo — one nonce shared by the whole sweep),
+	// PerDevice (a fresh nonce per device, served as WithNonce patches
+	// of each class's shared plan so the plan cache keeps hitting), or
+	// RotateKey (PerDevice plus a PUF re-keying of every device before
+	// the sweep, which rebuilds each class's plan once). RotateKey
+	// requires every member to use core.KeyDynPUF.
+	Freshness attestation.FreshnessPolicy
+	// PlanOpts are the fleet-wide plan-shaping options under SharePlans
+	// (Offset, Permutation, AppSteps, SignatureMode, ConfigBatch).
+	PlanOpts verifier.Options
+	// PlanCache, if non-nil under SharePlans, caches built plans across
+	// sweeps keyed by (golden-image digest, geometry, options hash). A
+	// repeated sweep with a pinned Nonce then builds zero plans — the
+	// cache returns the previous sweep's plans, and Report.PlansBuilt /
+	// PlanCacheHits make the split observable. When set it is shared by
+	// every shard; when nil, a dispatcher created with a per-shard cache
+	// size serves each shard from its own cache instead.
+	PlanCache *attestation.PlanCache
+	// Tracker, if non-nil, follows the sweep live: per-device
+	// pending/running/done states with verdicts, served by the verifier
+	// CLI and sacha-fleetd as the /debug/sweep snapshot.
+	Tracker *obs.SweepTracker
+	// Sessions, if non-nil, is Add(1)-ed for every attestation session
+	// the sweep actually launches and Done-ed when that session's
+	// goroutine finishes — including sessions a per-device deadline or a
+	// sweep cancellation abandoned, which otherwise keep running (and
+	// mutating their device) after Sweep returns. Campaign soaks, the
+	// fleetd drain path and leak tests Wait on it to quarantine
+	// consecutive sweeps from each other's stragglers.
+	Sessions *sync.WaitGroup
+}
+
+// DefaultConcurrency is the worker-pool size used when SweepConfig does
+// not specify one.
+const DefaultConcurrency = 8
+
+// DeviceNonce derives device id's attestation nonce from a sweep-level
+// base — a splitmix64 mix, so consecutive device IDs land on
+// uncorrelated nonces while the mapping stays a pure function. Both the
+// single-engine facade and the sharded dispatcher derive per-device
+// nonces through this one function; that shared derivation (not luck)
+// is why a sharded sweep's H_Vrf values are bit-identical to the
+// single-engine baseline under a pinned NonceSeed.
+func DeviceNonce(base, id uint64) uint64 {
+	z := base + id*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

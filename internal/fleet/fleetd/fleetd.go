@@ -1,0 +1,456 @@
+// Package fleetd is the coordination layer of the fleet stack: a
+// long-running daemon that owns a registry, a sharded dispatcher and
+// (optionally) a scheduler, and exposes the fleet over a JSON control
+// API mounted on the observability mux:
+//
+//	GET  /fleet/devices — membership with class and shard assignment
+//	GET  /fleet/sweeps  — history of completed sweeps, newest first
+//	POST /fleet/sweep   — trigger a sweep (optionally class-scoped)
+//	GET  /fleet/status  — daemon state: active sweep, totals, drain
+//
+// Sweeps are serialized: API triggers and scheduler firings queue on
+// one mutex, so the fleet is never mid-two-sweeps (the dispatcher
+// bounds concurrency within a sweep; fleetd bounds sweeps to one).
+// Shutdown is a graceful drain — new sweeps are refused with 503, the
+// in-flight sweep finishes, and every attestation session is joined
+// through the Sessions wait group before Run returns, so no straggler
+// goroutine outlives the daemon.
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sacha/internal/core"
+	"sacha/internal/fleet"
+	"sacha/internal/fleet/dispatch"
+	"sacha/internal/fleet/registry"
+	"sacha/internal/fleet/scheduler"
+	"sacha/internal/obs"
+)
+
+// Config shapes a Daemon.
+type Config struct {
+	// Registry is the fleet membership the daemon coordinates.
+	Registry registry.Registry
+	// Dispatcher executes the sweeps. Nil builds a single-shard one.
+	Dispatcher *dispatch.Dispatcher
+	// Template is the base sweep configuration every triggered sweep
+	// starts from. The daemon owns Tracker and Sessions; values set here
+	// are overwritten.
+	Template fleet.SweepConfig
+	// Scheduler, when it has an enabled Default or PerClass cadence,
+	// re-attests each class on its own loop. The zero value disables
+	// scheduled sweeps: the daemon then only sweeps on POST /fleet/sweep.
+	Scheduler scheduler.Config
+	// Opts, when non-nil, supplies each device's per-run attestation
+	// options (adversary hooks, transport knobs) — the seam the smoke
+	// tests tamper fleets through. Nil attests clean.
+	Opts func(deviceID uint64) core.AttestOptions
+	// History bounds the retained sweep records; older records are
+	// dropped. Values < 1 default to 64.
+	History int
+	// DrainGrace bounds the drain: when the in-flight sweep has not
+	// finished within it, the sweep's context is cancelled (unstarted
+	// devices report Unreachable) and the drain then joins the sessions
+	// that did launch. Zero waits indefinitely.
+	DrainGrace time.Duration
+}
+
+// SweepRecord is one completed sweep in the /fleet/sweeps history — a
+// JSON-ready summary of the dispatcher's Report.
+type SweepRecord struct {
+	ID        int       `json:"id"`
+	Trigger   string    `json:"trigger"` // "api" or "scheduled"
+	Class     string    `json:"class,omitempty"`
+	Freshness string    `json:"freshness"`
+	StartedAt time.Time `json:"started_at"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+
+	Devices        int      `json:"devices"`
+	Healthy        int      `json:"healthy"`
+	Compromised    int      `json:"compromised"`
+	Unreachable    int      `json:"unreachable"`
+	Failed         int      `json:"failed"`
+	CompromisedIDs []uint64 `json:"compromised_ids,omitempty"`
+
+	PlansBuilt    int `json:"plans_built"`
+	PlanCacheHits int `json:"plan_cache_hits"`
+	PlanPatches   int `json:"plan_patches"`
+	KeysRotated   int `json:"keys_rotated"`
+	Steals        int `json:"steals"`
+
+	PerShard []ShardRecord `json:"per_shard"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// ShardRecord is the JSON shape of one shard's fleet.ShardStats.
+type ShardRecord struct {
+	Shard         int `json:"shard"`
+	Routed        int `json:"routed"`
+	Stolen        int `json:"stolen"`
+	Classes       int `json:"classes"`
+	PlansBuilt    int `json:"plans_built"`
+	PlanCacheHits int `json:"plan_cache_hits"`
+}
+
+// Daemon coordinates a fleet: it serializes sweeps from the control
+// API and the scheduler over one dispatcher and keeps their history.
+type Daemon struct {
+	cfg     Config
+	disp    *dispatch.Dispatcher
+	tracker *obs.SweepTracker
+
+	sessions sync.WaitGroup // every attestation session ever launched
+	sweeps   sync.WaitGroup // in-flight sweep goroutines
+	sweepMu  sync.Mutex     // serializes sweep execution
+
+	mu       sync.Mutex
+	draining bool
+	nextID   int
+	active   *SweepRecord // header of the in-flight sweep, nil when idle
+	records  []SweepRecord
+	cancels  map[int]context.CancelFunc
+}
+
+// New builds a daemon. It does not start anything; Run does.
+func New(cfg Config) *Daemon {
+	if cfg.History < 1 {
+		cfg.History = 64
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		disp:    cfg.Dispatcher,
+		tracker: obs.NewSweepTracker(),
+		cancels: make(map[int]context.CancelFunc),
+	}
+	if d.disp == nil {
+		d.disp = dispatch.New(dispatch.Config{})
+	}
+	return d
+}
+
+// Tracker is the daemon's live sweep tracker — hand it to obs.Serve so
+// /debug/sweep shows the in-flight sweep's per-device progress.
+func (d *Daemon) Tracker() *obs.SweepTracker { return d.tracker }
+
+// Run blocks until ctx ends, firing scheduled sweeps in the meantime,
+// then drains: the control API refuses new sweeps with 503, the
+// in-flight sweep finishes (bounded by DrainGrace), and every
+// attestation session is joined before Run returns.
+func (d *Daemon) Run(ctx context.Context) {
+	sch := scheduler.New(d.cfg.Scheduler, registry.Classes(d.cfg.Registry),
+		func(ctx context.Context, tr scheduler.Trigger) {
+			d.Sweep(ctx, "scheduled", tr.Class)
+		})
+	sch.Run(ctx) // returns immediately when no cadence is enabled
+	<-ctx.Done()
+	d.drain()
+}
+
+// drain refuses new sweeps, bounds the in-flight one by DrainGrace and
+// joins every launched session.
+func (d *Daemon) drain() {
+	d.mu.Lock()
+	d.draining = true
+	grace := d.cfg.DrainGrace
+	d.mu.Unlock()
+	obs.Logger().Info("fleetd draining", "grace", grace)
+
+	done := make(chan struct{})
+	go func() {
+		d.sweeps.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+		case <-time.After(grace):
+			d.mu.Lock()
+			for _, cancel := range d.cancels {
+				cancel()
+			}
+			d.mu.Unlock()
+			<-done
+		}
+	} else {
+		<-done
+	}
+	// Sessions a per-device deadline or a cancelled sweep abandoned keep
+	// running after their sweep returns; joining them here is what makes
+	// the shutdown clean rather than merely quiet.
+	d.sessions.Wait()
+	obs.Logger().Info("fleetd drained")
+}
+
+// Sweep runs one serialized sweep over the fleet (or one class of it)
+// and records the outcome. It is the entry point shared by the control
+// API and the scheduler; callers block until the sweep completes. A
+// draining daemon refuses with an error.
+func (d *Daemon) Sweep(ctx context.Context, trigger, class string) (SweepRecord, error) {
+	return d.sweep(ctx, trigger, class, nil)
+}
+
+// sweep is Sweep with an optional admission channel: accepted receives
+// the allocated sweep ID as soon as the sweep is admitted (before it
+// queues on the serialization mutex), or 0 when the daemon refused it —
+// what lets the async POST handler answer 202 while the sweep runs.
+func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan<- int) (SweepRecord, error) {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		if accepted != nil {
+			accepted <- 0
+		}
+		return SweepRecord{}, fmt.Errorf("fleetd: draining, not accepting sweeps")
+	}
+	d.nextID++
+	id := d.nextID
+	sctx, cancel := context.WithCancel(ctx)
+	d.cancels[id] = cancel
+	d.sweeps.Add(1)
+	d.mu.Unlock()
+	if accepted != nil {
+		accepted <- id
+	}
+
+	defer func() {
+		cancel()
+		d.mu.Lock()
+		delete(d.cancels, id)
+		d.mu.Unlock()
+		d.sweeps.Done()
+	}()
+
+	reg := d.cfg.Registry
+	if class != "" {
+		reg = registry.ByClass(reg, class)
+	}
+
+	// One sweep at a time: scheduler firings of different classes and
+	// concurrent API triggers queue here instead of interleaving.
+	d.sweepMu.Lock()
+	defer d.sweepMu.Unlock()
+
+	rec := SweepRecord{
+		ID:        id,
+		Trigger:   trigger,
+		Class:     class,
+		Freshness: d.cfg.Template.Freshness.String(),
+		StartedAt: time.Now(),
+	}
+	// Publish a copy of the header: the sweep below keeps mutating rec,
+	// and /fleet/status reads active concurrently.
+	hdr := rec
+	d.mu.Lock()
+	d.active = &hdr
+	d.mu.Unlock()
+
+	cfg := d.cfg.Template
+	cfg.Tracker = d.tracker
+	cfg.Sessions = &d.sessions
+	rep, err := d.disp.Sweep(sctx, reg, cfg, d.cfg.Opts)
+	rec.ElapsedNS = time.Since(rec.StartedAt).Nanoseconds()
+	if err != nil {
+		rec.Err = err.Error()
+	} else {
+		rec.Devices = len(rep.Results)
+		rec.Healthy = len(rep.Healthy)
+		rec.Compromised = len(rep.Compromised)
+		rec.Unreachable = len(rep.Unreachable)
+		rec.Failed = len(rep.Failed)
+		rec.CompromisedIDs = rep.Compromised
+		rec.PlansBuilt = rep.PlansBuilt
+		rec.PlanCacheHits = rep.PlanCacheHits
+		rec.PlanPatches = rep.PlanPatches
+		rec.KeysRotated = rep.KeysRotated
+		rec.Steals = rep.Steals
+		for _, st := range rep.PerShard {
+			rec.PerShard = append(rec.PerShard, ShardRecord(st))
+		}
+	}
+
+	d.mu.Lock()
+	d.active = nil
+	d.records = append(d.records, rec)
+	if len(d.records) > d.cfg.History {
+		d.records = d.records[len(d.records)-d.cfg.History:]
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// deviceRow is one member in the /fleet/devices listing.
+type deviceRow struct {
+	ID    uint64 `json:"id"`
+	Class string `json:"class"`
+	Shard int    `json:"shard"`
+}
+
+// statusView is the /fleet/status JSON shape.
+type statusView struct {
+	Devices   int            `json:"devices"`
+	Classes   int            `json:"classes"`
+	Shards    int            `json:"shards"`
+	SweepsRun int            `json:"sweeps_run"`
+	Active    *SweepRecord   `json:"active"` // nil when idle
+	Draining  bool           `json:"draining"`
+	Last      *SweepRecord   `json:"last,omitempty"`
+	Verdicts  map[string]int `json:"last_verdicts,omitempty"`
+}
+
+// Routes returns the /fleet/* control API, ready to mount on the obs
+// mux via obs.Serve's extra routes.
+func (d *Daemon) Routes() []obs.Route {
+	return []obs.Route{
+		{Pattern: "/fleet/devices", Handler: http.HandlerFunc(d.handleDevices)},
+		{Pattern: "/fleet/sweeps", Handler: http.HandlerFunc(d.handleSweeps)},
+		{Pattern: "/fleet/sweep", Handler: http.HandlerFunc(d.handleSweep)},
+		{Pattern: "/fleet/status", Handler: http.HandlerFunc(d.handleStatus)},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleDevices lists the membership with each device's class and the
+// shard class-affinity routing would place it on — the routing is a
+// pure function of the membership, so the listing can compute it
+// without running a sweep.
+func (d *Daemon) handleDevices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	reg := d.cfg.Registry
+	shardOf := dispatch.RouteClasses(reg, d.disp.Shards())
+	rows := make([]deviceRow, 0, len(reg.IDs()))
+	for _, id := range reg.IDs() {
+		class, _ := reg.ClassOf(id)
+		rows = append(rows, deviceRow{ID: id, Class: class, Shard: shardOf[class]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"devices": rows,
+		"classes": registry.Classes(reg),
+	})
+}
+
+// handleSweeps returns the sweep history, newest first.
+func (d *Daemon) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	d.mu.Lock()
+	out := make([]SweepRecord, 0, len(d.records))
+	for i := len(d.records) - 1; i >= 0; i-- {
+		out = append(out, d.records[i])
+	}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+// sweepRequest is the optional POST /fleet/sweep body.
+type sweepRequest struct {
+	// Class scopes the sweep to one device class (empty = whole fleet).
+	Class string `json:"class"`
+	// Wait makes the POST synchronous: the response is the completed
+	// SweepRecord instead of an accepted-and-running header.
+	Wait bool `json:"wait"`
+}
+
+// handleSweep triggers a sweep. By default it returns 202 immediately
+// with the sweep's ID ({"id": N, "status": "started"}) and the caller
+// polls /fleet/status; {"wait": true} blocks and returns the record.
+func (d *Daemon) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req sweepRequest
+	if r.Body != nil {
+		// An empty body is a legal whole-fleet trigger.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	d.mu.Lock()
+	draining := d.draining
+	d.mu.Unlock()
+	if draining {
+		http.Error(w, "draining, not accepting sweeps", http.StatusServiceUnavailable)
+		return
+	}
+	if req.Wait {
+		rec, err := d.Sweep(r.Context(), "api", req.Class)
+		if err != nil && rec.ID == 0 {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	// Async trigger: the sweep outlives the request, so it runs under
+	// the daemon's lifetime, not the request context.
+	started := make(chan int, 1)
+	go func() {
+		if _, err := d.sweep(context.Background(), "api", req.Class, started); err != nil {
+			obs.Logger().Warn("api sweep failed", "err", err)
+		}
+	}()
+	// The ID is allocated before the sweep queues on the serialization
+	// mutex, so the response can name it without waiting for the sweep.
+	id := <-started
+	if id == 0 {
+		http.Error(w, "draining, not accepting sweeps", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "status": "started"})
+}
+
+// handleStatus reports the daemon's state: membership size, shard
+// count, the in-flight sweep (if any) and the last completed record.
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	reg := d.cfg.Registry
+	d.mu.Lock()
+	view := statusView{
+		Devices:   len(reg.IDs()),
+		Classes:   len(registry.Classes(reg)),
+		Shards:    d.disp.Shards(),
+		SweepsRun: len(d.records),
+		Active:    d.active,
+		Draining:  d.draining,
+	}
+	if n := len(d.records); n > 0 {
+		last := d.records[n-1]
+		view.Last = &last
+		view.Verdicts = map[string]int{
+			obs.VerdictHealthy:     last.Healthy,
+			obs.VerdictCompromised: last.Compromised,
+			obs.VerdictUnreachable: last.Unreachable,
+			obs.VerdictFailed:      last.Failed,
+		}
+	}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}

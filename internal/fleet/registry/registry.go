@@ -1,0 +1,175 @@
+// Package registry is the membership layer of the fleet stack: which
+// devices exist, in what enrollment order, which plan-sharing class
+// each belongs to, and the key-generation state (PUF re-enrollment)
+// behind one interface — so the scheduler and dispatcher above never
+// reach into provisioning details, and a future durable (on-disk)
+// registry can slot in without touching either.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sacha/internal/core"
+)
+
+// Registry is the read/rotate view of fleet membership the upper
+// layers (scheduler, dispatch, fleetd) consume.
+type Registry interface {
+	// IDs returns the device IDs in enrollment order. The slice is
+	// shared; callers must not mutate it.
+	IDs() []uint64
+	// System returns one member for attestation or direct (e.g.
+	// adversarial) access.
+	System(deviceID uint64) (*core.System, bool)
+	// ClassOf returns the device's current plan-sharing class key
+	// (core.System.ClassKey, which advances with the key generation).
+	ClassOf(deviceID uint64) (string, bool)
+	// RotateKey re-enrolls the device's PUF key (paper §5.2.1),
+	// advancing its class to the new key generation.
+	RotateKey(deviceID uint64) error
+}
+
+// Static is the in-memory Registry: a fixed membership provisioned at
+// construction. It is safe for concurrent readers; RotateKey is the
+// only mutator and follows the sweep discipline (rotations happen
+// before any session starts).
+type Static struct {
+	mu      sync.RWMutex
+	systems map[uint64]*core.System
+	order   []uint64
+}
+
+// New provisions n devices with the factory, which receives the device
+// ID and returns a configured system. IDs are 1..n in enrollment order.
+func New(n int, factory func(deviceID uint64) (*core.System, error)) (*Static, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("registry: fleet size %d", n)
+	}
+	r := &Static{systems: make(map[uint64]*core.System, n)}
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		sys, err := factory(id)
+		if err != nil {
+			return nil, fmt.Errorf("registry: provisioning device %d: %w", id, err)
+		}
+		r.systems[id] = sys
+		r.order = append(r.order, id)
+	}
+	return r, nil
+}
+
+// Size returns the number of members.
+func (r *Static) Size() int { return len(r.order) }
+
+// IDs returns the device IDs in enrollment order.
+func (r *Static) IDs() []uint64 { return r.order }
+
+// System returns one member.
+func (r *Static) System(deviceID uint64) (*core.System, bool) {
+	s, ok := r.systems[deviceID]
+	return s, ok
+}
+
+// ClassOf returns the device's current class key.
+func (r *Static) ClassOf(deviceID uint64) (string, bool) {
+	s, ok := r.systems[deviceID]
+	if !ok {
+		return "", false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return s.ClassKey(), true
+}
+
+// RotateKey re-enrolls one device's PUF key.
+func (r *Static) RotateKey(deviceID uint64) error {
+	s, ok := r.systems[deviceID]
+	if !ok {
+		return fmt.Errorf("registry: unknown device %d", deviceID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return s.RotateKey()
+}
+
+// Classes returns the distinct class keys of the membership, sorted —
+// the index the scheduler's per-class cadences and the dispatcher's
+// affinity routing are built over.
+func Classes(r Registry) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range r.IDs() {
+		c, ok := r.ClassOf(id)
+		if !ok || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset is a class- or ID-scoped view over a parent registry — the
+// form scheduler-triggered per-class sweeps hand to the dispatcher.
+// It shares the parent's systems; only membership narrows.
+type Subset struct {
+	parent Registry
+	ids    []uint64
+}
+
+// Select returns the view of r containing the members keep admits,
+// preserving enrollment order. An empty selection is legal (the
+// dispatcher reports an empty sweep).
+func Select(r Registry, keep func(deviceID uint64, class string) bool) *Subset {
+	s := &Subset{parent: r}
+	for _, id := range r.IDs() {
+		class, ok := r.ClassOf(id)
+		if !ok {
+			continue
+		}
+		if keep(id, class) {
+			s.ids = append(s.ids, id)
+		}
+	}
+	return s
+}
+
+// ByClass returns the view of r holding exactly the members of class.
+func ByClass(r Registry, class string) *Subset {
+	return Select(r, func(_ uint64, c string) bool { return c == class })
+}
+
+func (s *Subset) IDs() []uint64 { return s.ids }
+
+func (s *Subset) System(deviceID uint64) (*core.System, bool) {
+	if !s.member(deviceID) {
+		return nil, false
+	}
+	return s.parent.System(deviceID)
+}
+
+func (s *Subset) ClassOf(deviceID uint64) (string, bool) {
+	if !s.member(deviceID) {
+		return "", false
+	}
+	return s.parent.ClassOf(deviceID)
+}
+
+func (s *Subset) RotateKey(deviceID uint64) error {
+	if !s.member(deviceID) {
+		return fmt.Errorf("registry: device %d is outside this subset", deviceID)
+	}
+	return s.parent.RotateKey(deviceID)
+}
+
+func (s *Subset) member(deviceID uint64) bool {
+	for _, id := range s.ids {
+		if id == deviceID {
+			return true
+		}
+	}
+	return false
+}

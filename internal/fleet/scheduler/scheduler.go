@@ -1,0 +1,119 @@
+// Package scheduler is the cadence layer of the fleet stack: it turns
+// the one-shot sweep engine into continuous re-attestation — the
+// security model the remote-reconfiguration literature assumes (a
+// verifier that re-attests on a schedule, not when an operator
+// remembers to). Each device class gets its own loop with a cadence
+// and seeded jitter, so a million-device fleet's sweeps de-synchronize
+// instead of thundering in phase, and a hot class (new build, active
+// incident) can be re-attested faster than the long tail.
+package scheduler
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Cadence is one class's re-attestation rhythm.
+type Cadence struct {
+	// Every is the base interval between sweep triggers. Zero or
+	// negative disables the loop for that class.
+	Every time.Duration
+	// Jitter widens each interval by a uniformly drawn [0, Jitter)
+	// extra — drawn from the scheduler's seeded source, so a test (or a
+	// replayed incident) sees the same trigger pattern for the same
+	// seed.
+	Jitter time.Duration
+}
+
+// enabled reports whether the cadence schedules anything at all.
+func (c Cadence) enabled() bool { return c.Every > 0 }
+
+// Config shapes a Scheduler.
+type Config struct {
+	// Default is the cadence of every class without a PerClass override.
+	Default Cadence
+	// PerClass overrides the default for specific class keys.
+	PerClass map[string]Cadence
+	// Seed drives the jitter source. Equal seeds draw equal jitter
+	// sequences per class.
+	Seed int64
+}
+
+// Trigger names one scheduled sweep: the class to re-attest and which
+// firing of that class's loop this is (1-based).
+type Trigger struct {
+	Class string
+	Round int
+}
+
+// SweepFunc executes one scheduled sweep over a class. The scheduler
+// serializes calls per class but lets different classes overlap —
+// whether that is safe is the executor's business (the dispatcher
+// bounds global concurrency; fleetd additionally serializes sweeps).
+type SweepFunc func(ctx context.Context, tr Trigger)
+
+// Scheduler runs one cadence loop per class until its context ends.
+type Scheduler struct {
+	cfg     Config
+	classes []string
+	run     SweepFunc
+}
+
+// New builds a scheduler over the given classes.
+func New(cfg Config, classes []string, run SweepFunc) *Scheduler {
+	return &Scheduler{cfg: cfg, classes: classes, run: run}
+}
+
+// cadenceOf resolves a class's cadence.
+func (s *Scheduler) cadenceOf(class string) Cadence {
+	if c, ok := s.cfg.PerClass[class]; ok {
+		return c
+	}
+	return s.cfg.Default
+}
+
+// Run blocks until ctx is done, firing each class's loop on its
+// cadence. Classes whose cadence is disabled never fire. The first
+// firing of each class waits one full (jittered) interval — a daemon
+// that wants an immediate baseline sweep runs one before starting the
+// scheduler.
+func (s *Scheduler) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i, class := range s.classes {
+		cad := s.cadenceOf(class)
+		if !cad.enabled() {
+			continue
+		}
+		wg.Add(1)
+		// Per-class jitter sources: seeded from (scheduler seed, class
+		// index), so loops stay deterministic independently of how the
+		// goroutines interleave.
+		rng := rand.New(rand.NewSource(s.cfg.Seed + int64(i)*0x9E3779B9))
+		go func(class string, cad Cadence, rng *rand.Rand) {
+			defer wg.Done()
+			timer := time.NewTimer(interval(cad, rng))
+			defer timer.Stop()
+			for round := 1; ; round++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-timer.C:
+				}
+				s.run(ctx, Trigger{Class: class, Round: round})
+				timer.Reset(interval(cad, rng))
+			}
+		}(class, cad, rng)
+	}
+	wg.Wait()
+}
+
+// interval draws one jittered interval.
+func interval(c Cadence, rng *rand.Rand) time.Duration {
+	d := c.Every
+	if c.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(c.Jitter)))
+	}
+	return d
+}

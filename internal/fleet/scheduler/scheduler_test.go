@@ -1,0 +1,73 @@
+package scheduler
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPerClassCadence: a fast class must fire strictly more often than
+// a slow one over the same window, every class serializes its own
+// rounds (monotonic Round numbers), and cancellation stops all loops.
+func TestPerClassCadence(t *testing.T) {
+	var mu sync.Mutex
+	fires := map[string][]int{}
+	cfg := Config{
+		Default: Cadence{Every: 5 * time.Millisecond},
+		PerClass: map[string]Cadence{
+			"slow": {Every: 40 * time.Millisecond},
+			"off":  {},
+		},
+		Seed: 1,
+	}
+	s := New(cfg, []string{"fast", "slow", "off"}, func(_ context.Context, tr Trigger) {
+		mu.Lock()
+		fires[tr.Class] = append(fires[tr.Class], tr.Round)
+		mu.Unlock()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	s.Run(ctx) // returns when ctx expires
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fires["off"]) != 0 {
+		t.Fatalf("disabled class fired %d times", len(fires["off"]))
+	}
+	if len(fires["fast"]) == 0 || len(fires["slow"]) == 0 {
+		t.Fatalf("loops did not fire: %v", fires)
+	}
+	if len(fires["fast"]) <= len(fires["slow"]) {
+		t.Fatalf("fast class fired %d ≤ slow class %d", len(fires["fast"]), len(fires["slow"]))
+	}
+	for class, rounds := range fires {
+		for i, r := range rounds {
+			if r != i+1 {
+				t.Fatalf("class %s rounds not serialized: %v", class, rounds)
+			}
+		}
+	}
+}
+
+// TestJitterSeededDeterministic: the jitter draw is a pure function of
+// the seed — equal seeds must produce equal interval sequences, and
+// jitter must stay inside [Every, Every+Jitter).
+func TestJitterSeededDeterministic(t *testing.T) {
+	cad := Cadence{Every: 10 * time.Millisecond, Jitter: 7 * time.Millisecond}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		da, db := interval(cad, a), interval(cad, b)
+		if da != db {
+			t.Fatalf("draw %d diverged: %v vs %v", i, da, db)
+		}
+		if da < cad.Every || da >= cad.Every+cad.Jitter {
+			t.Fatalf("draw %d out of range: %v", i, da)
+		}
+	}
+	if interval(Cadence{Every: time.Second}, a) != time.Second {
+		t.Fatal("zero jitter must not perturb the interval")
+	}
+}

@@ -8,12 +8,20 @@ import (
 	"time"
 )
 
+// Route mounts one extra handler on the observability mux — the hook
+// sacha-fleetd uses to hang its /fleet/* control API off the same
+// endpoint that already serves /metrics and /debug/sweep.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler builds the observability endpoint: Prometheus-text /metrics
 // for reg (nil = Default), a JSON /debug/sweep snapshot of sweep (404
-// when nil), and the net/http/pprof suite under /debug/pprof/ — wired
-// explicitly so the handler composes with any mux instead of leaking
-// into http.DefaultServeMux.
-func Handler(reg *Registry, sweep *SweepTracker) http.Handler {
+// when nil), the net/http/pprof suite under /debug/pprof/, and any
+// extra routes — wired explicitly so the handler composes with any mux
+// instead of leaking into http.DefaultServeMux.
+func Handler(reg *Registry, sweep *SweepTracker, extra ...Route) http.Handler {
 	if reg == nil {
 		reg = Default()
 	}
@@ -37,6 +45,9 @@ func Handler(reg *Registry, sweep *SweepTracker) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
@@ -44,13 +55,13 @@ func Handler(reg *Registry, sweep *SweepTracker) http.Handler {
 // goroutine. It returns the bound address (useful with ":0") and the
 // server, which the caller shuts down when done. Listen errors are
 // returned synchronously so a mistyped -obs-addr fails fast.
-func Serve(addr string, reg *Registry, sweep *SweepTracker) (*http.Server, net.Addr, error) {
+func Serve(addr string, reg *Registry, sweep *SweepTracker, extra ...Route) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, sweep),
+		Handler:           Handler(reg, sweep, extra...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)

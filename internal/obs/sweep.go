@@ -35,6 +35,12 @@ type SweepOutcome struct {
 	TransportFaults int
 	Elapsed         time.Duration
 	Err             string
+	// Shard is the dispatcher shard whose plan served the target and
+	// Worker the pool worker that ran the session — the attribution the
+	// /debug/sweep snapshot exposes per device. Single-engine sweeps
+	// report shard 0.
+	Shard  int
+	Worker int
 }
 
 // SweepTracker tracks one fleet sweep live: which targets are pending,
@@ -97,11 +103,18 @@ func (t *SweepTracker) Done(name string, out SweepOutcome) {
 	s.outcome = out
 }
 
-// TargetSnapshot is one target's row in a SweepSnapshot.
+// TargetSnapshot is one target's row in a SweepSnapshot. The field
+// order is part of the endpoint's contract (asserted by a golden test):
+// encoding/json emits struct fields in declaration order, so appending
+// is safe and reordering is a breaking change. Shard and Worker carry
+// the dispatch attribution of done targets; both are -1 while the
+// target is pending or running.
 type TargetSnapshot struct {
 	Target          string `json:"target"`
 	Class           string `json:"class,omitempty"`
 	State           string `json:"state"`
+	Shard           int    `json:"shard"`
+	Worker          int    `json:"worker"`
 	Verdict         string `json:"verdict,omitempty"`
 	Retries         int    `json:"retries,omitempty"`
 	TransportFaults int    `json:"transport_faults,omitempty"`
@@ -140,12 +153,14 @@ func (t *SweepTracker) Snapshot() SweepSnapshot {
 	}
 	for _, name := range t.order {
 		s := t.targets[name]
-		row := TargetSnapshot{Target: name, Class: s.class, State: s.state}
+		row := TargetSnapshot{Target: name, Class: s.class, State: s.state, Shard: -1, Worker: -1}
 		switch s.state {
 		case StateRunning:
 			snap.InFlight++
 		case StateDone:
 			snap.Completed++
+			row.Shard = s.outcome.Shard
+			row.Worker = s.outcome.Worker
 			row.Verdict = s.outcome.Verdict
 			row.Retries = s.outcome.Retries
 			row.TransportFaults = s.outcome.TransportFaults

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSweepSnapshotGoldenJSON pins the exact JSON the /debug/sweep
+// endpoint emits — field names, field ORDER (encoding/json emits
+// struct fields in declaration order, so reordering TargetSnapshot or
+// SweepSnapshot is a breaking change this test catches), the -1
+// shard/worker sentinel on pending and running rows, and the dispatch
+// attribution on done rows. Time-dependent fields (StartedAt,
+// snapshot ElapsedNS) are zeroed after Snapshot; per-target elapsed
+// comes from the outcomes the test controls, so it stays in the golden.
+func TestSweepSnapshotGoldenJSON(t *testing.T) {
+	tr := NewSweepTracker()
+	tr.Begin([]SweepTarget{
+		{Name: "device-1", Class: "tiny"},
+		{Name: "device-2", Class: "tiny"},
+		{Name: "device-3", Class: "small"},
+		{Name: "device-4", Class: "small"},
+	})
+	tr.Start("device-1")
+	tr.Done("device-1", SweepOutcome{
+		Verdict: VerdictHealthy, Retries: 2, TransportFaults: 1,
+		Elapsed: 5 * time.Millisecond, Shard: 0, Worker: 1,
+	})
+	tr.Start("device-2")
+	tr.Done("device-2", SweepOutcome{
+		Verdict: VerdictUnreachable, Elapsed: 7 * time.Millisecond,
+		Err: "sweep: device 2: context deadline exceeded", Shard: 1, Worker: 0,
+	})
+	tr.Start("device-3") // still running at snapshot time
+
+	snap := tr.Snapshot()
+	snap.StartedAt = time.Time{}
+	snap.ElapsedNS = 0
+
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "started_at": "0001-01-01T00:00:00Z",
+  "elapsed_ns": 0,
+  "total": 4,
+  "in_flight": 1,
+  "completed": 2,
+  "verdicts": {
+    "healthy": 1,
+    "unreachable": 1
+  },
+  "per_class": {
+    "tiny": {
+      "healthy": 1,
+      "unreachable": 1
+    }
+  },
+  "retries": 2,
+  "transport_faults": 1,
+  "targets": [
+    {
+      "target": "device-1",
+      "class": "tiny",
+      "state": "done",
+      "shard": 0,
+      "worker": 1,
+      "verdict": "healthy",
+      "retries": 2,
+      "transport_faults": 1,
+      "elapsed_ns": 5000000
+    },
+    {
+      "target": "device-2",
+      "class": "tiny",
+      "state": "done",
+      "shard": 1,
+      "worker": 0,
+      "verdict": "unreachable",
+      "elapsed_ns": 7000000,
+      "err": "sweep: device 2: context deadline exceeded"
+    },
+    {
+      "target": "device-3",
+      "class": "small",
+      "state": "running",
+      "shard": -1,
+      "worker": -1
+    },
+    {
+      "target": "device-4",
+      "class": "small",
+      "state": "pending",
+      "shard": -1,
+      "worker": -1
+    }
+  ]
+}`
+	if string(blob) != golden {
+		t.Fatalf("snapshot JSON diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", blob, golden)
+	}
+}

@@ -148,7 +148,7 @@ func TestRotateKeySweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classBefore := f.systems[1].ClassKey()
+	classBefore := mustSystem(t, f, 1).ClassKey()
 	cfg := SweepConfig{
 		Concurrency: 2,
 		SharePlans:  true,
@@ -165,7 +165,7 @@ func TestRotateKeySweep(t *testing.T) {
 	if first.PlansBuilt != 1 || first.PlanPatches != size {
 		t.Fatalf("first sweep built=%d patches=%d, want 1/%d", first.PlansBuilt, first.PlanPatches, size)
 	}
-	classAfter := f.systems[1].ClassKey()
+	classAfter := mustSystem(t, f, 1).ClassKey()
 	if classBefore == classAfter {
 		t.Fatal("key rotation did not change the device class")
 	}

@@ -2,333 +2,77 @@
 // large-population deployment the paper's related-work section motivates
 // (swarm attestation of many embedded devices serving one task).
 //
-// Each device is an independently provisioned core.System with its own
-// PUF enrollment; the manager sweeps them through a bounded worker pool
-// with per-device deadlines and aggregates a fleet health report that
-// keeps transport failures (Unreachable) strictly apart from rejected
-// attestations (Compromised) — mistaking a flaky link for a compromised
-// device would trigger pointless re-provisioning, and the converse would
-// hide real attacks behind "network trouble".
+// Since the fleet stack was layered (see internal/fleet and DESIGN.md
+// §12), swarm is a thin compatibility facade: membership lives in
+// fleet/registry, the sweep engine in fleet/dispatch, and Fleet.Sweep
+// collapses to a one-shard dispatch — bit-identical to the historic
+// single-engine sweep (the dispatcher's differential test proves the
+// sharded form equal to this facade). Existing callers — the verifier
+// CLI, the campaign harness, the e2e rigs — keep compiling unchanged
+// against the aliases below; new fleet-scale callers (sacha-fleetd)
+// talk to the layers directly.
 package swarm
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"math/rand"
-	"sync"
-	"time"
 
-	"sacha/internal/attestation"
 	"sacha/internal/core"
-	"sacha/internal/obs"
-	"sacha/internal/verifier"
+	"sacha/internal/fleet"
+	"sacha/internal/fleet/dispatch"
+	"sacha/internal/fleet/registry"
 )
 
-// Fleet-sweep metric families: live progress (in-flight and completed
-// device attestations) and the per-class health partition of the most
-// recent sweep. The class gauges are overwritten sweep by sweep — they
-// answer "how healthy is each device class right now", while the
-// counters accumulate across sweeps.
-var (
-	mSweepInflight = obs.Default().Gauge("sacha_sweep_inflight",
-		"Device attestations currently running in fleet sweeps.")
-	mSweepCompleted = obs.Default().CounterVec("sacha_sweep_completed_total",
-		"Device attestations completed in fleet sweeps, by verdict.", "verdict")
-	mSweeps = obs.Default().Counter("sacha_sweeps_total",
-		"Fleet sweeps run.")
-	mClassState = obs.Default().GaugeVec("sacha_sweep_class_state",
-		"Per-class health partition of the most recent fleet sweep.", "class", "state")
-	mKeysRotated = obs.Default().Counter("sacha_sweep_keys_rotated_total",
-		"Per-device PUF key rotations performed by RotateKey-policy sweeps.")
+// The sweep vocabulary is shared with the layered fleet stack; the
+// aliases keep every historic swarm.X spelling valid.
+type (
+	// DeviceResult is the outcome for one fleet member.
+	DeviceResult = fleet.DeviceResult
+	// ClassHealth partitions one device class's sweep outcomes.
+	ClassHealth = fleet.ClassHealth
+	// Report aggregates a fleet sweep.
+	Report = fleet.Report
+	// SweepConfig bounds a fleet sweep.
+	SweepConfig = fleet.SweepConfig
+	// NoncePolicyError reports a pinned nonce contradicting a per-device
+	// freshness policy.
+	NoncePolicyError = fleet.NoncePolicyError
+	// KeyModeError reports a RotateKey sweep over a non-rotatable member.
+	KeyModeError = fleet.KeyModeError
 )
 
-// NoncePolicyError reports a SweepConfig whose pinned Nonce contradicts
-// its freshness policy: a pinned nonce fixes one nonce for the whole
-// sweep, while PerDevice and RotateKey exist to draw fresh per-device
-// nonces. The two requests are silently resolvable either way, so the
-// sweep refuses to guess.
-type NoncePolicyError struct {
-	Policy attestation.FreshnessPolicy
-}
+// DefaultConcurrency is the worker-pool size used when SweepConfig does
+// not specify one.
+const DefaultConcurrency = fleet.DefaultConcurrency
 
-func (e *NoncePolicyError) Error() string {
-	return fmt.Sprintf("swarm: SweepConfig pins a nonce but selects the %s freshness policy — a pinned nonce implies per-sweep freshness; drop the pin or the policy", e.Policy)
-}
-
-// KeyModeError reports a RotateKey-policy sweep over a fleet member
-// whose key provisioning cannot rotate (only the DynPart-PUF mode ships
-// replaceable key circuits).
-type KeyModeError struct {
-	DeviceID uint64
-	Mode     core.KeyMode
-}
-
-func (e *KeyModeError) Error() string {
-	return fmt.Sprintf("swarm: freshness policy rotate-key requires the DynPart-PUF key mode on every member, but device %d uses key mode %d", e.DeviceID, e.Mode)
-}
-
-// DeviceResult is the outcome for one fleet member.
-type DeviceResult struct {
-	DeviceID uint64
-	// Class is the device's core.System.ClassKey — the plan-sharing
-	// group the per-class health tallies aggregate over.
-	Class   string
-	Report  *verifier.Report
-	Err     error
-	Elapsed time.Duration
-	// PlanPatched reports that this device was attested through a
-	// WithNonce patch of its class's shared plan (PerDevice or RotateKey
-	// freshness under SharePlans); Nonce is then the per-device nonce
-	// the patch encoded.
-	PlanPatched bool
-	Nonce       uint64
-}
-
-// Healthy reports whether the device attested successfully.
-func (r DeviceResult) Healthy() bool {
-	return r.Err == nil && r.Report != nil && r.Report.Accepted
-}
-
-// Unreachable reports whether the sweep could not complete the protocol
-// with the device for transport reasons: retry budget exhausted, link
-// reset, or the per-device deadline expired. An unreachable device has
-// no verdict — it is neither healthy nor compromised.
-func (r DeviceResult) Unreachable() bool {
-	return r.Err != nil && (verifier.IsTransport(r.Err) ||
-		errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled))
-}
-
-// Compromised reports whether the protocol completed and the verifier
-// rejected the device (MAC or bitstream mismatch).
-func (r DeviceResult) Compromised() bool {
-	return r.Err == nil && r.Report != nil && !r.Report.Accepted
-}
-
-// Verdict names the health partition this result falls into: one of
-// obs.VerdictHealthy, VerdictCompromised, VerdictUnreachable or
-// VerdictFailed.
-func (r DeviceResult) Verdict() string {
-	switch {
-	case r.Healthy():
-		return obs.VerdictHealthy
-	case r.Compromised():
-		return obs.VerdictCompromised
-	case r.Unreachable():
-		return obs.VerdictUnreachable
-	default:
-		return obs.VerdictFailed
-	}
-}
-
-// Fleet is a set of provisioned devices under one verifier operator.
+// Fleet is a set of provisioned devices under one verifier operator:
+// a static registry swept through a single-shard dispatcher.
 type Fleet struct {
-	systems map[uint64]*core.System
-	order   []uint64
+	reg  *registry.Static
+	disp *dispatch.Dispatcher
 }
 
 // NewFleet provisions n devices with the factory, which receives the
 // device ID and returns a configured system.
 func NewFleet(n int, factory func(deviceID uint64) (*core.System, error)) (*Fleet, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("swarm: fleet size %d", n)
+	reg, err := registry.New(n, factory)
+	if err != nil {
+		return nil, err
 	}
-	f := &Fleet{systems: make(map[uint64]*core.System, n)}
-	for i := 0; i < n; i++ {
-		id := uint64(i + 1)
-		sys, err := factory(id)
-		if err != nil {
-			return nil, fmt.Errorf("swarm: provisioning device %d: %w", id, err)
-		}
-		f.systems[id] = sys
-		f.order = append(f.order, id)
-	}
-	return f, nil
+	return &Fleet{reg: reg, disp: dispatch.New(dispatch.Config{Shards: 1})}, nil
 }
 
 // Size returns the fleet size.
-func (f *Fleet) Size() int { return len(f.order) }
+func (f *Fleet) Size() int { return f.reg.Size() }
 
 // System returns one fleet member for direct (e.g. adversarial) access.
 func (f *Fleet) System(deviceID uint64) (*core.System, bool) {
-	s, ok := f.systems[deviceID]
-	return s, ok
+	return f.reg.System(deviceID)
 }
 
-// ClassHealth partitions one device class's sweep outcomes.
-type ClassHealth struct {
-	Healthy, Compromised, Unreachable, Failed int
-}
-
-// Report aggregates a fleet sweep.
-type Report struct {
-	Results []DeviceResult
-	// Healthy, Compromised, Unreachable and Failed partition the fleet:
-	// accepted verdicts, rejected verdicts, transport failures, and
-	// non-transport errors (e.g. a local golden-image build failure).
-	Healthy, Compromised, Unreachable, Failed []uint64
-	// PerClass partitions the same outcomes by device class
-	// (core.System.ClassKey) — the multi-geometry fleet view: a class
-	// whose members all land Unreachable points at a transport or
-	// plan problem, one with Compromised members at an attack.
-	PerClass map[string]ClassHealth
-	// Retries and TransportFaults aggregate the per-run transport
-	// counters across the fleet, so sweep-level fault pressure is
-	// visible without scraping individual reports.
-	Retries, TransportFaults int
-	// Elapsed is the wall time of the sweep.
-	Elapsed time.Duration
-	// PlansBuilt counts the attestation plans actually constructed for the
-	// sweep: one per device class under SharePlans, fewer (down to zero)
-	// when a PlanCache serves classes it has seen before.
-	PlansBuilt int
-	// PlanCacheHits counts device classes whose plan came out of the
-	// sweep's PlanCache instead of being built.
-	PlanCacheHits int
-	// PlanPatches counts devices attested through a WithNonce patch of
-	// their class's shared plan — the per-device freshness rotations that
-	// did NOT cost a plan rebuild.
-	PlanPatches int
-	// KeysRotated counts the per-device PUF key rotations a RotateKey
-	// sweep performed before attesting.
-	KeysRotated int
-}
-
-// SweepConfig bounds a fleet sweep.
-type SweepConfig struct {
-	// Concurrency is the worker-pool size; at most Concurrency devices
-	// are attested at any moment. Values < 1 default to min(8, fleet).
-	Concurrency int
-	// PerDeviceTimeout bounds each device's attestation; expired devices
-	// are reported Unreachable. Zero means no per-device deadline.
-	PerDeviceTimeout time.Duration
-	// SharePlans, when set, builds one attestation.Plan per device class
-	// (same geometry, application, build, key mode, ROM — see
-	// core.System.ClassKey) before the worker pool starts, and shares it
-	// read-only across all concurrent per-device Runs. The whole sweep
-	// then uses one nonce and one set of plan-shaping options (PlanOpts);
-	// per-device AttestOptions contribute only their per-run knobs
-	// (Retry, Trace, adversary and channel hooks). This converts the
-	// golden-image work from O(fleet × fabric) to O(classes × fabric).
-	SharePlans bool
-	// Nonce fixes the sweep nonce under SharePlans; nil draws a fresh
-	// one. Ignored when SharePlans is unset (each device then draws its
-	// own nonce as before). A pinned Nonce is only meaningful under the
-	// PerSweep freshness policy; combining it with PerDevice or
-	// RotateKey is a NoncePolicyError.
-	Nonce *uint64
-	// Freshness selects the sweep's freshness unit: PerSweep (the zero
-	// value and status quo — one nonce shared by the whole sweep),
-	// PerDevice (a fresh nonce per device, served as WithNonce patches
-	// of each class's shared plan so the plan cache keeps hitting), or
-	// RotateKey (PerDevice plus a PUF re-keying of every device before
-	// the sweep, which rebuilds each class's plan once). RotateKey
-	// requires every member to use core.KeyDynPUF.
-	Freshness attestation.FreshnessPolicy
-	// PlanOpts are the fleet-wide plan-shaping options under SharePlans
-	// (Offset, Permutation, AppSteps, SignatureMode, ConfigBatch).
-	PlanOpts verifier.Options
-	// PlanCache, if non-nil under SharePlans, caches built plans across
-	// sweeps keyed by (golden-image digest, geometry, options hash). A
-	// repeated sweep with a pinned Nonce then builds zero plans — the
-	// cache returns the previous sweep's plans, and Report.PlansBuilt /
-	// PlanCacheHits make the split observable.
-	PlanCache *attestation.PlanCache
-	// Tracker, if non-nil, follows the sweep live: per-device
-	// pending/running/done states with verdicts, served by the verifier
-	// CLI as the /debug/sweep snapshot.
-	Tracker *obs.SweepTracker
-	// Sessions, if non-nil, is Add(1)-ed for every attestation session
-	// the sweep actually launches and Done-ed when that session's
-	// goroutine finishes — including sessions a per-device deadline or a
-	// sweep cancellation abandoned, which otherwise keep running (and
-	// mutating their device) after Sweep returns. Campaign soaks and
-	// leak tests Wait on it to quarantine consecutive events from each
-	// other's stragglers.
-	Sessions *sync.WaitGroup
-}
-
-// DefaultConcurrency is the worker-pool size used when SweepConfig does
-// not specify one.
-const DefaultConcurrency = 8
-
-// planEntry is the outcome of one per-class plan build. patch marks the
-// plan as a nonce-patchable base: each device derives its own nonce via
-// Plan.WithNonce instead of running the plan as built.
-type planEntry struct {
-	plan  *attestation.Plan
-	patch bool
-	err   error
-}
-
-// buildPlans constructs (or fetches from the cache) one shared plan per
-// device class, reporting how many were really built versus served from
-// the cache. Under PerSweep the plan bakes in the sweep nonce as before;
-// under PerDevice/RotateKey it is a nonce-patchable base (built from
-// PatchableSpec, cache-keyed nonce-free) that attestOne re-nonces per
-// device. A class whose plan fails to build carries the error to every
-// member (reported Failed, not Unreachable — nothing was transported).
-func (f *Fleet) buildPlans(cfg SweepConfig) (plans map[string]planEntry, built, cacheHits int) {
-	patchable := cfg.Freshness != attestation.PerSweep
-	nonce := rand.Uint64()
-	if cfg.Nonce != nil {
-		nonce = *cfg.Nonce
-	}
-	plans = make(map[string]planEntry)
-	for _, id := range f.order {
-		sys := f.systems[id]
-		key := sys.ClassKey()
-		if _, ok := plans[key]; ok {
-			continue
-		}
-		var spec attestation.Spec
-		var err error
-		if patchable {
-			spec, err = sys.PatchableSpec(cfg.PlanOpts)
-		} else {
-			spec, err = sys.PlanSpec(nonce, cfg.PlanOpts)
-		}
-		if err != nil {
-			plans[key] = planEntry{err: err}
-			continue
-		}
-		if cfg.PlanCache != nil {
-			p, didBuild, err := cfg.PlanCache.GetOrBuild(spec)
-			plans[key] = planEntry{plan: p, patch: patchable, err: err}
-			if err == nil {
-				if didBuild {
-					built++
-				} else {
-					cacheHits++
-				}
-			}
-			continue
-		}
-		p, err := attestation.NewPlan(spec)
-		plans[key] = planEntry{plan: p, patch: patchable, err: err}
-		built++
-	}
-	return plans, built, cacheHits
-}
-
-// validate rejects contradictory sweep configurations before any
-// network or fabric work starts.
-func (f *Fleet) validate(cfg SweepConfig) error {
-	if !cfg.Freshness.Valid() {
-		return fmt.Errorf("swarm: unknown freshness policy %d", int(cfg.Freshness))
-	}
-	if cfg.Nonce != nil && cfg.Freshness != attestation.PerSweep {
-		return &NoncePolicyError{Policy: cfg.Freshness}
-	}
-	if cfg.Freshness == attestation.RotateKey {
-		for _, id := range f.order {
-			if mode := f.systems[id].KeyMode(); mode != core.KeyDynPUF {
-				return &KeyModeError{DeviceID: id, Mode: mode}
-			}
-		}
-	}
-	return nil
-}
+// Registry exposes the fleet's membership layer — the handle new-style
+// callers (scheduler, fleetd, a multi-shard dispatcher) sweep through
+// directly.
+func (f *Fleet) Registry() *registry.Static { return f.reg }
 
 // Sweep attests every device through a bounded worker pool. The context
 // cancels the whole sweep: devices not yet started when ctx is done are
@@ -337,204 +81,7 @@ func (f *Fleet) validate(cfg SweepConfig) error {
 // non-rotatable key mode) is rejected with a typed error before any
 // device is touched.
 func (f *Fleet) Sweep(ctx context.Context, cfg SweepConfig, opts func(deviceID uint64) core.AttestOptions) (*Report, error) {
-	if err := f.validate(cfg); err != nil {
-		return nil, err
-	}
-	if opts == nil {
-		opts = func(uint64) core.AttestOptions { return core.AttestOptions{} }
-	}
-	workers := cfg.Concurrency
-	if workers < 1 {
-		workers = DefaultConcurrency
-	}
-	if workers > len(f.order) {
-		workers = len(f.order)
-	}
-	start := time.Now()
-	mSweeps.Inc()
-	keysRotated := 0
-	if cfg.Freshness == attestation.RotateKey {
-		// Rotate every key before plan building: the shipped PUF circuit
-		// changes each class's golden image, so the per-class plans below
-		// are rebuilt for the new key generation.
-		for _, id := range f.order {
-			if err := f.systems[id].RotateKey(); err != nil {
-				return nil, fmt.Errorf("swarm: rotating key of device %d: %w", id, err)
-			}
-			keysRotated++
-		}
-		mKeysRotated.Add(uint64(keysRotated))
-	}
-	var plans map[string]planEntry
-	var plansBuilt, planCacheHits int
-	if cfg.SharePlans {
-		plans, plansBuilt, planCacheHits = f.buildPlans(cfg)
-	}
-	if cfg.Tracker != nil {
-		targets := make([]obs.SweepTarget, 0, len(f.order))
-		for _, id := range f.order {
-			targets = append(targets, obs.SweepTarget{
-				Name:  fmt.Sprintf("device-%d", id),
-				Class: f.systems[id].ClassKey(),
-			})
-		}
-		cfg.Tracker.Begin(targets)
-	}
-	obs.Logger().Info("sweep start", "devices", len(f.order), "workers", workers,
-		"share_plans", cfg.SharePlans, "freshness", cfg.Freshness.String(),
-		"plans_built", plansBuilt, "plan_cache_hits", planCacheHits, "keys_rotated", keysRotated)
-	results := make([]DeviceResult, len(f.order))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				id := f.order[i]
-				results[i] = f.attestOne(ctx, cfg, plans, id, opts(id))
-			}
-		}()
-	}
-	for i := range f.order {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	out := &Report{
-		Results:       results,
-		Elapsed:       time.Since(start),
-		PlansBuilt:    plansBuilt,
-		PlanCacheHits: planCacheHits,
-		KeysRotated:   keysRotated,
-		PerClass:      make(map[string]ClassHealth, len(plans)),
-	}
-	for _, r := range results {
-		if r.PlanPatched {
-			out.PlanPatches++
-		}
-		ch := out.PerClass[r.Class]
-		switch {
-		case r.Healthy():
-			out.Healthy = append(out.Healthy, r.DeviceID)
-			ch.Healthy++
-		case r.Compromised():
-			out.Compromised = append(out.Compromised, r.DeviceID)
-			ch.Compromised++
-		case r.Unreachable():
-			out.Unreachable = append(out.Unreachable, r.DeviceID)
-			ch.Unreachable++
-		default:
-			out.Failed = append(out.Failed, r.DeviceID)
-			ch.Failed++
-		}
-		out.PerClass[r.Class] = ch
-		if r.Report != nil {
-			out.Retries += r.Report.Retries
-			out.TransportFaults += r.Report.TransportFaults
-		}
-	}
-	for class, ch := range out.PerClass {
-		mClassState.With(class, obs.VerdictHealthy).Set(int64(ch.Healthy))
-		mClassState.With(class, obs.VerdictCompromised).Set(int64(ch.Compromised))
-		mClassState.With(class, obs.VerdictUnreachable).Set(int64(ch.Unreachable))
-		mClassState.With(class, obs.VerdictFailed).Set(int64(ch.Failed))
-	}
-	obs.Logger().Info("sweep done", "elapsed", out.Elapsed,
-		"healthy", len(out.Healthy), "compromised", len(out.Compromised),
-		"unreachable", len(out.Unreachable), "failed", len(out.Failed),
-		"retries", out.Retries, "transport_faults", out.TransportFaults,
-		"plan_patches", out.PlanPatches, "keys_rotated", out.KeysRotated)
-	return out, nil
-}
-
-// attestOne runs a single device attestation under the sweep's deadline
-// discipline, through the class's shared plan when the sweep built one.
-func (f *Fleet) attestOne(ctx context.Context, cfg SweepConfig, plans map[string]planEntry, id uint64, o core.AttestOptions) (res DeviceResult) {
-	t0 := time.Now()
-	sys := f.systems[id]
-	class := sys.ClassKey()
-	name := fmt.Sprintf("device-%d", id)
-	if cfg.Tracker != nil {
-		cfg.Tracker.Start(name)
-	}
-	mSweepInflight.Inc()
-	defer func() {
-		res.Class = class
-		mSweepInflight.Dec()
-		mSweepCompleted.With(res.Verdict()).Inc()
-		if cfg.Tracker != nil {
-			out := obs.SweepOutcome{Verdict: res.Verdict(), Elapsed: res.Elapsed}
-			if res.Report != nil {
-				out.Retries = res.Report.Retries
-				out.TransportFaults = res.Report.TransportFaults
-			}
-			if res.Err != nil {
-				out.Err = res.Err.Error()
-			}
-			cfg.Tracker.Done(name, out)
-		}
-		obs.Logger().Debug("device attested", "device", id, "class", class,
-			"verdict", res.Verdict(), "elapsed", res.Elapsed)
-	}()
-	if err := ctx.Err(); err != nil {
-		return DeviceResult{DeviceID: id, Err: err}
-	}
-	attest := sys.Attest
-	var patched bool
-	var deviceNonce uint64
-	if plans != nil {
-		entry := plans[class]
-		if entry.err != nil {
-			return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: plan for device %d: %w", id, entry.err), Elapsed: time.Since(t0)}
-		}
-		plan := entry.plan
-		if entry.patch {
-			// Per-device freshness: re-nonce the class's shared plan for
-			// this device. The patch is O(nonce column) and never mutates
-			// the base, so concurrent workers patch the same plan freely.
-			deviceNonce = rand.Uint64()
-			pp, err := plan.WithNonce(deviceNonce)
-			if err != nil {
-				return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: patching nonce for device %d: %w", id, err), Elapsed: time.Since(t0)}
-			}
-			plan, patched = pp, true
-		}
-		attest = func(o core.AttestOptions) (*verifier.Report, error) {
-			return sys.AttestWithPlan(plan, o)
-		}
-	}
-	dctx := ctx
-	if cfg.PerDeviceTimeout > 0 {
-		var cancel context.CancelFunc
-		dctx, cancel = context.WithTimeout(ctx, cfg.PerDeviceTimeout)
-		defer cancel()
-	}
-	type outcome struct {
-		rep *verifier.Report
-		err error
-	}
-	done := make(chan outcome, 1)
-	if cfg.Sessions != nil {
-		cfg.Sessions.Add(1)
-	}
-	go func() {
-		if cfg.Sessions != nil {
-			defer cfg.Sessions.Done()
-		}
-		rep, err := attest(o)
-		done <- outcome{rep, err}
-	}()
-	select {
-	case oc := <-done:
-		return DeviceResult{DeviceID: id, Report: oc.rep, Err: oc.err, Elapsed: time.Since(t0), PlanPatched: patched, Nonce: deviceNonce}
-	case <-dctx.Done():
-		// The attestation goroutine finishes on its own (the simulated
-		// protocol always terminates; a TCP one hits its own timeouts)
-		// and its result is discarded — the deadline verdict stands.
-		return DeviceResult{DeviceID: id, Err: fmt.Errorf("swarm: device %d: %w", id, dctx.Err()), Elapsed: time.Since(t0), PlanPatched: patched, Nonce: deviceNonce}
-	}
+	return f.disp.Sweep(ctx, f.reg, cfg, opts)
 }
 
 // AttestAll attests every device. With parallel=true the sweep uses the

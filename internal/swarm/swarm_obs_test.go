@@ -39,7 +39,7 @@ func TestPerClassHealthPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	const bad = 3 // odd → TinyLX class
-	badClass := f.systems[bad].ClassKey()
+	badClass := mustSystem(t, f, bad).ClassKey()
 	rep := mustSweep(t, f, context.Background(), SweepConfig{Concurrency: 3}, func(id uint64) core.AttestOptions {
 		if id != bad {
 			return core.AttestOptions{}

@@ -34,6 +34,17 @@ func mustSweep(t testing.TB, f *Fleet, ctx context.Context, cfg SweepConfig, opt
 	return rep
 }
 
+// mustSystem resolves a fleet member the test provisioned itself; a
+// missing member is a test bug.
+func mustSystem(t testing.TB, f *Fleet, id uint64) *core.System {
+	t.Helper()
+	sys, ok := f.System(id)
+	if !ok {
+		t.Fatalf("fleet has no device %d", id)
+	}
+	return sys
+}
+
 func mustAttestAll(t testing.TB, f *Fleet, parallel bool, opts func(uint64) core.AttestOptions) *Report {
 	t.Helper()
 	rep, err := f.AttestAll(parallel, opts)
