@@ -54,6 +54,28 @@ type planResult struct {
 	CacheHitNS  int64 `json:"cache_hit_ns"`
 }
 
+// deltaRun is one delta-mode measurement: the same link and window as a
+// baseline full-overwrite run, against a device in a known state —
+// warm-healthy (delta applies), cold (admissibility fallback) or
+// tampered (scan catches drift, fallback repairs). ConfigSpeedup is the
+// config-phase ratio against the full overwrite at the same window; the
+// delta config phase includes the Hello negotiation and the scan, so
+// the ratio charges delta mode its own overheads.
+type deltaRun struct {
+	Scenario        string  `json:"scenario"`
+	Window          int     `json:"window"`
+	WallNS          int64   `json:"wall_ns"`
+	ConfigNS        int64   `json:"config_ns"`
+	BaselineConfNS  int64   `json:"baseline_config_ns"`
+	ConfigSpeedup   float64 `json:"config_speedup"`
+	FramesScanned   int     `json:"frames_scanned"`
+	FramesRewritten int     `json:"frames_rewritten"`
+	FramesSkipped   int     `json:"frames_skipped"`
+	Fallback        string  `json:"fallback,omitempty"`
+	Compressed      bool    `json:"compressed"`
+	Accepted        bool    `json:"accepted"`
+}
+
 type benchReport struct {
 	Timestamp  string      `json:"timestamp"`
 	Device     string      `json:"device"`
@@ -62,6 +84,7 @@ type benchReport struct {
 	Iterations int         `json:"iterations"`
 	Plan       planResult  `json:"plan"`
 	Runs       []runResult `json:"runs"`
+	Delta      []deltaRun  `json:"delta,omitempty"`
 }
 
 func main() {
@@ -69,6 +92,8 @@ func main() {
 	delay := flag.Duration("delay", time.Millisecond, "one-way link latency")
 	windows := flag.String("windows", "1,4,16", "comma-separated window sizes to measure")
 	iters := flag.Int("iters", 1, "attestations per window size (best wall time is reported)")
+	benchDelta := flag.Bool("delta", false, "also measure the delta configuration series (warm-healthy, cold, tampered-4) per window")
+	minSpeedup := flag.Float64("delta-min-speedup", 0, "fail unless every warm-healthy delta run beats the full overwrite's config phase by this factor (0 = report only)")
 	out := flag.String("o", "BENCH_attest.json", "output file (- for stdout)")
 	flag.Parse()
 
@@ -110,6 +135,23 @@ func main() {
 		w, err := strconv.Atoi(strings.TrimSpace(tok))
 		fatal(err)
 		report.Runs = append(report.Runs, measure(geo, plan, key, buildID, w, *delay, *iters))
+	}
+
+	if *benchDelta {
+		dspec := spec
+		dspec.Delta, dspec.Compress = true, true
+		dplan, err := attestation.NewPlan(dspec)
+		fatal(err)
+		for _, run := range report.Runs {
+			for _, scenario := range []string{"warm-healthy", "cold", "tampered-4"} {
+				dr := measureDelta(geo, plan, dplan, dyn, key, buildID, run.Window, *delay, *iters, scenario, run.Phases.ConfigNS)
+				report.Delta = append(report.Delta, dr)
+				if scenario == "warm-healthy" && *minSpeedup > 0 && dr.ConfigSpeedup < *minSpeedup {
+					fatal(fmt.Errorf("warm-healthy delta config phase only %.2fx faster than the full overwrite at window %d (bar: %.1fx)",
+						dr.ConfigSpeedup, run.Window, *minSpeedup))
+				}
+			}
+		}
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -164,6 +206,78 @@ func measure(geo *device.Geometry, plan *attestation.Plan, key prover.RegisterKe
 	}
 	res.FramesPerSec = float64(res.Frames) / (float64(res.WallNS) / float64(time.Second))
 	res.NSPerFrame = float64(res.WallNS) / float64(res.Frames)
+	return res
+}
+
+// measureDelta runs iters delta attestations at one window size against
+// a device prepared per scenario: warm-healthy re-attests a device that
+// just passed a full attestation, cold attests a fresh device without
+// the admissibility assertion, tampered-4 flips one bit in each of four
+// non-nonce dynamic frames of a warm device. The warm-up attestation
+// runs over an undelayed link — it models the PREVIOUS sweep, not part
+// of the measured session.
+func measureDelta(geo *device.Geometry, fullPlan, deltaPlan *attestation.Plan, dyn []int, key prover.RegisterKey, buildID uint64, window int, delay time.Duration, iters int, scenario string, baselineConfNS int64) deltaRun {
+	res := deltaRun{Scenario: scenario, Window: window, BaselineConfNS: baselineConfNS}
+	inRewriteSet := map[int]bool{}
+	for _, f := range deltaPlan.DeltaRewriteFrames() {
+		inRewriteSet[f] = true
+	}
+	for it := 0; it < iters; it++ {
+		dev, err := prover.New(prover.Config{Geo: geo, BootMem: core.BuildBootMem(geo, buildID), Key: key})
+		fatal(err)
+		fatal(dev.PowerOn())
+
+		warm := scenario != "cold"
+		if warm {
+			vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+			go dev.Serve(prvEP)
+			rep, err := fullPlan.Run(vrfEP, attestation.RunOpts{Key: key,
+				Retry: attestation.RetryPolicy{Timeout: time.Second, MaxRetries: 3, Window: attestation.MaxWindow}})
+			fatal(err)
+			if !rep.Accepted {
+				fatal(fmt.Errorf("delta warm-up attestation rejected"))
+			}
+			vrfEP.Close()
+		}
+		if strings.HasPrefix(scenario, "tampered") {
+			flips := 4
+			for _, f := range dyn {
+				if flips == 0 {
+					break
+				}
+				if inRewriteSet[f] {
+					continue
+				}
+				dev.Fabric.Mem.Frame(f)[1] ^= 1 << 11
+				flips--
+			}
+		}
+
+		vrfEP, prvEP := channel.SimPair(channel.SimConfig{})
+		go dev.Serve(prvEP)
+		link := channel.NewDelayEndpoint(vrfEP, delay)
+		opts := attestation.RunOpts{Key: key, Delta: true, DeltaWarm: warm, Compress: true,
+			Retry: attestation.RetryPolicy{Timeout: 4*delay + 250*time.Millisecond, MaxRetries: 5, Window: window}}
+		t0 := time.Now()
+		rep, err := deltaPlan.Run(link, opts)
+		wall := time.Since(t0)
+		link.Close()
+		fatal(err)
+
+		if res.WallNS == 0 || wall.Nanoseconds() < res.WallNS {
+			res.WallNS = wall.Nanoseconds()
+			res.ConfigNS = rep.Phases.Config.Nanoseconds()
+			res.FramesScanned = rep.Delta.FramesScanned
+			res.FramesRewritten = rep.Delta.FramesRewritten
+			res.FramesSkipped = rep.Delta.FramesSkipped
+			res.Fallback = rep.Delta.Fallback
+			res.Compressed = rep.Compressed
+			res.Accepted = rep.Accepted
+		}
+	}
+	if res.ConfigNS > 0 {
+		res.ConfigSpeedup = float64(res.BaselineConfNS) / float64(res.ConfigNS)
+	}
 	return res
 }
 

@@ -56,6 +56,8 @@ func main() {
 	timeout := flag.Duration("device-timeout", 0, "per-device attestation deadline (0 = none)")
 	every := flag.Duration("every", 0, "re-attest each device class on this cadence (0 = API-triggered sweeps only)")
 	jitter := flag.Duration("jitter", 0, "seeded per-class cadence spread added to -every")
+	compress := flag.Bool("compress", false, "negotiate the compressed wire transport per session")
+	delta := flag.Bool("delta", false, "delta configuration: scan warm devices and rewrite only their nonce frames (first sweep per device is a full overwrite)")
 	history := flag.Int("history", 64, "sweep records retained for /fleet/sweeps")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown bound for the in-flight sweep before it is cancelled (0 = wait)")
 	obsFlags := cliutil.RegisterObs(flag.CommandLine, "127.0.0.1:9090")
@@ -85,15 +87,25 @@ func main() {
 	})
 	fatal(err)
 
+	template := fleet.SweepConfig{
+		Concurrency:      *concurrency,
+		PerDeviceTimeout: *timeout,
+		SharePlans:       true,
+		Freshness:        policy,
+		Compress:         *compress,
+	}
+	if *delta {
+		// The ledger lives for the daemon's lifetime: warmth recorded by
+		// one sweep admits the delta path in the next, which is what makes
+		// the continuous re-attestation loops cheap after their first pass.
+		template.Delta = true
+		template.Trust = registry.NewTrustLedger()
+	}
+
 	daemon := fleetd.New(fleetd.Config{
 		Registry:   reg,
 		Dispatcher: dispatch.New(dispatch.Config{Shards: *shards, PlanCacheSize: *planCache}),
-		Template: fleet.SweepConfig{
-			Concurrency:      *concurrency,
-			PerDeviceTimeout: *timeout,
-			SharePlans:       true,
-			Freshness:        policy,
-		},
+		Template:   template,
 		Scheduler: scheduler.Config{
 			Default: scheduler.Cadence{Every: *every, Jitter: *jitter},
 			Seed:    *seed,

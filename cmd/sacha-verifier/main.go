@@ -14,6 +14,14 @@
 // speaks the paper's bare lab protocol (then -timeout, if set, is
 // enforced as a raw per-message socket deadline instead).
 //
+// -compress negotiates the run-length compressed wire transport per
+// session (a Hello capability bit; provers without it transparently get
+// the plain packets). -delta attests each prover twice: a full warm-up
+// attestation establishes the delta admissibility precondition
+// in-session, then the delta attestation scans the device and rewrites
+// only the nonce-register frames — same verdict, same H_Vrf, a fraction
+// of the configuration bytes.
+//
 // -connect accepts a comma-separated list of provers; they are attested
 // through a worker pool of -concurrency connections. All targets share
 // one precomputed attestation.Plan — the golden-image work (message
@@ -75,6 +83,8 @@ func main() {
 	backoff := flag.Duration("backoff", 20*time.Millisecond, "base retry backoff (doubles per retry)")
 	plain := flag.Bool("plain", false, "disable the fault-tolerant transport (paper's bare protocol)")
 	window := flag.Int("window", 1, "pipelined frames in flight per prover (1 = lockstep; needs the reliable transport)")
+	compress := flag.Bool("compress", false, "negotiate the compressed wire transport (provers without the capability get the plain packets)")
+	delta := flag.Bool("delta", false, "delta attestation: full warm-up attest per prover, then a scan-first attest that rewrites only the nonce frames")
 	concurrency := flag.Int("concurrency", 4, "concurrent connections when attesting several provers")
 	obsFlags := cliutil.RegisterObs(flag.CommandLine, "")
 	flag.Parse()
@@ -135,6 +145,8 @@ func main() {
 		Offset:         *offset,
 		AppSteps:       uint32(*steps),
 		ConfigBatch:    *batch,
+		Compress:       *compress,
+		Delta:          *delta,
 		PatchableNonce: policy == attestation.PerDevice,
 		NonceBits:      core.NonceBits,
 	})
@@ -167,9 +179,10 @@ func main() {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				targets[i] = attestOne(addrs[i], plan, *nonce, policy, tracker, worker, runOptions(
-					key, *trace && len(addrs) == 1,
-					*plain, *timeout, *retries, *backoff, *window))
+				opts := runOptions(key, *trace && len(addrs) == 1,
+					*plain, *timeout, *retries, *backoff, *window)
+				opts.Compress = *compress
+				targets[i] = attestOne(addrs[i], plan, *nonce, policy, *delta, tracker, worker, opts)
 			}
 		}(w)
 	}
@@ -205,6 +218,20 @@ func main() {
 		rep := tg.rep
 		fmt.Printf("frames configured: %d\n", rep.FramesConfigured)
 		fmt.Printf("frames read back:  %d\n", rep.FramesRead)
+		if rep.Compressed {
+			fmt.Printf("transport:         compressed\n")
+		}
+		if rep.Delta.Enabled {
+			if rep.Delta.Applied {
+				fmt.Printf("delta:             applied — %d scanned, %d rewritten, %d skipped\n",
+					rep.Delta.FramesScanned, rep.Delta.FramesRewritten, rep.Delta.FramesSkipped)
+			} else {
+				fmt.Printf("delta:             fell back to full overwrite (%s)\n", rep.Delta.Fallback)
+			}
+			if len(rep.Delta.Unexpected) > 0 {
+				fmt.Printf("delta drift:       frames %v\n", rep.Delta.Unexpected)
+			}
+		}
 		fmt.Printf("H_Prv == H_Vrf:    %v\n", rep.MACOK)
 		fmt.Printf("B_Prv == B_Vrf:    %v\n", rep.ConfigOK)
 		fmt.Printf("retries:           %d (%d transport faults)\n", rep.Retries, rep.TransportFaults)
@@ -245,7 +272,7 @@ func runOptions(key [16]byte, trace, plain bool, timeout time.Duration, retries 
 	return opts
 }
 
-func attestOne(addr string, plan *attestation.Plan, nonce uint64, policy attestation.FreshnessPolicy, tracker *obs.SweepTracker, worker int, opts attestation.RunOpts) target {
+func attestOne(addr string, plan *attestation.Plan, nonce uint64, policy attestation.FreshnessPolicy, delta bool, tracker *obs.SweepTracker, worker int, opts attestation.RunOpts) target {
 	tg := target{addr: addr, nonce: nonce}
 	if tracker != nil {
 		tracker.Start(addr)
@@ -274,23 +301,40 @@ func attestOne(addr string, plan *attestation.Plan, nonce uint64, policy attesta
 		}
 		plan = patched
 	}
-	ep, err := channel.Dial(addr)
-	if err != nil {
-		// A prover we cannot even dial is the canonical unreachable case —
-		// type it like any other transport failure so the sweep reports
-		// UNREACHABLE, not a generic error.
-		tg.err = &attestation.TransportError{Op: "dial " + addr, Attempts: 1, Err: err}
-		return tg
-	}
-	defer ep.Close()
-	var link channel.Endpoint = ep
-	if !opts.Retry.Enabled() {
-		// Plain mode has no retry layer; fall back to raw per-message
-		// socket deadlines so a dead prover cannot hang the sweep.
-		link = channel.NewDeadline(ep, 2*time.Second, 2*time.Second)
+	run := func(o attestation.RunOpts) (*attestation.Report, error) {
+		ep, err := channel.Dial(addr)
+		if err != nil {
+			// A prover we cannot even dial is the canonical unreachable case —
+			// type it like any other transport failure so the sweep reports
+			// UNREACHABLE, not a generic error.
+			return nil, &attestation.TransportError{Op: "dial " + addr, Attempts: 1, Err: err}
+		}
+		defer ep.Close()
+		var link channel.Endpoint = ep
+		if !o.Retry.Enabled() {
+			// Plain mode has no retry layer; fall back to raw per-message
+			// socket deadlines so a dead prover cannot hang the sweep.
+			link = channel.NewDeadline(ep, 2*time.Second, 2*time.Second)
+		}
+		return plan.Run(link, o)
 	}
 	start := time.Now()
-	tg.rep, tg.err = plan.Run(link, opts)
+	if delta {
+		// The one-shot CLI has no cross-invocation trust ledger, so the
+		// §13 admissibility precondition is established in-session: a full
+		// attestation over a first connection, then — only if it accepted —
+		// the delta attestation over a second one.
+		warm := opts
+		warm.Delta, warm.DeltaWarm = false, false
+		wrep, err := run(warm)
+		if err != nil || !wrep.Accepted {
+			tg.rep, tg.err = wrep, err
+			tg.wall = time.Since(start)
+			return tg
+		}
+		opts.Delta, opts.DeltaWarm = true, true
+	}
+	tg.rep, tg.err = run(opts)
 	tg.wall = time.Since(start)
 	return tg
 }

@@ -50,8 +50,9 @@ func SpecKey(spec Spec) [32]byte {
 	if spec.Geo != nil {
 		geo = spec.Geo.Name
 	}
-	fmt.Fprintf(h, "|patch:%t:%d|geo:%s|off:%d|app:%d|sig:%t|batch:%d|dyn:",
-		spec.PatchableNonce, spec.nonceBits(), geo, spec.Offset, spec.AppSteps, spec.SignatureMode, spec.ConfigBatch)
+	fmt.Fprintf(h, "|patch:%t:%d|geo:%s|off:%d|app:%d|sig:%t|batch:%d|comp:%t|delta:%t|dyn:",
+		spec.PatchableNonce, spec.nonceBits(), geo, spec.Offset, spec.AppSteps, spec.SignatureMode, spec.ConfigBatch,
+		spec.Compress, spec.Delta)
 	var buf [8]byte
 	for _, f := range spec.DynFrames {
 		binary.BigEndian.PutUint64(buf[:], uint64(f))

@@ -31,6 +31,23 @@ var (
 	mFramesConfigured = obs.Default().Counter("sacha_attest_frames_configured_total",
 		"Configuration frames written into the dynamic partition.")
 
+	mFramesScanned = obs.Default().Counter("sacha_config_frames_scanned_total",
+		"Dynamic frames probed by the delta-mode scan.")
+	mFramesRewritten = obs.Default().Counter("sacha_config_frames_rewritten_total",
+		"Dynamic frames rewritten by applied delta runs.")
+	mFramesSkipped = obs.Default().Counter("sacha_config_frames_skipped_total",
+		"Dynamic frames proven bit-identical by the delta scan and not rewritten.")
+	mDeltaFallbacks = obs.Default().CounterVec("sacha_delta_fallbacks_total",
+		"Delta runs that fell back to the full overwrite, by reason (capability, cold, threshold, mismatch).", "reason")
+
+	mCompressRawBytes = obs.Default().Counter("sacha_compress_raw_bytes_total",
+		"Uncompressed payload bytes moved through the compressed wire encodings, both directions.")
+	mCompressWireBytes = obs.Default().Counter("sacha_compress_wire_bytes_total",
+		"Compressed payload bytes actually on the wire, both directions.")
+	mCompressRatio = obs.Default().Histogram("sacha_compress_ratio",
+		"Per-run compression ratio (raw bytes / wire bytes) of the compressed payloads.",
+		[]float64{1, 1.5, 2, 3, 5, 8, 13, 21, 34, 55})
+
 	mRetries = obs.Default().Counter("sacha_transport_retries_total",
 		"Message re-sends by the reliable transport.")
 	mTransportFaults = obs.Default().Counter("sacha_transport_faults_total",

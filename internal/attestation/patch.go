@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"sacha/internal/fabric"
-	"sacha/internal/protocol"
 )
 
 // noncePatchState is everything WithNonce needs to re-derive the
@@ -26,14 +25,33 @@ type noncePatchState struct {
 	nonce   uint64
 }
 
+// Patch-step targets: which pre-encoded packet slice of the plan a
+// recorded step re-encodes into.
+const (
+	tgtConfig = iota // Plan.configs (full overwrite, plain)
+	tgtConfigC       // Plan.configsC (full overwrite, compressed)
+	tgtDelta         // Plan.deltaSteps (nonce-frame rewrite, plain)
+	tgtDeltaC        // Plan.deltaStepsC (nonce-frame rewrite, compressed)
+)
+
 // patchStep names one pre-encoded configuration packet that carries at
 // least one nonce-affected frame, with the frame list of the packet and
 // nonce-invariant word copies for its frames outside the patch set
 // (boundary batches mix application and nonce frames).
 type patchStep struct {
-	config int // index into Plan.configs
+	target int // tgtConfig/tgtConfigC/tgtDelta/tgtDeltaC
+	index  int // index into the target slice
 	frames []int
 	words  [][]uint32 // parallel to frames; patch-set entries are overridden
+}
+
+// templateBits returns the nonce template of a patchable plan, nil when
+// the plan is not nonce-patchable.
+func (st *noncePatchState) templateBits() []fabric.NonceBitRef {
+	if st == nil {
+		return nil
+	}
+	return st.bits
 }
 
 // initNoncePatch computes the template, the affected frame set and the
@@ -82,7 +100,7 @@ func (p *Plan) initNoncePatch(spec Spec) error {
 
 // recordPatchStep registers one just-encoded configuration packet with
 // the patch state when it carries a nonce-affected frame.
-func (p *Plan) recordPatchStep(spec Spec, frames []int) {
+func (p *Plan) recordPatchStep(spec Spec, target, index int, frames []int) {
 	if p.patch == nil {
 		return
 	}
@@ -96,7 +114,7 @@ func (p *Plan) recordPatchStep(spec Spec, frames []int) {
 	if !hit {
 		return
 	}
-	st := patchStep{config: len(p.configs) - 1, frames: append([]int(nil), frames...)}
+	st := patchStep{target: target, index: index, frames: append([]int(nil), frames...)}
 	for _, f := range frames {
 		w := make([]uint32, len(spec.Golden.Frame(f)))
 		copy(w, spec.Golden.Frame(f))
@@ -108,9 +126,28 @@ func (p *Plan) recordPatchStep(spec Spec, frames []int) {
 // patchedArtifacts is the nonce-dependent slice of a plan re-derived
 // for one nonce value.
 type patchedArtifacts struct {
-	golden   [][]uint32
-	configs  []configStep
-	expected [][]uint32
+	golden       [][]uint32
+	configs      []configStep
+	configsC     []configStep
+	deltaSteps   []configStep
+	deltaStepsC  []configStep
+	expected     [][]uint32
+	scanExpected [][]uint32
+}
+
+// targetSlice maps a patch-step target tag to the artifact slice it
+// re-encodes into.
+func (art *patchedArtifacts) targetSlice(target int) []configStep {
+	switch target {
+	case tgtConfig:
+		return art.configs
+	case tgtConfigC:
+		return art.configsC
+	case tgtDelta:
+		return art.deltaSteps
+	default:
+		return art.deltaStepsC
+	}
 }
 
 // patchArtifacts re-derives the configuration packets and comparison
@@ -120,12 +157,20 @@ type patchedArtifacts struct {
 func (p *Plan) patchArtifacts(nonce uint64) (*patchedArtifacts, error) {
 	st := p.patch
 	art := &patchedArtifacts{
-		golden:   make([][]uint32, len(st.frames)),
-		configs:  make([]configStep, len(p.configs)),
-		expected: make([][]uint32, len(p.expected)),
+		golden:       make([][]uint32, len(st.frames)),
+		configs:      make([]configStep, len(p.configs)),
+		configsC:     make([]configStep, len(p.configsC)),
+		deltaSteps:   make([]configStep, len(p.deltaSteps)),
+		deltaStepsC:  make([]configStep, len(p.deltaStepsC)),
+		expected:     make([][]uint32, len(p.expected)),
+		scanExpected: make([][]uint32, len(p.scanExpected)),
 	}
 	copy(art.configs, p.configs)
+	copy(art.configsC, p.configsC)
+	copy(art.deltaSteps, p.deltaSteps)
+	copy(art.deltaStepsC, p.deltaStepsC)
 	copy(art.expected, p.expected)
+	copy(art.scanExpected, p.scanExpected)
 
 	// Golden words of the affected frames at the new nonce: the template
 	// init bits are the only config bits that vary with the nonce value
@@ -175,23 +220,44 @@ func (p *Plan) patchArtifacts(nonce uint64) (*patchedArtifacts, error) {
 		}
 	}
 
-	// Re-encode the configuration packets that carry affected frames.
-	for _, step := range st.steps {
-		var m *protocol.Message
-		if len(step.frames) == 1 {
-			m = protocol.Config(step.frames[0], p.stepWords(art, step, 0))
-		} else {
-			m = &protocol.Message{Type: protocol.MsgICAPConfigBatch}
-			for k, f := range step.frames {
-				m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(f), Words: p.stepWords(art, step, k)})
+	// Raw scan expectation of a delta plan: a nonce bit appears twice in
+	// the unmasked readback — as the stored init bit and as the captured
+	// register state, which equals the init bit right after configuration
+	// (the nonce register holds, D=Q). Patch both positions.
+	if len(art.scanExpected) > 0 {
+		patched := map[int]bool{}
+		frame := func(f int) []uint32 {
+			if !patched[f] {
+				patched[f] = true
+				w := make([]uint32, len(art.scanExpected[f]))
+				copy(w, art.scanExpected[f])
+				art.scanExpected[f] = w
+			}
+			return art.scanExpected[f]
+		}
+		for i, ref := range st.bits {
+			iw, cw := frame(ref.InitFrame), frame(ref.CapFrame)
+			if nonce>>uint(i)&1 == 1 {
+				iw[ref.InitWord] |= ref.InitMask
+				cw[ref.CapWord] |= ref.CapMask
+			} else {
+				iw[ref.InitWord] &^= ref.InitMask
+				cw[ref.CapWord] &^= ref.CapMask
 			}
 		}
-		wire, err := m.Encode()
+	}
+
+	// Re-encode the configuration packets that carry affected frames.
+	for _, step := range st.steps {
+		compressed := step.target == tgtConfigC || step.target == tgtDeltaC
+		wordsAt := func(k, _ int) []uint32 { return p.stepWords(art, step, k) }
+		wire, err := encodeConfigPacket(step.frames, wordsAt, compressed)
 		if err != nil {
 			return nil, err
 		}
-		old := art.configs[step.config]
-		art.configs[step.config] = configStep{wire: wire, first: old.first, count: old.count}
+		slot := art.targetSlice(step.target)
+		old := slot[step.index]
+		slot[step.index] = configStep{wire: wire, first: old.first, count: old.count}
 	}
 	return art, nil
 }
@@ -216,20 +282,32 @@ func (p *Plan) verifyPatchBase() error {
 	if err != nil {
 		return fmt.Errorf("attestation: patchable spec rejected: %w", err)
 	}
+	base := &patchedArtifacts{configs: p.configs, configsC: p.configsC, deltaSteps: p.deltaSteps, deltaStepsC: p.deltaStepsC}
 	for _, step := range p.patch.steps {
-		if !bytes.Equal(art.configs[step.config].wire, p.configs[step.config].wire) {
-			return fmt.Errorf("attestation: patchable spec rejected: config packet %d re-derives differently — nonce partition does not match the patch template", step.config)
+		if !bytes.Equal(art.targetSlice(step.target)[step.index].wire, base.targetSlice(step.target)[step.index].wire) {
+			return fmt.Errorf("attestation: patchable spec rejected: config packet %d/%d re-derives differently — nonce partition does not match the patch template", step.target, step.index)
 		}
 	}
-	for _, f := range p.patch.frames {
-		a, b := art.expected[f], p.expected[f]
-		if len(a) != len(b) {
-			return fmt.Errorf("attestation: patchable spec rejected: expected frame %d length mismatch", f)
-		}
-		for w := range a {
-			if a[w] != b[w] {
-				return fmt.Errorf("attestation: patchable spec rejected: expected frame %d re-derives differently — nonce partition is not a held nonce register", f)
+	checkFrames := func(got, want [][]uint32, what string) error {
+		for _, f := range p.patch.frames {
+			a, b := got[f], want[f]
+			if len(a) != len(b) {
+				return fmt.Errorf("attestation: patchable spec rejected: %s frame %d length mismatch", what, f)
 			}
+			for w := range a {
+				if a[w] != b[w] {
+					return fmt.Errorf("attestation: patchable spec rejected: %s frame %d re-derives differently — nonce partition is not a held nonce register", what, f)
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkFrames(art.expected, p.expected, "expected"); err != nil {
+		return err
+	}
+	if len(p.scanExpected) > 0 {
+		if err := checkFrames(art.scanExpected, p.scanExpected, "scan-expected"); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -260,7 +338,11 @@ func (p *Plan) WithNonce(nonce uint64) (*Plan, error) {
 	}
 	np := *p
 	np.configs = art.configs
+	np.configsC = art.configsC
+	np.deltaSteps = art.deltaSteps
+	np.deltaStepsC = art.deltaStepsC
 	np.expected = art.expected
+	np.scanExpected = art.scanExpected
 	np.patch = &noncePatchState{
 		bits:    p.patch.bits,
 		frames:  p.patch.frames,
@@ -302,11 +384,26 @@ func (p *Plan) Fingerprint() [32]byte {
 		h.Write(b)
 	}
 	fmt.Fprintf(h, "%s|app:%d|sig:%t|mask:%t|", p.geo.Name, p.appSteps, p.signatureMode, p.mask != nil)
-	put(uint64(len(p.configs)))
-	for _, cs := range p.configs {
-		put(uint64(cs.first))
-		put(uint64(cs.count))
-		blob(cs.wire)
+	steps := func(list []configStep) {
+		put(uint64(len(list)))
+		for _, cs := range list {
+			put(uint64(cs.first))
+			put(uint64(cs.count))
+			blob(cs.wire)
+		}
+	}
+	steps(p.configs)
+	steps(p.configsC)
+	steps(p.deltaSteps)
+	steps(p.deltaStepsC)
+	blob(p.helloWire)
+	put(uint64(len(p.scanSteps)))
+	for _, ss := range p.scanSteps {
+		blob(ss.wire)
+		put(uint64(len(ss.frames)))
+		for _, f := range ss.frames {
+			put(uint64(f))
+		}
 	}
 	blob(p.appStepWire)
 	put(uint64(len(p.order)))
@@ -318,14 +415,19 @@ func (p *Plan) Fingerprint() [32]byte {
 	}
 	blob(p.checksumWire)
 	wbuf := make([]byte, 0, 4*81)
-	for _, e := range p.expected {
-		put(uint64(len(e)))
-		wbuf = wbuf[:0]
-		for _, w := range e {
-			wbuf = binary.BigEndian.AppendUint32(wbuf, w)
+	frameSet := func(set [][]uint32) {
+		put(uint64(len(set)))
+		for _, e := range set {
+			put(uint64(len(e)))
+			wbuf = wbuf[:0]
+			for _, w := range e {
+				wbuf = binary.BigEndian.AppendUint32(wbuf, w)
+			}
+			h.Write(wbuf)
 		}
-		h.Write(wbuf)
 	}
+	frameSet(p.expected)
+	frameSet(p.scanExpected)
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out

@@ -24,7 +24,9 @@ package attestation
 
 import (
 	"fmt"
+	"sort"
 
+	"sacha/internal/compress"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
 	"sacha/internal/protocol"
@@ -37,6 +39,13 @@ import (
 // 4 × 328 bytes plus headers is the most that fits a standard Ethernet
 // MTU (larger batches would need jumbo frames).
 const MaxConfigBatch = 4
+
+// CompressBatch is the frame count of one compressed configuration
+// batch and one delta-mode scan probe. Sixteen frames is the prover's
+// packet-buffer capacity (prover.FrameBufferFrames), and at bitstream
+// compression ratios a 16-frame compressed batch still fits the same
+// Ethernet MTU that bounds MaxConfigBatch for raw frames.
+const CompressBatch = protocol.MaxScanFrames
 
 // Spec is the fleet-invariant input of a Plan: the golden image, the
 // geometry, and the protocol options that shape the message sequence.
@@ -87,6 +96,23 @@ type Spec struct {
 	// NonceBits is the placed nonce register width under PatchableNonce;
 	// 0 means 64 (core.NonceBits).
 	NonceBits int
+	// Compress additionally pre-encodes the configuration as compressed
+	// 16-frame batches (MsgICAPConfigBatchC) and lets Runs negotiate the
+	// compressed encodings via Hello. Sessions whose prover does not
+	// acknowledge the capability fall back to the plain packets; H_Vrf
+	// and the verdict are independent of the negotiation outcome.
+	Compress bool
+	// Delta precomputes the artifacts of the delta configuration mode:
+	// pre-encoded MsgScan probes over the dynamic frames, the raw
+	// expected scan readback, and rewrite packets covering exactly the
+	// nonce-register frames (the only frames that legitimately differ
+	// between a healthy device and a fresh golden image). Runs opt in
+	// per session via RunOpts.Delta. Delta mode requires AppSteps == 0:
+	// skipping a frame's rewrite also skips the flip-flop reset that
+	// CAPTURE-mode prediction assumes, so the two are incompatible by
+	// construction. The golden image must hold the placed nonce register
+	// (as under PatchableNonce) so the rewrite set is derivable.
+	Delta bool
 }
 
 // nonceBits resolves the NonceBits default.
@@ -102,6 +128,13 @@ type configStep struct {
 	wire  []byte
 	first int // first frame index, for trace/event labels
 	count int
+}
+
+// scanStep is one pre-encoded delta-mode scan probe with the frame
+// indices it covers, in probe order.
+type scanStep struct {
+	wire   []byte
+	frames []int
 }
 
 // Plan is the immutable, concurrency-safe fleet-shared half of an
@@ -132,6 +165,30 @@ type Plan struct {
 	// patch carries the nonce-patching state under Spec.PatchableNonce;
 	// nil for plans whose nonce is part of their identity.
 	patch *noncePatchState
+
+	// Capability-negotiated artifacts (Spec.Compress / Spec.Delta); all
+	// nil when the spec requested neither.
+	helloCaps uint32
+	helloWire []byte
+	// configsC are the compressed configuration batches, used instead of
+	// configs when a session negotiates CapCompress.
+	configsC []configStep
+	// scanSteps are the pre-encoded MsgScan probes covering DynFrames;
+	// scanExpected[idx] is the raw readback frame idx must scan as on a
+	// device that already holds this plan's golden configuration
+	// (predicted post-configuration readback: memory bits plus held
+	// flip-flop state — a *raw* comparison, unlike the masked verdict,
+	// because skipping a rewrite is only sound if the frame is
+	// bit-identical to what a full overwrite would have left).
+	scanSteps    []scanStep
+	scanExpected [][]uint32
+	// nonceSet marks the frames that legitimately differ between a
+	// healthy device (configured at the previous nonce) and this plan's
+	// golden image; deltaSteps / deltaStepsC are the pre-encoded rewrite
+	// packets covering exactly those frames, plain and compressed.
+	nonceSet    map[int]bool
+	deltaSteps  []configStep
+	deltaStepsC []configStep
 }
 
 // NewPlan validates the spec and precomputes every fleet-invariant
@@ -160,6 +217,9 @@ func NewPlan(spec Spec) (*Plan, error) {
 		if idx < 0 || idx >= n {
 			return nil, fmt.Errorf("attestation: dynamic frame %d out of range [0,%d)", idx, n)
 		}
+	}
+	if spec.Delta && spec.AppSteps > 0 {
+		return nil, fmt.Errorf("attestation: delta mode is incompatible with CAPTURE (AppSteps=%d): a skipped rewrite also skips the flip-flop reset the prediction assumes", spec.AppSteps)
 	}
 	order, err := readbackOrder(n, spec.Offset, spec.Permutation)
 	if err != nil {
@@ -191,26 +251,57 @@ func NewPlan(spec Spec) (*Plan, error) {
 	if batch > MaxConfigBatch {
 		batch = MaxConfigBatch
 	}
+	goldenWords := func(_ int, f int) []uint32 { return spec.Golden.Frame(f) }
 	for start := 0; start < len(spec.DynFrames); start += batch {
 		end := start + batch
 		if end > len(spec.DynFrames) {
 			end = len(spec.DynFrames)
 		}
-		var m *protocol.Message
-		if end-start == 1 {
-			m = protocol.Config(spec.DynFrames[start], spec.Golden.Frame(spec.DynFrames[start]))
-		} else {
-			m = &protocol.Message{Type: protocol.MsgICAPConfigBatch}
-			for _, idx := range spec.DynFrames[start:end] {
-				m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(idx), Words: spec.Golden.Frame(idx)})
-			}
-		}
-		wire, err := m.Encode()
+		frames := spec.DynFrames[start:end]
+		wire, err := encodeConfigPacket(frames, goldenWords, false)
 		if err != nil {
 			return nil, err
 		}
-		p.configs = append(p.configs, configStep{wire: wire, first: spec.DynFrames[start], count: end - start})
-		p.recordPatchStep(spec, spec.DynFrames[start:end])
+		p.configs = append(p.configs, configStep{wire: wire, first: frames[0], count: len(frames)})
+		p.recordPatchStep(spec, tgtConfig, len(p.configs)-1, frames)
+	}
+
+	// Compressed configuration batches (Spec.Compress): same frames,
+	// same order, 16 frames per packet behind one compress.Encode stream.
+	if spec.Compress {
+		for start := 0; start < len(spec.DynFrames); start += CompressBatch {
+			end := start + CompressBatch
+			if end > len(spec.DynFrames) {
+				end = len(spec.DynFrames)
+			}
+			frames := spec.DynFrames[start:end]
+			wire, err := encodeConfigPacket(frames, goldenWords, true)
+			if err != nil {
+				return nil, err
+			}
+			p.configsC = append(p.configsC, configStep{wire: wire, first: frames[0], count: len(frames)})
+			p.recordPatchStep(spec, tgtConfigC, len(p.configsC)-1, frames)
+		}
+	}
+
+	// Delta-mode artifacts (Spec.Delta): scan probes, the raw expected
+	// scan readback, and the nonce-frame rewrite packets.
+	if spec.Delta {
+		if err := p.initDelta(spec); err != nil {
+			return nil, err
+		}
+	}
+
+	if spec.Compress || spec.Delta {
+		if spec.Compress {
+			p.helloCaps |= protocol.CapCompress
+		}
+		if spec.Delta {
+			p.helloCaps |= protocol.CapScan
+		}
+		if p.helloWire, err = protocol.Hello(p.helloCaps).Encode(); err != nil {
+			return nil, err
+		}
 	}
 
 	if spec.AppSteps > 0 {
@@ -274,6 +365,141 @@ func NewPlan(spec Spec) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// encodeConfigPacket pre-encodes one configuration packet covering
+// frames, with wordsAt(k, frame) supplying the words of the k-th frame.
+// Plain packets use ICAP_config (single frame) or ICAP_config_batch;
+// compressed packets concatenate the words behind one compress.Encode
+// stream (ICAP_config_batch_c).
+func encodeConfigPacket(frames []int, wordsAt func(k, frame int) []uint32, compressed bool) ([]byte, error) {
+	var m *protocol.Message
+	switch {
+	case compressed:
+		m = &protocol.Message{Type: protocol.MsgICAPConfigBatchC}
+		all := make([]uint32, 0, len(frames)*device.FrameWords)
+		for k, f := range frames {
+			m.Frames = append(m.Frames, uint32(f))
+			all = append(all, wordsAt(k, f)...)
+		}
+		m.Comp = compress.Encode(all)
+	case len(frames) == 1:
+		m = protocol.Config(frames[0], wordsAt(0, frames[0]))
+	default:
+		m = &protocol.Message{Type: protocol.MsgICAPConfigBatch}
+		for k, f := range frames {
+			m.Batch = append(m.Batch, protocol.FrameRecord{Index: uint32(f), Words: wordsAt(k, f)})
+		}
+	}
+	return m.Encode()
+}
+
+// initDelta precomputes the delta-mode artifacts: the scan probes, the
+// raw expected scan readback, the nonce-frame set and the rewrite
+// packets covering it. Called by NewPlan after the full-overwrite
+// packets are built.
+func (p *Plan) initDelta(spec Spec) error {
+	// Scan probes: 16 frames per round trip over the dynamic frames.
+	for start := 0; start < len(spec.DynFrames); start += CompressBatch {
+		end := start + CompressBatch
+		if end > len(spec.DynFrames) {
+			end = len(spec.DynFrames)
+		}
+		frames := append([]int(nil), spec.DynFrames[start:end]...)
+		u := make([]uint32, len(frames))
+		for k, f := range frames {
+			u[k] = uint32(f)
+		}
+		wire, err := protocol.Scan(u).Encode()
+		if err != nil {
+			return err
+		}
+		p.scanSteps = append(p.scanSteps, scanStep{wire: wire, frames: frames})
+	}
+
+	// The raw expected scan readback is the predicted post-configuration
+	// readback: golden memory bits with every used flip-flop's capture
+	// bit holding the flip-flop's init value. Raw equality of a scanned
+	// frame against this is exactly the condition under which skipping
+	// its rewrite leaves the Phase-2 readback bit-identical to a full
+	// overwrite (DESIGN.md §13).
+	pred, err := predict(spec.Geo, spec.Golden, 0)
+	if err != nil {
+		return err
+	}
+	p.scanExpected = make([][]uint32, spec.Geo.NumFrames())
+	for _, idx := range spec.DynFrames {
+		if p.scanExpected[idx] != nil {
+			continue
+		}
+		w, err := pred.ReadbackFrame(idx)
+		if err != nil {
+			return err
+		}
+		p.scanExpected[idx] = w
+	}
+
+	// The expected-delta set: exactly the frames carrying nonce-register
+	// bits (init or capture). They are the only frames that legitimately
+	// differ between a healthy device configured at the previous nonce
+	// and this plan's golden image, so the rewrite packets cover them
+	// unconditionally — a delta run never encodes a packet at runtime.
+	refs := p.patch.templateBits()
+	if refs == nil {
+		if refs, err = fabric.NonceTemplate(spec.Geo, spec.nonceBits()); err != nil {
+			return fmt.Errorf("attestation: delta mode needs the placed nonce register to derive its rewrite set: %w", err)
+		}
+	}
+	inNonce := map[int]bool{}
+	for _, ref := range refs {
+		inNonce[ref.InitFrame] = true
+		inNonce[ref.CapFrame] = true
+	}
+	var nonceFrames []int
+	seen := map[int]bool{}
+	for _, f := range spec.DynFrames {
+		if inNonce[f] && !seen[f] {
+			seen[f] = true
+			nonceFrames = append(nonceFrames, f)
+		}
+	}
+	for f := range inNonce {
+		if !seen[f] {
+			return fmt.Errorf("attestation: nonce frame %d is not in the dynamic frame list — a delta rewrite would never configure it", f)
+		}
+	}
+	p.nonceSet = inNonce
+
+	goldenWords := func(_ int, f int) []uint32 { return spec.Golden.Frame(f) }
+	for start := 0; start < len(nonceFrames); start += MaxConfigBatch {
+		end := start + MaxConfigBatch
+		if end > len(nonceFrames) {
+			end = len(nonceFrames)
+		}
+		frames := nonceFrames[start:end]
+		wire, err := encodeConfigPacket(frames, goldenWords, false)
+		if err != nil {
+			return err
+		}
+		p.deltaSteps = append(p.deltaSteps, configStep{wire: wire, first: frames[0], count: len(frames)})
+		p.recordPatchStep(spec, tgtDelta, len(p.deltaSteps)-1, frames)
+	}
+	if spec.Compress {
+		for start := 0; start < len(nonceFrames); start += CompressBatch {
+			end := start + CompressBatch
+			if end > len(nonceFrames) {
+				end = len(nonceFrames)
+			}
+			frames := nonceFrames[start:end]
+			wire, err := encodeConfigPacket(frames, goldenWords, true)
+			if err != nil {
+				return err
+			}
+			p.deltaStepsC = append(p.deltaStepsC, configStep{wire: wire, first: frames[0], count: len(frames)})
+			p.recordPatchStep(spec, tgtDeltaC, len(p.deltaStepsC)-1, frames)
+		}
+	}
+	return nil
 }
 
 // readbackOrder expands offset/permutation into the concrete frame order
@@ -344,6 +570,21 @@ func (p *Plan) Order() []int {
 
 // ConfigPackets returns the number of pre-encoded configuration packets.
 func (p *Plan) ConfigPackets() int { return len(p.configs) }
+
+// DeltaRewriteFrames returns the frames an applied delta run rewrites —
+// the nonce-register frames — in ascending order; nil for plans built
+// without Spec.Delta.
+func (p *Plan) DeltaRewriteFrames() []int {
+	if p.nonceSet == nil {
+		return nil
+	}
+	out := make([]int, 0, len(p.nonceSet))
+	for f := range p.nonceSet {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // AppSteps returns the CAPTURE step count (0 = plain attestation).
 func (p *Plan) AppSteps() uint32 { return p.appSteps }

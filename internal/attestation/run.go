@@ -8,6 +8,7 @@ import (
 
 	"sacha/internal/channel"
 	"sacha/internal/cmac"
+	"sacha/internal/compress"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
 	"sacha/internal/protocol"
@@ -42,6 +43,30 @@ type RunOpts struct {
 	// sim.Timeline is not concurrency-safe: concurrent Runs must use
 	// distinct timelines (or nil).
 	Timeline *sim.Timeline
+	// Compress opts this session into the compressed wire encodings
+	// (requires a plan built with Spec.Compress). The capability is
+	// negotiated via Hello; a prover that does not grant it silently gets
+	// the plain packets. The verdict and H_Vrf are identical either way.
+	Compress bool
+	// Delta opts this session into the delta configuration mode (requires
+	// a plan built with Spec.Delta): scan the dynamic frames first,
+	// rewrite only the nonce-register frames when the device verifiably
+	// holds the previous golden configuration, and fall back to the full
+	// overwrite otherwise. The fallback decision is recorded in
+	// Report.Delta — a delta run never silently skips a frame it cannot
+	// prove clean.
+	Delta bool
+	// DeltaWarm asserts the delta admissibility precondition: the
+	// immediately preceding full-trust attestation of THIS device
+	// succeeded under the same key generation and golden class. The
+	// caller (fleet trust ledger, CLI warm-up run) owns that bookkeeping;
+	// a run with Delta set but DeltaWarm false falls back to the full
+	// overwrite with reason "cold".
+	DeltaWarm bool
+	// DeltaMaxRewrite caps the frames the delta path may rewrite before
+	// falling back to the full overwrite ("threshold"). 0 means a quarter
+	// of the dynamic partition, floored at the nonce-frame count.
+	DeltaMaxRewrite int
 }
 
 // PhaseBreakdown splits one run's wall time across the protocol
@@ -63,6 +88,29 @@ type PhaseBreakdown struct {
 // Sum returns the total of the four phases.
 func (p PhaseBreakdown) Sum() time.Duration {
 	return p.Config + p.Readback + p.Checksum + p.Verdict
+}
+
+// DeltaReport records what the delta configuration mode did in one run.
+type DeltaReport struct {
+	// Enabled: the session requested delta mode.
+	Enabled bool
+	// Applied: the rewrite-only path ran; false means the run fell back
+	// to the full overwrite for the reason below.
+	Applied bool
+	// Fallback names why the full overwrite ran instead: "capability"
+	// (prover did not grant the scan capability), "cold" (admissibility
+	// precondition not asserted), "threshold" (rewrite set over
+	// DeltaMaxRewrite), "mismatch" (the scan found frames outside the
+	// nonce set differing from golden). Empty when Applied.
+	Fallback string
+	// FramesScanned/FramesRewritten/FramesSkipped count the delta scan
+	// and its outcome. Skipped frames were proven bit-identical to the
+	// post-overwrite state before being skipped.
+	FramesScanned, FramesRewritten, FramesSkipped int
+	// Unexpected lists scanned frames outside the nonce set whose raw
+	// content differed from the predicted golden readback — the drift
+	// (SEU, tamper, stale configuration) that forced the fallback.
+	Unexpected []int
 }
 
 // Report is the outcome of one attestation.
@@ -95,6 +143,10 @@ type Report struct {
 	// Phases.Sum() equals Elapsed up to clock granularity.
 	Phases  PhaseBreakdown
 	Elapsed time.Duration
+	// Compressed: the session negotiated the compressed wire encodings.
+	Compressed bool
+	// Delta is the delta configuration mode's outcome.
+	Delta DeltaReport
 }
 
 // Run drives the full SACHa protocol of Fig. 9 against the prover at the
@@ -123,8 +175,18 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 	if p.signatureMode && opts.SigVerifier == nil {
 		return nil, fmt.Errorf("verifier: signature mode without an enrolled public key")
 	}
+	if opts.Compress && p.configsC == nil {
+		return nil, fmt.Errorf("verifier: RunOpts.Compress requires a plan built with Spec.Compress")
+	}
+	if opts.Delta && p.scanExpected == nil {
+		return nil, fmt.Errorf("verifier: RunOpts.Delta requires a plan built with Spec.Delta")
+	}
 	sess := newSession(ep, opts.Retry, rep)
 	defer sess.close()
+
+	// rawB/wireB account the compressed payloads moved this run, on both
+	// directions; the ratio lands in the compression histogram.
+	var rawB, wireB int
 
 	mac, err := cmac.New(opts.Key[:])
 	if err != nil {
@@ -152,6 +214,21 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 		rep.FramesConfigured += cs.count
 	}
 	absorbFrame := func(idx int, resp *protocol.Message) error {
+		if resp.Type == protocol.MsgFrameDataC {
+			// Compressed sendback: the decoder bound is one frame, exact —
+			// a hostile stream cannot claim more buffer than the frame it
+			// answers for.
+			words, err := compress.DecodeBounded(resp.Comp, device.FrameWords)
+			if err != nil {
+				return fmt.Errorf("verifier: compressed readback of frame %d: %w", idx, err)
+			}
+			if len(words) != device.FrameWords {
+				return fmt.Errorf("verifier: compressed readback of frame %d carries %d words, want %d", idx, len(words), device.FrameWords)
+			}
+			rawB += device.FrameWords * 4
+			wireB += len(resp.Comp)
+			resp = &protocol.Message{Type: protocol.MsgFrameData, FrameIndex: resp.FrameIndex, Words: words}
+		}
 		if resp.Type != protocol.MsgFrameData {
 			return fmt.Errorf("verifier: readback of frame %d answered with %v (%s)", idx, resp.Type, resp.Err)
 		}
@@ -183,40 +260,145 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 
 	windowed := sess.reliable() && opts.Retry.windowSize() > 1
 
-	// Phase 1: dynamic configuration — the verifier overwrites the
-	// entire DynMem (bounded-memory model) with the plan's pre-encoded
-	// packets. In windowed mode the first packet still goes lockstep: the
-	// prover pins its sequence base on the first envelope of the session,
-	// so that one must not race a reordered burst.
-	lockstepConfigs := p.configs
-	if windowed && len(p.configs) > 1 {
-		lockstepConfigs = p.configs[:1]
-	}
-	for _, cs := range lockstepConfigs {
-		if err := sess.sendConfig(cs.wire, fmt.Sprintf("ICAP_config(%d)", cs.first)); err != nil {
-			return nil, err
+	// Capability negotiation. Hello goes out as the first envelope of the
+	// session — it pins the prover's sequence base, freeing every later
+	// phase to run windowed from its first packet — and only when the
+	// session opts into a capability the plan pre-encoded. A prover that
+	// answers anything but Hello_ack grants nothing; the run then
+	// degrades to the base protocol instead of failing.
+	var caps uint32
+	if opts.Compress || opts.Delta {
+		var wantCaps uint32
+		if opts.Compress {
+			wantCaps |= protocol.CapCompress
 		}
-		noteConfig(cs)
-	}
-	if windowed && len(p.configs) > 1 {
-		rest := p.configs[1:]
-		cmds := make([]windowCmd, len(rest))
-		for k, cs := range rest {
-			cmds[k] = windowCmd{enc: cs.wire, op: fmt.Sprintf("ICAP_config(%d)", cs.first)}
+		if opts.Delta {
+			wantCaps |= protocol.CapScan
 		}
-		err := sess.runWindow(cmds, opts.Retry.windowSize(), func(k int, resp *protocol.Message) error {
-			if resp.Type != protocol.MsgAck {
-				return fmt.Errorf("verifier: %s answered with %v (%s)", cmds[k].op, resp.Type, resp.Err)
+		helloWire := p.helloWire
+		if wantCaps != p.helloCaps {
+			if helloWire, err = protocol.Hello(wantCaps).Encode(); err != nil {
+				return nil, err
 			}
-			noteConfig(rest[k])
-			return nil
-		})
+		}
+		resp, err := sess.exchange(helloWire, "Hello", true)
 		if err != nil {
 			return nil, err
 		}
+		if resp != nil && resp.Type == protocol.MsgHelloAck {
+			caps = resp.Caps & wantCaps
+		}
+		trc("command: Hello(caps=%#x)  ->  granted caps=%#x", wantCaps, caps)
 	}
-	trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
-		p.dynFirst, p.dynLast, p.dynCount)
+	useCompress := opts.Compress && caps&protocol.CapCompress != 0
+	rep.Compressed = useCompress
+
+	// sendConfigs ships one pre-encoded packet sequence. The first packet
+	// of the session (sess.seq still zero, i.e. no Hello went out) must go
+	// lockstep: the prover pins its sequence base on the first envelope,
+	// so that one must not race a reordered burst.
+	sendConfigs := func(steps []configStep, op string, compressed bool) error {
+		note := func(cs configStep) {
+			noteConfig(cs)
+			if compressed {
+				rawB += cs.count * device.FrameWords * 4
+				wireB += len(cs.wire)
+			}
+		}
+		k0 := len(steps)
+		if windowed {
+			k0 = 0
+			if sess.seq == 0 && len(steps) > 0 {
+				k0 = 1
+			}
+		}
+		for _, cs := range steps[:k0] {
+			if err := sess.sendConfig(cs.wire, fmt.Sprintf("%s(%d)", op, cs.first)); err != nil {
+				return err
+			}
+			note(cs)
+		}
+		rest := steps[k0:]
+		if len(rest) == 0 {
+			return nil
+		}
+		cmds := make([]windowCmd, len(rest))
+		for k, cs := range rest {
+			cmds[k] = windowCmd{enc: cs.wire, op: fmt.Sprintf("%s(%d)", op, cs.first)}
+		}
+		return sess.runWindow(cmds, opts.Retry.windowSize(), func(k int, resp *protocol.Message) error {
+			if resp.Type != protocol.MsgAck {
+				return fmt.Errorf("verifier: %s answered with %v (%s)", cmds[k].op, resp.Type, resp.Err)
+			}
+			note(rest[k])
+			return nil
+		})
+	}
+
+	// Phase 1: dynamic configuration — the verifier overwrites the
+	// entire DynMem (bounded-memory model) with the plan's pre-encoded
+	// packets, or, in delta mode, scans first and rewrites only the
+	// nonce-register frames when every other dynamic frame is proven
+	// bit-identical to the post-overwrite state (DESIGN.md §13). The
+	// delta path never skips silently: any reason it cannot run lands in
+	// Report.Delta.Fallback and the full overwrite runs instead.
+	useDelta := false
+	if opts.Delta {
+		rep.Delta.Enabled = true
+		limit := opts.DeltaMaxRewrite
+		if limit <= 0 {
+			limit = p.dynCount / 4
+			if limit < len(p.nonceSet) {
+				limit = len(p.nonceSet)
+			}
+		}
+		switch {
+		case caps&protocol.CapScan == 0:
+			rep.Delta.Fallback = "capability"
+		case !opts.DeltaWarm:
+			rep.Delta.Fallback = "cold"
+		case len(p.nonceSet) > limit:
+			rep.Delta.Fallback = "threshold"
+		default:
+			if err := p.deltaScan(sess, opts, rep, windowed, &rawB, &wireB); err != nil {
+				return nil, err
+			}
+			trc("command: Scan(frame_%d..frame_%d)  [%d frames probed, %d drifted]",
+				p.dynFirst, p.dynLast, rep.Delta.FramesScanned, len(rep.Delta.Unexpected))
+			if len(rep.Delta.Unexpected) > 0 {
+				rep.Delta.Fallback = "mismatch"
+			} else {
+				useDelta = true
+			}
+		}
+	}
+	if useDelta {
+		rep.Delta.Applied = true
+		steps, op := p.deltaSteps, "ICAP_config_delta"
+		if useCompress {
+			steps, op = p.deltaStepsC, "ICAP_config_delta_c"
+		}
+		if err := sendConfigs(steps, op, useCompress); err != nil {
+			return nil, err
+		}
+		rep.Delta.FramesRewritten = rep.FramesConfigured
+		rep.Delta.FramesSkipped = p.dynCount - rep.Delta.FramesRewritten
+		trc("command: delta rewrite  [%d of %d frames rewritten, %d proven clean and skipped]",
+			rep.Delta.FramesRewritten, p.dynCount, rep.Delta.FramesSkipped)
+	} else {
+		if rep.Delta.Enabled {
+			trc("delta: falling back to full overwrite (%s)", rep.Delta.Fallback)
+		}
+		configs, op := p.configs, "ICAP_config"
+		if useCompress {
+			configs, op = p.configsC, "ICAP_config_batch_c"
+		}
+		if err := sendConfigs(configs, op, useCompress); err != nil {
+			return nil, err
+		}
+		trc("command: ICAP_config(frame_%d..frame_%d)  [%d frames, DynMem overwritten]",
+			p.dynFirst, p.dynLast, p.dynCount)
+	}
 	tConfig := time.Now()
 
 	// Optional CAPTURE extension: clock the application deterministically
@@ -317,8 +499,74 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 		Verdict:  end.Sub(tChecksum),
 	}
 	rep.Elapsed = end.Sub(start)
+	if wireB > 0 {
+		mCompressRawBytes.Add(uint64(rawB))
+		mCompressWireBytes.Add(uint64(wireB))
+		mCompressRatio.Observe(float64(rawB) / float64(wireB))
+	}
 	recordRun(rep)
 	return rep, nil
+}
+
+// deltaScan runs the delta-mode probe phase: read back every dynamic
+// frame raw (MAC-free) and compare it against the plan's predicted
+// post-configuration readback. Frames outside the nonce set that differ
+// land in rep.Delta.Unexpected — the caller falls back to the full
+// overwrite when that list is non-empty.
+func (p *Plan) deltaScan(sess *session, opts RunOpts, rep *Report, windowed bool, rawB, wireB *int) error {
+	handle := func(k int, resp *protocol.Message) error {
+		ss := p.scanSteps[k]
+		if resp.Type != protocol.MsgScanData {
+			return fmt.Errorf("verifier: Scan(%d..) answered with %v (%s)", ss.frames[0], resp.Type, resp.Err)
+		}
+		if len(resp.Frames) != len(ss.frames) {
+			return fmt.Errorf("verifier: scan answered for %d frames, asked %d", len(resp.Frames), len(ss.frames))
+		}
+		want := len(ss.frames) * device.FrameWords
+		words, err := compress.DecodeBounded(resp.Comp, want)
+		if err != nil {
+			return fmt.Errorf("verifier: scan data: %w", err)
+		}
+		if len(words) != want {
+			return fmt.Errorf("verifier: scan data carries %d words, want %d", len(words), want)
+		}
+		*rawB += want * 4
+		*wireB += len(resp.Comp)
+		for j, f := range ss.frames {
+			if resp.Frames[j] != uint32(f) {
+				return fmt.Errorf("verifier: scan answered frame %d at position %d, asked %d", resp.Frames[j], j, f)
+			}
+			got := words[j*device.FrameWords : (j+1)*device.FrameWords]
+			exp := p.scanExpected[f]
+			rep.Delta.FramesScanned++
+			for w := range got {
+				if got[w] != exp[w] {
+					if !p.nonceSet[f] {
+						rep.Delta.Unexpected = append(rep.Delta.Unexpected, f)
+					}
+					break
+				}
+			}
+		}
+		return nil
+	}
+	if windowed {
+		cmds := make([]windowCmd, len(p.scanSteps))
+		for k, ss := range p.scanSteps {
+			cmds[k] = windowCmd{enc: ss.wire, op: fmt.Sprintf("Scan(%d..)", ss.frames[0])}
+		}
+		return sess.runWindow(cmds, opts.Retry.windowSize(), handle)
+	}
+	for k, ss := range p.scanSteps {
+		resp, err := sess.exchange(ss.wire, fmt.Sprintf("Scan(%d..)", ss.frames[0]), true)
+		if err != nil {
+			return err
+		}
+		if err := handle(k, resp); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // recordRun publishes one completed run into the metric families: the
@@ -337,6 +585,14 @@ func recordRun(rep *Report) {
 	mRuns.With(verdict).Inc()
 	mFramesRead.Add(uint64(rep.FramesRead))
 	mFramesConfigured.Add(uint64(rep.FramesConfigured))
+	if rep.Delta.Enabled {
+		mFramesScanned.Add(uint64(rep.Delta.FramesScanned))
+		mFramesRewritten.Add(uint64(rep.Delta.FramesRewritten))
+		mFramesSkipped.Add(uint64(rep.Delta.FramesSkipped))
+		if rep.Delta.Fallback != "" {
+			mDeltaFallbacks.With(rep.Delta.Fallback).Inc()
+		}
+	}
 }
 
 // appendFrameBytes serialises frame words into dst (big-endian, matching

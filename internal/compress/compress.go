@@ -75,41 +75,82 @@ func Encode(words []uint32) []byte {
 
 // Decode decompresses a word stream.
 func Decode(data []byte) ([]uint32, error) {
-	var out []uint32
+	return DecodeBounded(data, -1)
+}
+
+// DecodeBounded decompresses a word stream with a hard output bound.
+// A first pass walks the token structure and sums the declared counts
+// without allocating; the output slice is then allocated exactly once
+// at the summed size. If maxWords is non-negative and the declared
+// total exceeds it, DecodeBounded fails *before* allocating — this is
+// the hostile-input guarantee the prover relies on: a forged count can
+// never make the decoder reserve more than the caller's stated bound.
+func DecodeBounded(data []byte, maxWords int) ([]uint32, error) {
+	total, err := scanTokens(data, maxWords)
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	out := make([]uint32, 0, total)
 	for len(data) > 0 {
 		token := data[0]
-		data = data[1:]
-		count, n := binary.Uvarint(data)
-		if n <= 0 {
-			return nil, fmt.Errorf("compress: truncated count")
-		}
-		if count == 0 || count > maxCount {
-			return nil, fmt.Errorf("compress: implausible count %d", count)
-		}
-		data = data[n:]
+		count, n := binary.Uvarint(data[1:])
+		data = data[1+n:]
 		switch token {
 		case tokenRun:
-			if len(data) < 4 {
-				return nil, fmt.Errorf("compress: truncated run word")
-			}
 			w := binary.BigEndian.Uint32(data)
 			data = data[4:]
 			for i := uint64(0); i < count; i++ {
 				out = append(out, w)
 			}
 		case tokenLiteral:
-			if uint64(len(data)) < 4*count {
-				return nil, fmt.Errorf("compress: truncated literal run")
-			}
 			for i := uint64(0); i < count; i++ {
 				out = append(out, binary.BigEndian.Uint32(data[4*i:]))
 			}
 			data = data[4*count:]
-		default:
-			return nil, fmt.Errorf("compress: unknown token %#x", token)
 		}
 	}
 	return out, nil
+}
+
+// scanTokens validates the token structure of data and returns the
+// total declared word count, failing early once the running total
+// exceeds maxWords (when non-negative).
+func scanTokens(data []byte, maxWords int) (int, error) {
+	total := 0
+	for len(data) > 0 {
+		token := data[0]
+		data = data[1:]
+		count, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("compress: truncated count")
+		}
+		if count == 0 || count > maxCount {
+			return 0, fmt.Errorf("compress: implausible count %d", count)
+		}
+		data = data[n:]
+		switch token {
+		case tokenRun:
+			if len(data) < 4 {
+				return 0, fmt.Errorf("compress: truncated run word")
+			}
+			data = data[4:]
+		case tokenLiteral:
+			if uint64(len(data)) < 4*count {
+				return 0, fmt.Errorf("compress: truncated literal run")
+			}
+			data = data[4*count:]
+		default:
+			return 0, fmt.Errorf("compress: unknown token %#x", token)
+		}
+		total += int(count)
+		if maxWords >= 0 && total > maxWords {
+			return 0, fmt.Errorf("compress: declared %d words exceeds bound %d", total, maxWords)
+		}
+	}
+	return total, nil
 }
 
 // Ratio returns compressed size over raw size for a word stream.

@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"sacha/internal/core"
 	"sacha/internal/device"
+	"sacha/internal/fabric"
 	"sacha/internal/netlist"
 )
 
@@ -60,19 +60,20 @@ func TestGoldenBitstreamCompression(t *testing.T) {
 	// the modelled BRAM capacity — the argument of [24] the bounded
 	// memory model rests on.
 	geo := device.SmallLX()
-	golden, dynFrames, err := core.BuildGolden(geo, netlist.Blinker(16), 1, 0xABCD)
-	if err != nil {
+	golden := fabric.NewImage(geo)
+	fabric.FillStatic(golden, fabric.StatRegion(geo).Frames(), 3)
+	if _, err := fabric.PlaceDesign(golden, fabric.AppRegion(geo), netlist.Blinker(16)); err != nil {
 		t.Fatal(err)
 	}
 	var words []uint32
-	for _, idx := range dynFrames {
+	for _, idx := range fabric.DynRegion(geo).Frames() {
 		words = append(words, golden.Frame(idx)...)
 	}
 	r := Ratio(words)
 	if r > 0.1 {
 		t.Fatalf("golden partial bitstream ratio %.3f, expected < 0.1", r)
 	}
-	if compressedBytes := float64(len(words)*4) * r; compressedBytes < 1000 {
+	if compressedBytes := float64(len(words)*4) * r; compressedBytes < 500 {
 		t.Fatalf("compressed size %.0f implausibly small", compressedBytes)
 	}
 	roundTrip(t, words)
@@ -143,4 +144,102 @@ func TestQuickDecodeRobust(t *testing.T) {
 	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestDecodeBounded(t *testing.T) {
+	words := []uint32{0, 0, 0, 0, 5, 6, 7, 9, 9, 9, 9, 9}
+	enc := Encode(words)
+
+	dec, err := DecodeBounded(enc, len(words))
+	if err != nil {
+		t.Fatalf("exact bound rejected: %v", err)
+	}
+	if len(dec) != len(words) || cap(dec) != len(words) {
+		t.Fatalf("len=%d cap=%d, want exactly %d", len(dec), cap(dec), len(words))
+	}
+	for i := range words {
+		if dec[i] != words[i] {
+			t.Fatalf("word %d: %#x != %#x", i, dec[i], words[i])
+		}
+	}
+
+	if _, err := DecodeBounded(enc, len(words)-1); err == nil {
+		t.Fatal("over-bound stream accepted")
+	}
+	if _, err := DecodeBounded(enc, 0); err == nil {
+		t.Fatal("zero bound accepted for non-empty stream")
+	}
+	if out, err := DecodeBounded(nil, 0); err != nil || out != nil {
+		t.Fatalf("empty stream: out=%v err=%v", out, err)
+	}
+}
+
+// TestDecodeExactAllocation pins the satellite requirement: Decode
+// pre-sizes its output from the first-pass token count, so decoding
+// costs exactly one output allocation (no append growth).
+func TestDecodeExactAllocation(t *testing.T) {
+	words := make([]uint32, 4096)
+	for i := range words {
+		if i%7 == 0 {
+			words[i] = uint32(i)
+		}
+	}
+	enc := Encode(words)
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Decode allocates %.0f times, want 1", allocs)
+	}
+}
+
+// FuzzCompressRoundTrip checks two properties on arbitrary input:
+// treating the bytes as a word stream, Encode∘Decode is the identity;
+// and treating the bytes as a hostile compressed stream, DecodeBounded
+// never yields (or reserves) more than the declared bound.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{0x00, 0x05, 1, 2, 3, 4})
+	f.Add([]byte{0x01, 0x02, 0, 0, 0, 1, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Identity: bytes → words → Encode → Decode.
+		words := make([]uint32, len(data)/4)
+		for i := range words {
+			words[i] = uint32(data[4*i])<<24 | uint32(data[4*i+1])<<16 |
+				uint32(data[4*i+2])<<8 | uint32(data[4*i+3])
+		}
+		dec, err := Decode(Encode(words))
+		if err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		if len(dec) != len(words) {
+			t.Fatalf("round trip length %d, want %d", len(dec), len(words))
+		}
+		for i := range words {
+			if dec[i] != words[i] {
+				t.Fatalf("round trip word %d: %#x != %#x", i, dec[i], words[i])
+			}
+		}
+		// Hostile stream: the bound must hold whenever decoding succeeds,
+		// including the backing array (no hidden over-reservation).
+		for _, bound := range []int{0, 1, 81, 16 * 81} {
+			out, err := DecodeBounded(data, bound)
+			if err != nil {
+				continue
+			}
+			if len(out) > bound || cap(out) > bound {
+				t.Fatalf("bound %d exceeded: len=%d cap=%d", bound, len(out), cap(out))
+			}
+		}
+		// Unbounded and bounded decodes of the same valid stream agree.
+		if ub, err := Decode(data); err == nil {
+			b, err := DecodeBounded(data, len(ub))
+			if err != nil || len(b) != len(ub) {
+				t.Fatalf("bounded re-decode: len=%d err=%v, want %d", len(b), err, len(ub))
+			}
+		}
+	})
 }

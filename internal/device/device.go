@@ -13,7 +13,10 @@
 // and minor fields.
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Frame dimensions shared by all modelled devices (Virtex-6 values).
 const (
@@ -79,6 +82,14 @@ type Geometry struct {
 	// Resource totals for the resource report (Table 2 "Entire FPGA").
 	ICAPs int
 	DCMs  int
+
+	// colOnce/colRefs lazily cache the per-row column expansion.
+	// Frame-address lookups sit on the readback and scrub hot paths, and
+	// rebuilding the row layout per lookup costs an allocation per frame
+	// — the cache makes ColumnOfFrame allocation-free. Geometries are
+	// shared by pointer, so the expansion is built once per device model.
+	colOnce sync.Once
+	colRefs []columnRef
 }
 
 // FAR is a decoded frame address.
@@ -142,23 +153,32 @@ func (g *Geometry) BRAM18s() int {
 type columnRef struct {
 	spec     ColumnSpec
 	kindIdx  int // index among columns with the same FAR block type
+	kindOrd  int // index among columns with the same ColumnKind
 	firstFrm int // first frame (within the row) of this column
 }
 
-// rowColumns expands the per-row column layout once.
+// rowColumns expands the per-row column layout once and caches it.
 func (g *Geometry) rowColumns() []columnRef {
-	var refs []columnRef
-	frm := 0
-	kindCount := map[int]int{} // per FAR block type
-	for _, spec := range g.Columns {
-		bt := farBlockType(spec.Kind)
-		for i := 0; i < spec.Count; i++ {
-			refs = append(refs, columnRef{spec: spec, kindIdx: kindCount[bt], firstFrm: frm})
-			kindCount[bt]++
-			frm += spec.Frames
+	g.colOnce.Do(func() {
+		frm := 0
+		kindCount := map[int]int{} // per FAR block type
+		kindOrd := map[ColumnKind]int{}
+		for _, spec := range g.Columns {
+			bt := farBlockType(spec.Kind)
+			for i := 0; i < spec.Count; i++ {
+				g.colRefs = append(g.colRefs, columnRef{
+					spec:     spec,
+					kindIdx:  kindCount[bt],
+					kindOrd:  kindOrd[spec.Kind],
+					firstFrm: frm,
+				})
+				kindCount[bt]++
+				kindOrd[spec.Kind]++
+				frm += spec.Frames
+			}
 		}
-	}
-	return refs
+	})
+	return g.colRefs
 }
 
 func farBlockType(k ColumnKind) int {
@@ -225,12 +245,10 @@ func (g *Geometry) ColumnOfFrame(idx int) (kind ColumnKind, row, kindOrdinal, mi
 	perRow := g.framesPerRow()
 	row = idx / perRow
 	rem := idx % perRow
-	kindCount := map[ColumnKind]int{}
 	for _, ref := range g.rowColumns() {
 		if rem >= ref.firstFrm && rem < ref.firstFrm+ref.spec.Frames {
-			return ref.spec.Kind, row, kindCount[ref.spec.Kind], rem - ref.firstFrm, nil
+			return ref.spec.Kind, row, ref.kindOrd, rem - ref.firstFrm, nil
 		}
-		kindCount[ref.spec.Kind]++
 	}
 	return 0, 0, 0, 0, fmt.Errorf("device: frame %d not mapped", idx)
 }

@@ -83,21 +83,34 @@ func (f *Fabric) resetColumnFFs(row, clbCol int) {
 // the live flip-flop state. This is the register content that the paper's
 // verifier must mask out with Msk before comparing bitstreams.
 func (f *Fabric) ReadbackFrame(idx int) ([]uint32, error) {
-	if idx < 0 || idx >= f.Mem.NumFrames() {
-		return nil, fmt.Errorf("fabric: frame %d out of range", idx)
-	}
 	out := make([]uint32, device.FrameWords)
+	if err := f.ReadbackFrameInto(idx, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadbackFrameInto is ReadbackFrame into a caller-provided buffer of
+// FrameWords words, for scan loops (scrubbing, delta attestation) that
+// must not allocate per frame.
+func (f *Fabric) ReadbackFrameInto(idx int, out []uint32) error {
+	if idx < 0 || idx >= f.Mem.NumFrames() {
+		return fmt.Errorf("fabric: frame %d out of range", idx)
+	}
+	if len(out) != device.FrameWords {
+		return fmt.Errorf("fabric: readback buffer of %d words, want %d", len(out), device.FrameWords)
+	}
 	copy(out, f.Mem.Frame(idx))
 	kind, row, ord, minor, err := f.Geo.ColumnOfFrame(idx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if kind != device.ColCLB {
-		return out, nil
+		return nil
 	}
 	cv, err := f.Mem.columnView(row, device.ColCLB, ord)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	lo := minor * device.FrameBits
 	hi := lo + device.FrameBits
@@ -118,7 +131,7 @@ func (f *Fabric) ReadbackFrame(idx int) ([]uint32, error) {
 			out[w] = out[w]&^(1<<s) | uint32(f.ffState[net])&1<<s
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // SetPin drives an IOB input pad.

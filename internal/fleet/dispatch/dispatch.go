@@ -173,6 +173,18 @@ func validate(st *sweepState) error {
 			}
 		}
 	}
+	if cfg.Delta {
+		// The delta artifacts (scan steps, expected raw frames, the
+		// pre-encoded nonce-frame rewrite) live in the shared per-class
+		// plan, and the admissibility precondition is per-device state only
+		// the ledger carries — neither half works without its config.
+		if !cfg.SharePlans {
+			return fmt.Errorf("sweep: Delta requires SharePlans (delta artifacts live in the shared per-class plan)")
+		}
+		if cfg.Trust == nil {
+			return fmt.Errorf("sweep: Delta requires a Trust ledger (every session would fall back cold without recorded warmth)")
+		}
+	}
 	return nil
 }
 
@@ -323,6 +335,16 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 	if err := validate(st); err != nil {
 		return nil, err
 	}
+	// Sweep-level Compress/Delta are plan-shaping: fold them into the
+	// options every shard builds (and cache-keys) its class plans with.
+	// Per-device sessions still opt in individually in attestOne — the
+	// plan merely carries the pre-encoded artifacts.
+	if cfg.Compress {
+		st.cfg.PlanOpts.Compress = true
+	}
+	if cfg.Delta {
+		st.cfg.PlanOpts.Delta = true
+	}
 	workers := cfg.Concurrency
 	if workers < 1 {
 		workers = fleet.DefaultConcurrency
@@ -444,6 +466,16 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 		if r.Report != nil {
 			out.Retries += r.Report.Retries
 			out.TransportFaults += r.Report.TransportFaults
+			if r.Report.Delta.Enabled {
+				if r.Report.Delta.Applied {
+					out.DeltaApplied++
+				} else {
+					out.DeltaFallbacks++
+				}
+				if len(r.Report.Delta.Unexpected) > 0 {
+					out.DeltaUnexpected = append(out.DeltaUnexpected, r.DeviceID)
+				}
+			}
 		}
 	}
 	for class, ch := range out.PerClass {
@@ -457,7 +489,8 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 		"unreachable", len(out.Unreachable), "failed", len(out.Failed),
 		"retries", out.Retries, "transport_faults", out.TransportFaults,
 		"plan_patches", out.PlanPatches, "keys_rotated", out.KeysRotated,
-		"steals", out.Steals)
+		"steals", out.Steals,
+		"delta_applied", out.DeltaApplied, "delta_fallbacks", out.DeltaFallbacks)
 	return out, nil
 }
 
@@ -511,6 +544,14 @@ func (d *Dispatcher) attestOne(ctx context.Context, st *sweepState, i, shard, wo
 		res.Class = class
 		res.Shard = shard
 		res.Worker = worker
+		if cfg.Trust != nil {
+			// Full trust — the delta admissibility precondition for the
+			// NEXT session — is a Healthy verdict whose delta scan (if one
+			// ran) saw no drift outside the nonce frames. Everything else,
+			// including transport failures and plan errors, demotes to cold.
+			fullTrust := res.Healthy() && len(res.Report.Delta.Unexpected) == 0
+			cfg.Trust.Record(id, class, fullTrust)
+		}
 		mSweepInflight.Dec()
 		mSweepCompleted.With(res.Verdict()).Inc()
 		if cfg.Tracker != nil {
@@ -531,6 +572,21 @@ func (d *Dispatcher) attestOne(ctx context.Context, st *sweepState, i, shard, wo
 	}()
 	if err := ctx.Err(); err != nil {
 		return fleet.DeviceResult{DeviceID: id, Err: err}
+	}
+	if cfg.Compress {
+		o.Opts.Compress = true
+	}
+	if cfg.Delta {
+		// The session runs delta only when the ledger warrants it: the
+		// device's immediately preceding full-trust attestation succeeded
+		// under exactly this class (key generation + golden build). A
+		// RotateKey sweep advanced the class above, so every first session
+		// after a rotation is cold by construction.
+		o.Opts.Delta = true
+		o.Opts.DeltaWarm = cfg.Trust.Warm(id, class)
+		if o.Opts.DeltaMaxRewrite == 0 {
+			o.Opts.DeltaMaxRewrite = cfg.PlanOpts.DeltaMaxRewrite
+		}
 	}
 	attest := sys.Attest
 	var patched bool

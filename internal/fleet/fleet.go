@@ -21,6 +21,7 @@ import (
 
 	"sacha/internal/attestation"
 	"sacha/internal/core"
+	"sacha/internal/fleet/registry"
 	"sacha/internal/obs"
 	"sacha/internal/verifier"
 )
@@ -166,6 +167,17 @@ type Report struct {
 	// Steals counts devices attested by a worker whose home shard had
 	// drained — the work-stealing rollup of PerShard[i].Stolen.
 	Steals int
+	// DeltaApplied counts devices whose configuration phase ran the
+	// rewrite-only delta path; DeltaFallbacks counts delta-enabled
+	// sessions that fell back to the full overwrite (cold trust,
+	// capability, threshold or observed drift — the per-device reports
+	// carry the reason).
+	DeltaApplied, DeltaFallbacks int
+	// DeltaUnexpected lists devices whose delta scan observed drift
+	// outside the nonce frames — configuration that changed under a
+	// supposedly warm device. They were attested via the full-overwrite
+	// fallback and demoted in the trust ledger, never silently skipped.
+	DeltaUnexpected []uint64
 }
 
 // SweepConfig bounds a fleet sweep.
@@ -232,6 +244,22 @@ type SweepConfig struct {
 	// fleetd drain path and leak tests Wait on it to quarantine
 	// consecutive sweeps from each other's stragglers.
 	Sessions *sync.WaitGroup
+	// Compress opts every session of the sweep into the compressed wire
+	// encodings (plan-level Spec.Compress plus per-session negotiation).
+	// Verdicts and H_Vrf are unchanged; only wire bytes shrink.
+	Compress bool
+	// Delta opts the sweep into delta configuration: devices the Trust
+	// ledger marks warm for their current class are scanned and get only
+	// their nonce frames rewritten; everything else (cold devices, drift,
+	// missing capability) falls back to the full overwrite. Requires
+	// SharePlans (the delta artifacts live in the shared plan).
+	Delta bool
+	// Trust is the fleet's delta-admissibility ledger. Required when
+	// Delta is set: without recorded warmth every session would fall back
+	// cold. The sweep consults it per device before the session and
+	// records the outcome after — full trust only for a Healthy verdict
+	// whose delta scan (if any) saw no unexpected drift.
+	Trust *registry.TrustLedger
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does

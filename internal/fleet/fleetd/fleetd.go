@@ -86,6 +86,13 @@ type SweepRecord struct {
 	KeysRotated   int `json:"keys_rotated"`
 	Steals        int `json:"steals"`
 
+	// Delta-mode rollups (zero unless the sweep template enables Delta):
+	// how many sessions took the scan-and-rewrite path, how many fell
+	// back to a full overwrite, and which devices drifted from golden.
+	DeltaApplied    int      `json:"delta_applied,omitempty"`
+	DeltaFallbacks  int      `json:"delta_fallbacks,omitempty"`
+	DeltaUnexpected []uint64 `json:"delta_unexpected,omitempty"`
+
 	PerShard []ShardRecord `json:"per_shard"`
 
 	Err string `json:"err,omitempty"`
@@ -272,6 +279,9 @@ func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan
 		rec.PlanPatches = rep.PlanPatches
 		rec.KeysRotated = rep.KeysRotated
 		rec.Steals = rep.Steals
+		rec.DeltaApplied = rep.DeltaApplied
+		rec.DeltaFallbacks = rep.DeltaFallbacks
+		rec.DeltaUnexpected = rep.DeltaUnexpected
 		for _, st := range rep.PerShard {
 			rec.PerShard = append(rec.PerShard, ShardRecord(st))
 		}

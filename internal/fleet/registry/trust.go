@@ -1,0 +1,55 @@
+package registry
+
+import "sync"
+
+// TrustLedger tracks, per device, whether the delta-attestation
+// admissibility precondition holds: the device's immediately preceding
+// full-trust attestation succeeded under its current plan-sharing class
+// (which encodes the key generation and golden build — see
+// core.System.ClassKey). DESIGN.md §13 states the rule; this ledger is
+// its fleet-side bookkeeping.
+//
+// The ledger is deliberately conservative. Warmth is recorded only for
+// attestations the caller marks full-trust (Healthy verdict with no
+// unexpected drift observed); anything else — rejection, transport
+// failure, a healthy run whose delta scan saw drift — demotes the
+// device to cold, forcing the next session back to the full overwrite.
+// A key rotation or golden change advances the class string, so stale
+// warmth from a previous generation never matches.
+type TrustLedger struct {
+	mu   sync.Mutex
+	warm map[uint64]string // device ID -> class key of the last full-trust attestation
+}
+
+// NewTrustLedger returns an empty ledger: every device is cold.
+func NewTrustLedger() *TrustLedger {
+	return &TrustLedger{warm: make(map[uint64]string)}
+}
+
+// Warm reports whether the device's last recorded full-trust
+// attestation ran under exactly this class key.
+func (l *TrustLedger) Warm(deviceID uint64, class string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.warm[deviceID] == class
+}
+
+// Record stores the outcome of one attestation: fullTrust warms the
+// device for its class, anything else demotes it to cold.
+func (l *TrustLedger) Record(deviceID uint64, class string, fullTrust bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if fullTrust {
+		l.warm[deviceID] = class
+	} else {
+		delete(l.warm, deviceID)
+	}
+}
+
+// MarkCold demotes one device unconditionally (e.g. on an out-of-band
+// compromise signal or before maintenance).
+func (l *TrustLedger) MarkCold(deviceID uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.warm, deviceID)
+}

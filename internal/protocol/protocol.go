@@ -66,7 +66,55 @@ const (
 	// response of their own (ICAP_config) are acknowledged with an
 	// embedded Ack.
 	MsgSeqResp
+
+	// MsgHello opens a capability negotiation: the verifier offers a
+	// bitmask of optional protocol features (compressed payloads, the
+	// batched readback scan). A prover that predates the message answers
+	// with an Error, which the verifier treats as "no capabilities" — the
+	// protocol then degrades to the paper's baseline.
+	MsgHello
+	// MsgHelloAck is the prover's answer: the subset of the offered
+	// capabilities it implements and enables for this session.
+	MsgHelloAck
+	// MsgICAPConfigBatchC is the compressed configuration batch: a frame
+	// count, the explicit frame indices, and one compress.Encode stream
+	// holding the concatenated frame words. At typical bitstream
+	// compression ratios a 16-frame compressed batch fits the same
+	// Ethernet MTU as a 4-frame raw batch. The prover decodes with a hard
+	// bound of count×FrameWords words, so hostile counts cannot inflate
+	// its buffers (the bounded-memory argument survives compression).
+	MsgICAPConfigBatchC
+	// MsgFrameDataC is the compressed frame sendback: 24-bit index plus a
+	// compress.Encode stream of exactly FrameWords words. The verifier
+	// absorbs the *decompressed* words into the MAC, so H_Vrf is
+	// bit-identical to an uncompressed session.
+	MsgFrameDataC
+	// MsgScan requests a MAC-free readback of up to FrameBufferFrames
+	// frames in one round trip: a count plus explicit frame indices. It
+	// is the probe of the delta-configuration mode — unlike
+	// ICAP_readback it never touches the attestation MAC, so a scan
+	// before Phase 1 cannot perturb H_Prv.
+	MsgScan
+	// MsgScanData is the prover's scan answer: the echoed count and
+	// indices plus one compressed stream of the concatenated frame words.
+	MsgScanData
 )
+
+// Capability bits negotiated via MsgHello/MsgHelloAck.
+const (
+	// CapCompress enables the compressed encodings: the verifier may send
+	// MsgICAPConfigBatchC and the prover answers readback with
+	// MsgFrameDataC.
+	CapCompress uint32 = 1 << 0
+	// CapScan enables the MsgScan/MsgScanData probe pair.
+	CapScan uint32 = 1 << 1
+)
+
+// MaxScanFrames bounds the frame count of one MsgScan/MsgScanData
+// exchange. It mirrors the prover's frame-buffer capacity
+// (prover.FrameBufferFrames): a scan response must never require more
+// device memory than a configuration batch.
+const MaxScanFrames = 16
 
 func (t MsgType) String() string {
 	switch t {
@@ -96,6 +144,18 @@ func (t MsgType) String() string {
 		return "Seq_req"
 	case MsgSeqResp:
 		return "Seq_resp"
+	case MsgHello:
+		return "Hello"
+	case MsgHelloAck:
+		return "Hello_ack"
+	case MsgICAPConfigBatchC:
+		return "ICAP_config_batch_c"
+	case MsgFrameDataC:
+		return "Frame_data_c"
+	case MsgScan:
+		return "Scan"
+	case MsgScanData:
+		return "Scan_data"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -113,6 +173,9 @@ type Message struct {
 	Batch      []FrameRecord // ICAPConfigBatch
 	Seq        uint32        // SeqReq, SeqResp: envelope sequence number
 	Inner      []byte        // SeqReq, SeqResp: embedded encoded message
+	Caps       uint32        // Hello, HelloAck: capability bitmask
+	Frames     []uint32      // ConfigBatchC, Scan, ScanData: explicit frame indices
+	Comp       []byte        // ConfigBatchC, FrameDataC, ScanData: compressed words
 }
 
 // MaxErrLen bounds the Error message string on the wire.
@@ -202,6 +265,37 @@ func (m *Message) Encode() ([]byte, error) {
 		out = binary.BigEndian.AppendUint32(out, m.Seq)
 		out = binary.BigEndian.AppendUint32(out, seqCRC(m.Seq, m.Inner))
 		out = append(out, m.Inner...)
+	case MsgHello, MsgHelloAck:
+		out = binary.BigEndian.AppendUint32(out, m.Caps)
+	case MsgICAPConfigBatchC, MsgScanData:
+		if len(m.Frames) == 0 || len(m.Frames) > MaxScanFrames {
+			return nil, fmt.Errorf("protocol: %v with %d frames", m.Type, len(m.Frames))
+		}
+		if len(m.Comp) == 0 {
+			return nil, fmt.Errorf("protocol: %v without payload", m.Type)
+		}
+		out = append(out, byte(len(m.Frames)))
+		for _, f := range m.Frames {
+			out = binary.BigEndian.AppendUint32(out, f)
+		}
+		out = append(out, m.Comp...)
+	case MsgScan:
+		if len(m.Frames) == 0 || len(m.Frames) > MaxScanFrames {
+			return nil, fmt.Errorf("protocol: %v with %d frames", m.Type, len(m.Frames))
+		}
+		out = append(out, byte(len(m.Frames)))
+		for _, f := range m.Frames {
+			out = binary.BigEndian.AppendUint32(out, f)
+		}
+	case MsgFrameDataC:
+		if m.FrameIndex >= 1<<24 {
+			return nil, fmt.Errorf("protocol: frame index %d exceeds 24 bits", m.FrameIndex)
+		}
+		if len(m.Comp) == 0 {
+			return nil, fmt.Errorf("protocol: %v without payload", m.Type)
+		}
+		out = append(out, byte(m.FrameIndex>>16), byte(m.FrameIndex>>8), byte(m.FrameIndex))
+		out = append(out, m.Comp...)
 	default:
 		return nil, fmt.Errorf("protocol: cannot encode %v", m.Type)
 	}
@@ -321,6 +415,48 @@ func Decode(data []byte) (*Message, error) {
 		if sum != seqCRC(m.Seq, m.Inner) {
 			return nil, fmt.Errorf("protocol: %v envelope CRC mismatch", m.Type)
 		}
+	case MsgHello, MsgHelloAck:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		m.Caps = binary.BigEndian.Uint32(body)
+	case MsgICAPConfigBatchC, MsgScanData:
+		if len(body) < 1 {
+			return nil, fmt.Errorf("protocol: empty %v", m.Type)
+		}
+		count := int(body[0])
+		if count == 0 || count > MaxScanFrames {
+			return nil, fmt.Errorf("protocol: %v with %d frames", m.Type, count)
+		}
+		if len(body) < 1+4*count+1 {
+			return nil, fmt.Errorf("protocol: short %v", m.Type)
+		}
+		m.Frames = make([]uint32, count)
+		for i := range m.Frames {
+			m.Frames[i] = binary.BigEndian.Uint32(body[1+4*i:])
+		}
+		m.Comp = append([]byte(nil), body[1+4*count:]...)
+	case MsgScan:
+		if len(body) < 1 {
+			return nil, fmt.Errorf("protocol: empty %v", m.Type)
+		}
+		count := int(body[0])
+		if count == 0 || count > MaxScanFrames {
+			return nil, fmt.Errorf("protocol: %v with %d frames", m.Type, count)
+		}
+		if len(body) != 1+4*count {
+			return nil, fmt.Errorf("protocol: %v with %d frames has %d body bytes", m.Type, count, len(body))
+		}
+		m.Frames = make([]uint32, count)
+		for i := range m.Frames {
+			m.Frames[i] = binary.BigEndian.Uint32(body[1+4*i:])
+		}
+	case MsgFrameDataC:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("protocol: short %v", m.Type)
+		}
+		m.FrameIndex = uint32(body[0])<<16 | uint32(body[1])<<8 | uint32(body[2])
+		m.Comp = append([]byte(nil), body[3:]...)
 	default:
 		return nil, fmt.Errorf("protocol: unknown message type %d", data[0])
 	}
@@ -341,6 +477,12 @@ func Readback(frameIndex int) *Message {
 
 // Checksum builds a MAC_checksum message.
 func Checksum() *Message { return &Message{Type: MsgMACChecksum} }
+
+// Hello builds a capability-offer message.
+func Hello(caps uint32) *Message { return &Message{Type: MsgHello, Caps: caps} }
+
+// Scan builds a batched MAC-free readback request.
+func Scan(frames []uint32) *Message { return &Message{Type: MsgScan, Frames: frames} }
 
 // Errorf builds an Error message, truncating to the wire limit.
 func Errorf(format string, args ...any) *Message {

@@ -17,6 +17,7 @@ import (
 	"sacha/internal/bitstream"
 	"sacha/internal/channel"
 	"sacha/internal/cmac"
+	"sacha/internal/compress"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
 	"sacha/internal/fifo"
@@ -117,6 +118,12 @@ type Device struct {
 	// MAC and transcript copy what they absorb, so one buffer serves every
 	// frame of a session.
 	frameScratch []byte
+
+	// caps holds the capability bits negotiated for the current session
+	// via Hello. Like the MAC and sequence state it never survives a
+	// session or a power cycle: a verifier that does not negotiate gets
+	// the paper's baseline protocol.
+	caps uint32
 }
 
 // New builds a device. It enforces the bounded-BootMem invariant: the
@@ -202,6 +209,7 @@ func (d *Device) PowerOn() error {
 	}
 	d.poweredOn = true
 	d.macActive = false
+	d.caps = 0
 	d.resetSeq()
 	return nil
 }
@@ -236,6 +244,8 @@ func (d *Device) Handle(m *protocol.Message) (*protocol.Message, error) {
 		return nil, d.handleConfig(m)
 	case protocol.MsgICAPConfigBatch:
 		return nil, d.handleConfigBatch(m)
+	case protocol.MsgICAPConfigBatchC:
+		return nil, d.handleConfigBatchC(m)
 	case protocol.MsgICAPReadback:
 		return d.handleReadback(m)
 	case protocol.MsgMACChecksum:
@@ -244,9 +254,22 @@ func (d *Device) Handle(m *protocol.Message) (*protocol.Message, error) {
 		return d.handleSigChecksum()
 	case protocol.MsgAppStep:
 		return d.handleAppStep(m)
+	case protocol.MsgHello:
+		return d.handleHello(m)
+	case protocol.MsgScan:
+		return d.handleScan(m)
 	default:
 		return nil, fmt.Errorf("prover: unexpected message %v", m.Type)
 	}
+}
+
+// DeviceCaps is the capability set this device implements. Hello
+// negotiation intersects it with the verifier's offer.
+const DeviceCaps = protocol.CapCompress | protocol.CapScan
+
+func (d *Device) handleHello(m *protocol.Message) (*protocol.Message, error) {
+	d.caps = m.Caps & DeviceCaps
+	return &protocol.Message{Type: protocol.MsgHelloAck, Caps: d.caps}, nil
 }
 
 func (d *Device) handleConfig(m *protocol.Message) error {
@@ -292,6 +315,43 @@ func (d *Device) handleConfigBatch(m *protocol.Message) error {
 	return nil
 }
 
+// handleConfigBatchC decodes a compressed configuration batch. The
+// decoder bound is count×FrameWords: the frame count declares exactly
+// how much buffer the packet may claim, and the count itself is capped
+// at the frame-buffer capacity — a hostile compressed stream cannot
+// allocate past the static partition's packet buffer however large its
+// embedded run counts claim to be.
+func (d *Device) handleConfigBatchC(m *protocol.Message) error {
+	if d.caps&protocol.CapCompress == 0 {
+		return fmt.Errorf("prover: compressed batch without negotiated capability")
+	}
+	if len(m.Frames) == 0 || len(m.Frames) > FrameBufferFrames {
+		return fmt.Errorf("prover: compressed batch of %d frames exceeds the %d-frame buffer", len(m.Frames), FrameBufferFrames)
+	}
+	want := len(m.Frames) * device.FrameWords
+	words, err := compress.DecodeBounded(m.Comp, want)
+	if err != nil {
+		return fmt.Errorf("prover: compressed batch: %w", err)
+	}
+	if len(words) != want {
+		return fmt.Errorf("prover: compressed batch carries %d words, want %d", len(words), want)
+	}
+	for i, idx := range m.Frames {
+		if d.restrict && !d.dynSet[int(idx)] {
+			return fmt.Errorf("prover: frame %d outside the dynamic partition (restricted controller)", idx)
+		}
+		stream, err := icap.ConfigFrameStream(d.Geo, int(idx), words[i*device.FrameWords:(i+1)*device.FrameWords])
+		if err != nil {
+			return err
+		}
+		if err := d.Port.Write(stream); err != nil {
+			return err
+		}
+	}
+	d.Timeline.Add("icap-config", timing.PrvBatchConfigTime(len(m.Frames)))
+	return nil
+}
+
 func (d *Device) handleReadback(m *protocol.Message) (*protocol.Message, error) {
 	if !d.macActive {
 		key, err := d.keySrc.Key()
@@ -307,7 +367,35 @@ func (d *Device) handleReadback(m *protocol.Message) (*protocol.Message, error) 
 		d.transcript.Reset()
 		d.Timeline.Add("mac-init", d.model.ActionTime(timing.A5))
 	}
-	cmd, err := icap.ReadbackCmdStream(d.Geo, int(m.FrameIndex))
+	frame, err := d.readFrameRaw(int(m.FrameIndex))
+	if err != nil {
+		return nil, err
+	}
+
+	d.frameScratch = appendFrameBytes(d.frameScratch[:0], frame)
+	d.mac.Update(d.frameScratch)
+	d.transcript.Absorb(d.frameScratch)
+	d.Timeline.Add("mac-update", d.model.ActionTime(timing.A6))
+
+	if d.caps&protocol.CapCompress != 0 {
+		return &protocol.Message{
+			Type:       protocol.MsgFrameDataC,
+			FrameIndex: m.FrameIndex,
+			Comp:       compress.Encode(frame),
+		}, nil
+	}
+	return &protocol.Message{
+		Type:       protocol.MsgFrameData,
+		FrameIndex: m.FrameIndex,
+		Words:      frame,
+	}, nil
+}
+
+// readFrameRaw runs one ICAP readback — command stream in, pad frame
+// dropped, words crossed into the TX clock domain — without touching
+// the attestation MAC or transcript.
+func (d *Device) readFrameRaw(frameIndex int) ([]uint32, error) {
+	cmd, err := icap.ReadbackCmdStream(d.Geo, frameIndex)
 	if err != nil {
 		return nil, err
 	}
@@ -320,16 +408,34 @@ func (d *Device) handleReadback(m *protocol.Message) (*protocol.Message, error) 
 	}
 	frame := d.crossDomains(data[device.FrameWords:]) // drop the pad frame, cross into the TX domain
 	d.Timeline.Add("icap-readback", d.model.ActionTime(timing.A4))
+	return frame, nil
+}
 
-	d.frameScratch = appendFrameBytes(d.frameScratch[:0], frame)
-	d.mac.Update(d.frameScratch)
-	d.transcript.Absorb(d.frameScratch)
-	d.Timeline.Add("mac-update", d.model.ActionTime(timing.A6))
-
+// handleScan answers the delta-mode probe: a MAC-free batched readback.
+// The frames stream through the same ICAP/FIFO path as ICAP_readback
+// but are never absorbed into the MAC or transcript — a scan cannot
+// perturb H_Prv, so probing before Phase 1 is always safe. The response
+// is compressed; its decompressed size is bounded by the frame count,
+// which the protocol caps at MaxScanFrames.
+func (d *Device) handleScan(m *protocol.Message) (*protocol.Message, error) {
+	if d.caps&protocol.CapScan == 0 {
+		return nil, fmt.Errorf("prover: scan without negotiated capability")
+	}
+	if len(m.Frames) == 0 || len(m.Frames) > protocol.MaxScanFrames {
+		return nil, fmt.Errorf("prover: scan of %d frames exceeds the %d-frame limit", len(m.Frames), protocol.MaxScanFrames)
+	}
+	words := make([]uint32, 0, len(m.Frames)*device.FrameWords)
+	for _, idx := range m.Frames {
+		frame, err := d.readFrameRaw(int(idx))
+		if err != nil {
+			return nil, err
+		}
+		words = append(words, frame...)
+	}
 	return &protocol.Message{
-		Type:       protocol.MsgFrameData,
-		FrameIndex: m.FrameIndex,
-		Words:      frame,
+		Type:   protocol.MsgScanData,
+		Frames: m.Frames,
+		Comp:   compress.Encode(words),
 	}, nil
 }
 
@@ -616,6 +722,7 @@ func sessionOver(err error) bool {
 // itself is untouched — only a power cycle reloads BootMem.
 func (d *Device) Serve(ep channel.Endpoint) error {
 	d.macActive = false
+	d.caps = 0
 	d.resetSeq()
 	for {
 		req, err := ep.Recv()

@@ -13,6 +13,7 @@ package scrub
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"sacha/internal/device"
@@ -36,6 +37,11 @@ type Scrubber struct {
 	Scans          int
 	FlipsFound     int
 	FramesRepaired int
+
+	// rbScratch is the reused readback buffer: a periodic scrubber runs
+	// for the lifetime of the device, so the clean-scan path (no upsets,
+	// the overwhelmingly common case) must not allocate at all.
+	rbScratch []uint32
 }
 
 // New returns a scrubber; the mask is derived from the geometry.
@@ -43,38 +49,40 @@ func New(fab *fabric.Fabric, golden *fabric.Image) *Scrubber {
 	return &Scrubber{Fab: fab, Golden: golden, Msk: fabric.GenerateMask(fab.Geo)}
 }
 
+// scanFlipsHint pre-sizes the flips slice on the first upset found: an
+// SEU event usually flips a handful of bits, so one allocation covers
+// the realistic scan while the clean path stays allocation-free.
+const scanFlipsHint = 64
+
 // Scan reads back every frame and returns the upset bits (positions where
-// the masked readback differs from the masked golden image).
+// the masked readback differs from the masked golden image). A clean scan
+// allocates nothing.
 func (s *Scrubber) Scan() ([]Flip, error) {
+	if s.rbScratch == nil {
+		s.rbScratch = make([]uint32, device.FrameWords)
+	}
 	var flips []Flip
 	for idx := 0; idx < s.Fab.Geo.NumFrames(); idx++ {
-		rb, err := s.Fab.ReadbackFrame(idx)
-		if err != nil {
+		if err := s.Fab.ReadbackFrameInto(idx, s.rbScratch); err != nil {
 			return nil, err
 		}
 		mask := s.Msk.Frame(idx)
 		want := s.Golden.Frame(idx)
 		for w := 0; w < device.FrameWords; w++ {
-			diff := (rb[w] ^ want[w]) & mask[w]
+			diff := (s.rbScratch[w] ^ want[w]) & mask[w]
 			for diff != 0 {
-				bit := trailingBit(diff)
+				bit := bits.TrailingZeros32(diff)
+				if flips == nil {
+					flips = make([]Flip, 0, scanFlipsHint)
+				}
 				flips = append(flips, Flip{Frame: idx, Word: w, Bit: bit})
-				diff &^= 1 << uint(bit)
+				diff &= diff - 1 // clear the lowest set bit
 			}
 		}
 	}
 	s.Scans++
 	s.FlipsFound += len(flips)
 	return flips, nil
-}
-
-func trailingBit(v uint32) int {
-	for i := 0; i < 32; i++ {
-		if v&(1<<uint(i)) != 0 {
-			return i
-		}
-	}
-	return -1
 }
 
 // Repair rewrites every frame that contains an upset with its golden

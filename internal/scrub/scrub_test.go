@@ -140,6 +140,44 @@ func TestLiveStateDoesNotTriggerScrubbing(t *testing.T) {
 	}
 }
 
+// TestCleanScanZeroAlloc pins the satellite requirement: the clean-scan
+// path — the steady state of a periodic scrubber — performs zero heap
+// allocations once the scrubber's scratch buffer is warm.
+func TestCleanScanZeroAlloc(t *testing.T) {
+	fab, golden, _ := loadedFabric(t)
+	s := New(fab, golden)
+	if _, err := s.Scan(); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		flips, err := s.Scan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flips != nil {
+			t.Fatalf("clean scan returned %d flips", len(flips))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean scan allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkCleanScan(b *testing.B) {
+	fab, golden, _ := loadedFabric(b)
+	s := New(fab, golden)
+	if _, err := s.Scan(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Scan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Property: scrubbing after n injected SEUs always converges to a clean
 // scan in one round.
 func TestQuickScrubConverges(t *testing.T) {

@@ -76,6 +76,26 @@ type Options struct {
 	// per-message timeouts, bounded re-sends with backoff, idempotent
 	// envelopes. The zero value speaks the paper's bare protocol.
 	Retry RetryPolicy
+	// Compress pre-encodes compressed configuration batches in the plan
+	// and opts sessions into the compressed wire encodings (negotiated
+	// via Hello; provers without the capability silently get the plain
+	// packets). Verdict and H_Vrf are identical either way.
+	Compress bool
+	// Delta precomputes the delta configuration mode in the plan and opts
+	// sessions into it: scan first, rewrite only the nonce-register
+	// frames when the device verifiably holds the previous golden
+	// configuration, full overwrite otherwise. Requires the golden image
+	// to hold the placed nonce register and AppSteps == 0.
+	Delta bool
+	// DeltaWarm asserts the delta admissibility precondition: the
+	// immediately preceding full-trust attestation of THIS device
+	// succeeded under the same key generation and golden class. Without
+	// it a delta session falls back to the full overwrite ("cold").
+	DeltaWarm bool
+	// DeltaMaxRewrite caps the frames a delta session may rewrite before
+	// falling back ("threshold"); 0 means a quarter of the dynamic
+	// partition, floored at the nonce-frame count.
+	DeltaMaxRewrite int
 }
 
 // Verifier drives attestations against one enrolled device.
@@ -112,6 +132,8 @@ func (v *Verifier) PlanSpec(golden *fabric.Image, dynFrames []int, opts Options)
 		AppSteps:      opts.AppSteps,
 		SignatureMode: opts.SignatureMode,
 		ConfigBatch:   opts.ConfigBatch,
+		Compress:      opts.Compress,
+		Delta:         opts.Delta,
 	}
 }
 
@@ -124,16 +146,22 @@ func (v *Verifier) Plan(golden *fabric.Image, dynFrames []int, opts Options) (*a
 
 // RunPlan drives one per-session Run of a precomputed plan against the
 // prover at the other end of ep, using this verifier's enrolled key.
-// Only the per-run fields of opts (Trace, Events, Retry) are consulted;
-// the plan-shaping fields were fixed when the plan was built.
+// Only the per-run fields of opts (Trace, Events, Retry, Compress,
+// Delta, DeltaWarm, DeltaMaxRewrite) are consulted; the plan-shaping
+// fields were fixed when the plan was built. Compress/Delta sessions
+// require a plan whose spec set the matching flag.
 func (v *Verifier) RunPlan(ep channel.Endpoint, plan *attestation.Plan, opts Options) (*Report, error) {
 	return plan.Run(ep, attestation.RunOpts{
-		Key:         v.Key,
-		SigVerifier: v.SigVerifier,
-		Retry:       opts.Retry,
-		Trace:       opts.Trace,
-		Events:      opts.Events,
-		Timeline:    v.Timeline,
+		Key:             v.Key,
+		SigVerifier:     v.SigVerifier,
+		Retry:           opts.Retry,
+		Trace:           opts.Trace,
+		Events:          opts.Events,
+		Timeline:        v.Timeline,
+		Compress:        opts.Compress,
+		Delta:           opts.Delta,
+		DeltaWarm:       opts.DeltaWarm,
+		DeltaMaxRewrite: opts.DeltaMaxRewrite,
 	})
 }
 
