@@ -25,12 +25,14 @@ import (
 	"sacha/internal/fabric"
 	"sacha/internal/hwattest"
 	"sacha/internal/netlist"
+	"sacha/internal/obs/span"
 	"sacha/internal/pose"
 	"sacha/internal/prover"
 	"sacha/internal/resources"
 	"sacha/internal/scrub"
 	"sacha/internal/swarm"
 	"sacha/internal/timing"
+	"sacha/internal/trace"
 	"sacha/internal/verifier"
 )
 
@@ -539,37 +541,62 @@ func newTinyAttestRig(b *testing.B, delay time.Duration) (*attestation.Plan, pro
 // paper's lockstep protocol — one round trip per frame — and the
 // frames-per-sec metric is the headline: Window=16 sustains well over 5x
 // the lockstep rate because up to 16 frames share each round trip.
+//
+// The "+spans" variants run the same protocol with causal tracing fully
+// armed — session span, protocol-event bridge, phase children — and are
+// the tracing overhead budget: frames/sec must stay within 3% of the
+// untraced run at the same window (the path is latency-bound, so the
+// per-event span cost amortises below measurement noise). With tracing
+// disabled (the plain variants) the span hooks are nil and cost zero
+// allocations, pinned separately by TestNilSpanZeroAlloc.
 func BenchmarkWindowedReadback(b *testing.B) {
 	const oneWay = time.Millisecond
 	for _, window := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
-			plan, key, dial := newTinyAttestRig(b, oneWay)
-			var frames, retries int
-			b.ResetTimer()
-			start := time.Now()
-			for i := 0; i < b.N; i++ {
-				ep := dial()
-				var k [16]byte = key
-				rep, err := plan.Run(ep, attestation.RunOpts{Key: k, Retry: attestation.RetryPolicy{
-					Timeout:    250 * time.Millisecond,
-					MaxRetries: 5,
-					Window:     window,
-				}})
-				ep.Close()
-				if err != nil {
-					b.Fatal(err)
-				}
-				if !rep.Accepted {
-					b.Fatalf("rejected: %+v", rep)
-				}
-				frames += rep.FramesRead
-				retries += rep.Retries
+		for _, traced := range []bool{false, true} {
+			name := fmt.Sprintf("window=%d", window)
+			if traced {
+				name += "+spans"
 			}
-			elapsed := time.Since(start)
-			b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/sec")
-			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(frames), "ns/frame")
-			b.ReportMetric(float64(retries)/float64(b.N), "retries/run")
-		})
+			b.Run(name, func(b *testing.B) {
+				plan, key, dial := newTinyAttestRig(b, oneWay)
+				col := span.NewCollector(0)
+				root := col.StartTrace(span.NewTraceID(0xBE9C), "bench")
+				defer root.End()
+				var frames, retries int
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					ep := dial()
+					var k [16]byte = key
+					opts := attestation.RunOpts{Key: k, Retry: attestation.RetryPolicy{
+						Timeout:    250 * time.Millisecond,
+						MaxRetries: 5,
+						Window:     window,
+					}}
+					var sp *span.Span
+					if traced {
+						sp = root.DeviceChild("bench", uint64(i)+1)
+						opts.Span = sp
+						opts.Events = trace.NewLog(512)
+					}
+					rep, err := plan.Run(ep, opts)
+					sp.End()
+					ep.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Accepted {
+						b.Fatalf("rejected: %+v", rep)
+					}
+					frames += rep.FramesRead
+					retries += rep.Retries
+				}
+				elapsed := time.Since(start)
+				b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/sec")
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(frames), "ns/frame")
+				b.ReportMetric(float64(retries)/float64(b.N), "retries/run")
+			})
+		}
 	}
 }
 

@@ -11,6 +11,9 @@
 //	curl localhost:9090/fleet/sweeps             # sweep history
 //	curl localhost:9090/fleet/devices            # membership + shards
 //	curl localhost:9090/debug/sweep              # live per-device rows
+//	curl localhost:9090/debug/trace              # causal span trees (JSON)
+//	curl localhost:9090/debug/trace/perfetto     # Chrome trace_event export
+//	curl localhost:9090/fleet/flightrecords      # non-Healthy post-mortems
 //
 // -every enables continuous re-attestation: every device class gets
 // its own scheduler loop with that cadence (plus up to -jitter of
@@ -43,6 +46,8 @@ import (
 	"sacha/internal/fleet/scheduler"
 	"sacha/internal/netlist"
 	"sacha/internal/obs"
+	"sacha/internal/obs/span"
+	"sacha/internal/prover"
 )
 
 func main() {
@@ -59,6 +64,11 @@ func main() {
 	compress := flag.Bool("compress", false, "negotiate the compressed wire transport per session")
 	delta := flag.Bool("delta", false, "delta configuration: scan warm devices and rewrite only their nonce frames (first sweep per device is a full overwrite)")
 	history := flag.Int("history", 64, "sweep records retained for /fleet/sweeps")
+	spans := flag.Bool("spans", true, "collect causal span traces (served at /debug/trace and /debug/trace/perfetto)")
+	spanCap := flag.Int("span-cap", span.DefaultCap, "span collector retention (spans; oldest traces evicted)")
+	flightDir := flag.String("flight-dir", "", "flight-recorder artifact directory (empty = in-memory records only)")
+	flightMax := flag.Int("flight-max", span.DefaultMaxRecords, "flight records retained (memory and on disk)")
+	tamper := flag.Int64("tamper", -1, "flip one dynamic-frame bit on this device ID before every readback (demo/smoke: yields a Compromised verdict and a flight record)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown bound for the in-flight sweep before it is cancelled (0 = wait)")
 	obsFlags := cliutil.RegisterObs(flag.CommandLine, "127.0.0.1:9090")
 	flag.Parse()
@@ -101,11 +111,37 @@ func main() {
 		template.Delta = true
 		template.Trust = registry.NewTrustLedger()
 	}
+	if *spans {
+		template.Spans = span.NewCollector(*spanCap)
+	}
+	if *spans || *flightDir != "" {
+		rec, err := span.NewRecorder(*flightDir, *flightMax, nil)
+		fatal(err)
+		template.Flight = rec
+	}
+
+	var attestOpts func(uint64) core.AttestOptions
+	if *tamper >= 0 {
+		bad := uint64(*tamper)
+		attestOpts = func(id uint64) core.AttestOptions {
+			if id != bad {
+				return core.AttestOptions{}
+			}
+			sys, ok := reg.System(id)
+			if !ok {
+				return core.AttestOptions{}
+			}
+			return core.AttestOptions{TamperDevice: func(d *prover.Device) {
+				d.Fabric.Mem.Frame(sys.DynFrames()[1])[2] ^= 4
+			}}
+		}
+	}
 
 	daemon := fleetd.New(fleetd.Config{
 		Registry:   reg,
 		Dispatcher: dispatch.New(dispatch.Config{Shards: *shards, PlanCacheSize: *planCache}),
 		Template:   template,
+		Opts:       attestOpts,
 		Scheduler: scheduler.Config{
 			Default: scheduler.Cadence{Every: *every, Jitter: *jitter},
 			Seed:    *seed,

@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"sacha/internal/campaign"
+	"sacha/internal/obs/span"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 	heapMB := flag.Int("heap-mb", campaign.DefaultHeapMB, "heap ceiling in MiB (bounded-memory invariant)")
 	scenario := flag.String("scenario", "", "full scenario spec (overrides the individual flags); see campaign.ParseScenario")
 	report := flag.String("report", "", "write the JSON report here (- for stdout)")
+	flightDir := flag.String("flight-dir", "", "write a flight-recorder artifact (span tree + metrics delta) here for every invariant violation")
 	quiet := flag.Bool("q", false, "suppress the human-readable summary")
 	flag.Parse()
 
@@ -62,6 +64,15 @@ func main() {
 
 	eng, err := campaign.New(sc)
 	fatal(err)
+
+	if *flightDir != "" {
+		// Tampered→Compromised is the expected campaign outcome, so the
+		// recorder arms on invariant violations only: each one snapshots
+		// the surrounding sweep's span tree and the metrics movement.
+		rec, err := span.NewRecorder(*flightDir, 0, nil)
+		fatal(err)
+		eng.AttachFlight(span.NewCollector(0), rec)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -130,7 +130,7 @@ func printTable3Live(appName string) {
 	fatal(err)
 	sink := obs.NewTraceSink(obs.NewRegistry())
 	events := trace.NewLog(1) // aggregates live in the sink; retain next to nothing
-	events.Sink = sink
+	events.SetSink(sink)
 	rep, err := sys.Attest(core.AttestOptions{Opts: verifier.Options{Events: events}})
 	fatal(err)
 	fmt.Printf("== Table 3 (live): per-action timing aggregated from an instrumented run (device %s, app %s) ==\n",

@@ -56,6 +56,7 @@ import (
 	"sacha/internal/core"
 	"sacha/internal/device"
 	"sacha/internal/obs"
+	"sacha/internal/obs/span"
 )
 
 type target struct {
@@ -90,12 +91,17 @@ func main() {
 	flag.Parse()
 
 	// SACHA_LOG / SACHA_LOG_FORMAT pick level and encoding; the endpoint
-	// below serves the matching metric families live during the sweep.
+	// below serves the matching metric families live during the sweep,
+	// plus the causal span trees at /debug/trace{,/perfetto}.
 	var tracker *obs.SweepTracker
+	var spans *span.Collector
+	var extra []obs.Route
 	if obsFlags.Enabled() {
 		tracker = obs.NewSweepTracker()
+		spans = span.NewCollector(0)
+		extra = span.Routes(spans)
 	}
-	_, stopObs, err := obsFlags.Start("sacha-verifier", tracker)
+	_, stopObs, err := obsFlags.Start("sacha-verifier", tracker, extra...)
 	fatal(err)
 	defer stopObs()
 
@@ -164,6 +170,12 @@ func main() {
 		}
 		tracker.Begin(begin)
 	}
+	// One root span covers the CLI sweep; session spans key on the
+	// target's 1-based position (the addr itself is a tag).
+	root := spans.StartTrace(span.NewTraceID(*nonce), "sweep")
+	root.SetTag("targets", fmt.Sprint(len(addrs)))
+	root.SetTag("freshness", policy.String())
+
 	targets := make([]target, len(addrs))
 	workers := *concurrency
 	if workers < 1 {
@@ -182,7 +194,13 @@ func main() {
 				opts := runOptions(key, *trace && len(addrs) == 1,
 					*plain, *timeout, *retries, *backoff, *window)
 				opts.Compress = *compress
+				sp := root.DeviceChild(addrs[i], uint64(i)+1)
+				sp.SetTag("addr", addrs[i])
+				sp.SetTag("worker", fmt.Sprint(worker))
+				opts.Span = sp
 				targets[i] = attestOne(addrs[i], plan, *nonce, policy, *delta, tracker, worker, opts)
+				sp.SetTag("verdict", verdictOf(targets[i]))
+				sp.End()
 			}
 		}(w)
 	}
@@ -191,6 +209,7 @@ func main() {
 	}
 	close(jobs)
 	wg.Wait()
+	root.End()
 
 	fmt.Printf("device:            %s\n", geo.Name)
 	fmt.Printf("application:       %s\n", *appName)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"sacha/internal/channel"
@@ -11,6 +12,7 @@ import (
 	"sacha/internal/compress"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
+	"sacha/internal/obs/span"
 	"sacha/internal/protocol"
 	"sacha/internal/signature"
 	"sacha/internal/sim"
@@ -67,6 +69,14 @@ type RunOpts struct {
 	// falling back to the full overwrite ("threshold"). 0 means a quarter
 	// of the dynamic partition, floored at the nonce-frame count.
 	DeltaMaxRewrite int
+	// Span, if non-nil, is this session's causal span: Run records the
+	// four contiguous phase checkpoints as child spans, the Hello
+	// negotiation, delta scan outcome and transport summary as span
+	// events, and bridges Events (when also set) into the span so the
+	// protocol step stream lands on the causal timeline. Every hook is
+	// nil-guarded — a nil Span costs the checkpoint path zero
+	// allocations (the contract TestNilSpanZeroAlloc pins).
+	Span *span.Span
 }
 
 // PhaseBreakdown splits one run's wall time across the protocol
@@ -184,6 +194,14 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 	sess := newSession(ep, opts.Retry, rep)
 	defer sess.close()
 
+	// Bridge the protocol event stream into the session span for the
+	// duration of this run. AddSink is safe mid-stream (the Log may be
+	// caller-owned and already live), and the remove keeps a reused Log
+	// from leaking later events into this run's span.
+	if opts.Span != nil && opts.Events != nil {
+		defer opts.Events.AddSink(span.LogSink(opts.Span))()
+	}
+
 	// rawB/wireB account the compressed payloads moved this run, on both
 	// directions; the ratio lands in the compression histogram.
 	var rawB, wireB int
@@ -289,6 +307,10 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 			caps = resp.Caps & wantCaps
 		}
 		trc("command: Hello(caps=%#x)  ->  granted caps=%#x", wantCaps, caps)
+		if opts.Span != nil {
+			opts.Span.Event("hello", -1, 0,
+				fmt.Sprintf("want=%#x granted=%#x", wantCaps, caps))
+		}
 	}
 	useCompress := opts.Compress && caps&protocol.CapCompress != 0
 	rep.Compressed = useCompress
@@ -365,6 +387,10 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 			}
 			trc("command: Scan(frame_%d..frame_%d)  [%d frames probed, %d drifted]",
 				p.dynFirst, p.dynLast, rep.Delta.FramesScanned, len(rep.Delta.Unexpected))
+			if opts.Span != nil {
+				opts.Span.Event("delta-scan", p.dynFirst, 0,
+					fmt.Sprintf("%d frames probed, %d drifted", rep.Delta.FramesScanned, len(rep.Delta.Unexpected)))
+			}
 			if len(rep.Delta.Unexpected) > 0 {
 				rep.Delta.Fallback = "mismatch"
 			} else {
@@ -385,9 +411,17 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 		rep.Delta.FramesSkipped = p.dynCount - rep.Delta.FramesRewritten
 		trc("command: delta rewrite  [%d of %d frames rewritten, %d proven clean and skipped]",
 			rep.Delta.FramesRewritten, p.dynCount, rep.Delta.FramesSkipped)
+		if opts.Span != nil {
+			opts.Span.Event("delta-applied", -1, 0,
+				fmt.Sprintf("%d of %d frames rewritten, %d skipped",
+					rep.Delta.FramesRewritten, p.dynCount, rep.Delta.FramesSkipped))
+		}
 	} else {
 		if rep.Delta.Enabled {
 			trc("delta: falling back to full overwrite (%s)", rep.Delta.Fallback)
+			if opts.Span != nil {
+				opts.Span.Event("delta-fallback", -1, 0, rep.Delta.Fallback)
+			}
 		}
 		configs, op := p.configs, "ICAP_config"
 		if useCompress {
@@ -499,6 +533,25 @@ func (p *Plan) Run(ep channel.Endpoint, opts RunOpts) (_ *Report, err error) {
 		Verdict:  end.Sub(tChecksum),
 	}
 	rep.Elapsed = end.Sub(start)
+	if sp := opts.Span; sp != nil {
+		// Phase children telescope over the same checkpoints as
+		// rep.Phases, so their durations sum to exactly rep.Elapsed — the
+		// invariant the flight-recorder e2e test pins.
+		sp.ChildSpanAt("phase:config", start, tConfig)
+		sp.ChildSpanAt("phase:readback", tConfig, tReadback)
+		sp.ChildSpanAt("phase:checksum", tReadback, tChecksum)
+		sp.ChildSpanAt("phase:verdict", tChecksum, end)
+		sp.SetTag("retries", strconv.Itoa(rep.Retries))
+		sp.SetTag("transport_faults", strconv.Itoa(rep.TransportFaults))
+		if opts.Retry.Window > 1 {
+			sp.SetTag("window", strconv.Itoa(opts.Retry.Window))
+		}
+		if wireB > 0 {
+			sp.Event("transport", -1, 0,
+				fmt.Sprintf("raw=%dB wire=%dB retries=%d faults=%d",
+					rawB, wireB, rep.Retries, rep.TransportFaults))
+		}
+	}
 	if wireB > 0 {
 		mCompressRawBytes.Add(uint64(rawB))
 		mCompressWireBytes.Add(uint64(wireB))

@@ -18,6 +18,7 @@ import (
 	"sacha/internal/fabric"
 	"sacha/internal/netlist"
 	"sacha/internal/obs"
+	"sacha/internal/obs/span"
 	"sacha/internal/prover"
 	"sacha/internal/scrub"
 	"sacha/internal/swarm"
@@ -63,7 +64,23 @@ type Engine struct {
 	tamperTargets map[string]tamperTarget
 	masks         map[string]*fabric.Image
 	baseline      metricBaseline
+	spans         *span.Collector
 	ran           bool
+}
+
+// AttachFlight arms the campaign with causal tracing and a flight
+// recorder: every sweep collects its span tree into col, and every
+// invariant violation snapshots a flight record into rec at the moment
+// it is detected — while col still holds the surrounding sweep's tree.
+// Tampered→Compromised is the EXPECTED campaign outcome, so the
+// recorder fires on violations only, not on every non-Healthy verdict.
+// Call before Run.
+func (e *Engine) AttachFlight(col *span.Collector, rec *span.Recorder) {
+	e.spans = col
+	e.led.onViolate = func(v Violation) {
+		detail := fmt.Sprintf("event %d [%s]: %s", v.Event, v.Kind, v.Detail)
+		rec.RecordInvariant(col, 0, v.Device, detail)
+	}
 }
 
 // tamperTarget is the unmasked static-partition configuration bit the
@@ -277,6 +294,7 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 		Freshness:   ev.Freshness,
 		PlanCache:   e.cache,
 		Sessions:    &e.sessions,
+		Spans:       e.spans,
 	}
 	if ev.Freshness == attestation.PerSweep {
 		nonce := ev.Nonce

@@ -135,6 +135,11 @@ type ledger struct {
 	keysRotated     int
 	plansBuilt      int
 	planCacheHits   int
+	// onViolate, when set, observes every recorded violation as it
+	// happens — the hook Engine.AttachFlight uses to snapshot a flight
+	// record at the moment an invariant breaks, while the span collector
+	// still holds the surrounding sweep's tree.
+	onViolate func(Violation)
 }
 
 func newLedger() *ledger {
@@ -157,12 +162,16 @@ func (l *ledger) count(expectation, verdict string) {
 }
 
 func (l *ledger) violate(ev Event, device uint64, format string, args ...any) {
-	l.violations = append(l.violations, Violation{
+	v := Violation{
 		Event:  ev.Index,
 		Kind:   ev.Kind.String(),
 		Device: device,
 		Detail: fmt.Sprintf(format, args...),
-	})
+	}
+	l.violations = append(l.violations, v)
+	if l.onViolate != nil {
+		l.onViolate(v)
+	}
 }
 
 func (l *ledger) adversary(key string) *AdversaryTally {

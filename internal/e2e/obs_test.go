@@ -87,7 +87,7 @@ func TestEventsSinkSeesWholeRun(t *testing.T) {
 	ep := r.serveSim(t, channel.FaultConfig{})
 	sink := obs.NewTraceSink(obs.NewRegistry())
 	events := trace.NewLog(2)
-	events.Sink = sink
+	events.SetSink(sink)
 	rep, err := r.vrf.Attest(ep, r.golden, r.dyn, verifier.Options{Retry: retryPolicy(), Events: events})
 	if err != nil {
 		t.Fatalf("attest: %v", err)

@@ -29,6 +29,8 @@ import (
 	"sacha/internal/fleet"
 	"sacha/internal/fleet/registry"
 	"sacha/internal/obs"
+	"sacha/internal/obs/span"
+	"sacha/internal/trace"
 )
 
 // Fleet-sweep metric families: live progress (in-flight and completed
@@ -119,6 +121,8 @@ type sweepState struct {
 	classes   []string // aligned with order
 	plans     map[string]planEntry
 	nonceBase uint64
+	trace     span.TraceID
+	root      *span.Span
 	queues    []*queue
 	results   []fleet.DeviceResult
 	stats     []fleet.ShardStats
@@ -375,6 +379,17 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 	if cfg.NonceSeed != nil {
 		st.nonceBase = *cfg.NonceSeed
 	}
+	// The trace ID derives from the nonce base — the same seed that
+	// already pins every per-device nonce — so a pinned NonceSeed pins
+	// the whole span ID space and two runs of the same sweep export
+	// identical causal trees.
+	st.trace = span.NewTraceID(st.nonceBase)
+	if cfg.Spans != nil {
+		st.root = cfg.Spans.StartTrace(st.trace, "sweep")
+		st.root.SetTag("devices", strconv.Itoa(len(order)))
+		st.root.SetTag("shards", strconv.Itoa(d.shards))
+		st.root.SetTag("freshness", cfg.Freshness.String())
+	}
 	classShard := route(st, d.shards)
 	st.queues = make([]*queue, d.shards)
 	for s := range st.queues {
@@ -478,6 +493,14 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 			}
 		}
 	}
+	if st.root != nil {
+		st.root.SetTag("healthy", strconv.Itoa(len(out.Healthy)))
+		st.root.SetTag("compromised", strconv.Itoa(len(out.Compromised)))
+		st.root.SetTag("unreachable", strconv.Itoa(len(out.Unreachable)))
+		st.root.SetTag("failed", strconv.Itoa(len(out.Failed)))
+		st.root.SetTag("steals", strconv.Itoa(out.Steals))
+		st.root.End()
+	}
 	for class, ch := range out.PerClass {
 		mClassState.With(class, obs.VerdictHealthy).Set(int64(ch.Healthy))
 		mClassState.With(class, obs.VerdictCompromised).Set(int64(ch.Compromised))
@@ -527,6 +550,12 @@ func (d *Dispatcher) runWorker(ctx context.Context, st *sweepState, worker int, 
 	}
 }
 
+// sessionEventCap bounds the per-session protocol event log a traced
+// sweep creates when the caller did not supply one — enough for the
+// full Fig. 9 exchange of a mid-size device, and the retained stream a
+// flight record embeds.
+const sessionEventCap = 512
+
 // attestOne runs a single device attestation under the sweep's deadline
 // discipline, through the class's shared plan when the sweep built one.
 func (d *Dispatcher) attestOne(ctx context.Context, st *sweepState, i, shard, worker int, o core.AttestOptions) (res fleet.DeviceResult) {
@@ -539,11 +568,52 @@ func (d *Dispatcher) attestOne(ctx context.Context, st *sweepState, i, shard, wo
 	if cfg.Tracker != nil {
 		cfg.Tracker.Start(name)
 	}
+	var sp *span.Span
+	var sessionLog *trace.Log
+	if cfg.Spans != nil {
+		// The session span's ID derives from (trace, device) only, so it
+		// is stable across shard placement and steal order; which worker
+		// actually ran the device is attribution, recorded as tags.
+		sp = st.root.DeviceChild(name, id)
+		sp.SetTag("class", class)
+		sp.SetTag("shard", strconv.Itoa(shard))
+		sp.SetTag("worker", strconv.Itoa(worker))
+		if home := worker % d.shards; home != shard {
+			sp.SetTag("stolen_from_shard", strconv.Itoa(shard))
+			sp.SetTag("thief_home_shard", strconv.Itoa(home))
+		}
+		if o.Opts.Events == nil {
+			sessionLog = trace.NewLog(sessionEventCap)
+			o.Opts.Events = sessionLog
+		}
+		o.Opts.Span = sp
+	}
 	mSweepInflight.Inc()
 	defer func() {
 		res.Class = class
 		res.Shard = shard
 		res.Worker = worker
+		if sp != nil {
+			sp.SetTag("verdict", res.Verdict())
+			if res.Err != nil {
+				sp.SetTag("err", res.Err.Error())
+			}
+			if res.Nonce != 0 {
+				sp.SetTag("nonce", fmt.Sprintf("%016x", res.Nonce))
+			}
+			sp.End()
+		}
+		if cfg.Flight != nil && res.Verdict() != obs.VerdictHealthy {
+			var events []trace.Event
+			if sessionLog != nil {
+				events = sessionLog.Events()
+			}
+			var rep any
+			if res.Report != nil {
+				rep = res.Report
+			}
+			cfg.Flight.RecordVerdict(cfg.Spans, st.trace, id, res.Verdict(), rep, events)
+		}
 		if cfg.Trust != nil {
 			// Full trust — the delta admissibility precondition for the
 			// NEXT session — is a Healthy verdict whose delta scan (if one
@@ -560,6 +630,11 @@ func (d *Dispatcher) attestOne(ctx context.Context, st *sweepState, i, shard, wo
 			if res.Report != nil {
 				out.Retries = res.Report.Retries
 				out.TransportFaults = res.Report.TransportFaults
+				if res.Report.Delta.Enabled {
+					out.DeltaApplied = res.Report.Delta.Applied
+					out.DeltaFallback = res.Report.Delta.Fallback
+					out.FramesRewritten = res.Report.Delta.FramesRewritten
+				}
 			}
 			if res.Err != nil {
 				out.Err = res.Err.Error()

@@ -23,6 +23,7 @@ import (
 	"sacha/internal/core"
 	"sacha/internal/fleet/registry"
 	"sacha/internal/obs"
+	"sacha/internal/obs/span"
 	"sacha/internal/verifier"
 )
 
@@ -260,6 +261,18 @@ type SweepConfig struct {
 	// records the outcome after — full trust only for a Healthy verdict
 	// whose delta scan (if any) saw no unexpected drift.
 	Trust *registry.TrustLedger
+	// Spans, if non-nil, collects the sweep's causal span tree: one root
+	// span per sweep (trace ID derived from the nonce base, so a pinned
+	// NonceSeed pins the whole ID space), one session span per device
+	// with shard/worker/steal attribution, and per-phase children plus
+	// protocol events below each session. Nil disables tracing at zero
+	// hot-path cost.
+	Spans *span.Collector
+	// Flight, if non-nil, snapshots a flight record for every session
+	// that ends in a non-Healthy verdict: the trace's span tree, the
+	// session's retained protocol events, the report and the metrics
+	// movement since the previous record.
+	Flight *span.Recorder
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does

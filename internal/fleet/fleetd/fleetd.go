@@ -8,6 +8,10 @@
 //	POST /fleet/sweep   — trigger a sweep (optionally class-scoped)
 //	GET  /fleet/status  — daemon state: active sweep, totals, drain
 //
+// With tracing configured (Template.Spans / Template.Flight) the trace
+// exports /debug/trace and /debug/trace/perfetto and the post-mortem
+// listing /fleet/flightrecords mount alongside.
+//
 // Sweeps are serialized: API triggers and scheduler firings queue on
 // one mutex, so the fleet is never mid-two-sweeps (the dispatcher
 // bounds concurrency within a sweep; fleetd bounds sweeps to one).
@@ -33,6 +37,7 @@ import (
 	"sacha/internal/fleet/registry"
 	"sacha/internal/fleet/scheduler"
 	"sacha/internal/obs"
+	"sacha/internal/obs/span"
 )
 
 // Config shapes a Daemon.
@@ -43,7 +48,9 @@ type Config struct {
 	Dispatcher *dispatch.Dispatcher
 	// Template is the base sweep configuration every triggered sweep
 	// starts from. The daemon owns Tracker and Sessions; values set here
-	// are overwritten.
+	// are overwritten. Template.Spans and Template.Flight, when set,
+	// also back the daemon's /debug/trace, /debug/trace/perfetto and
+	// /fleet/flightrecords endpoints (Routes mounts them).
 	Template fleet.SweepConfig
 	// Scheduler, when it has an enabled Default or PerClass cadence,
 	// re-attests each class on its own loop. The zero value disables
@@ -320,14 +327,25 @@ type statusView struct {
 }
 
 // Routes returns the /fleet/* control API, ready to mount on the obs
-// mux via obs.Serve's extra routes.
+// mux via obs.Serve's extra routes. When the sweep template traces
+// (Template.Spans) the trace export endpoints ride along, and when it
+// flight-records (Template.Flight) so does /fleet/flightrecords.
 func (d *Daemon) Routes() []obs.Route {
-	return []obs.Route{
+	routes := []obs.Route{
 		{Pattern: "/fleet/devices", Handler: http.HandlerFunc(d.handleDevices)},
 		{Pattern: "/fleet/sweeps", Handler: http.HandlerFunc(d.handleSweeps)},
 		{Pattern: "/fleet/sweep", Handler: http.HandlerFunc(d.handleSweep)},
 		{Pattern: "/fleet/status", Handler: http.HandlerFunc(d.handleStatus)},
 	}
+	if col := d.cfg.Template.Spans; col != nil {
+		routes = append(routes, span.Routes(col)...)
+	}
+	if rec := d.cfg.Template.Flight; rec != nil {
+		routes = append(routes, obs.Route{
+			Pattern: "/fleet/flightrecords", Handler: span.FlightHandler(rec),
+		})
+	}
+	return routes
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

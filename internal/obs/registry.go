@@ -221,6 +221,46 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.fam.child(values, func() metric { return newHistogram(v.fam.buckets) }).(*Histogram)
 }
 
+// Snapshot returns the current value of every registered sample, keyed
+// by its exposition identity (`name` or `name{k="v",...}`): counters
+// and gauges by value, histograms as name_count and name_sum entries.
+// Two snapshots diff into a metrics delta — what the span flight
+// recorder attaches to each artifact, so a post-mortem carries the
+// counter movement around the failure, not just the span tree.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	fams := make([]*Family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	out := make(map[string]float64)
+	for _, f := range fams {
+		f.mu.RLock()
+		children := make(map[string]metric, len(f.children))
+		for k, m := range f.children {
+			children[k] = m
+		}
+		f.mu.RUnlock()
+		for k, m := range children {
+			frag := ""
+			if ls := f.labelString(k); ls != "" {
+				frag = "{" + ls + "}"
+			}
+			switch v := m.(type) {
+			case *Counter:
+				out[f.name+frag] = float64(v.Value())
+			case *Gauge:
+				out[f.name+frag] = float64(v.Value())
+			case *Histogram:
+				out[f.name+"_count"+frag] = float64(v.Count())
+				out[f.name+"_sum"+frag] = v.Sum()
+			}
+		}
+	}
+	return out
+}
+
 // WritePrometheus writes every registered family in the Prometheus text
 // exposition format (families and children in lexicographic order, so
 // the output is deterministic and golden-testable).

@@ -1,0 +1,128 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sacha/internal/obs"
+)
+
+// parseFilter reads the shared query parameters of the trace
+// endpoints: ?trace=<hex id>, ?device=<id>, ?verdict=<name>,
+// ?min_dur=<Go duration> (slow-session outliers).
+func parseFilter(r *http.Request) (Filter, error) {
+	var f Filter
+	q := r.URL.Query()
+	if s := q.Get("trace"); s != "" {
+		v, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return f, err
+		}
+		f.Trace = TraceID(v)
+	}
+	if s := q.Get("device"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return f, err
+		}
+		f.Device = v
+	}
+	f.Verdict = q.Get("verdict")
+	if s := q.Get("min_dur"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return f, err
+		}
+		f.MinDuration = d
+	}
+	return f, nil
+}
+
+// Handler serves the filterable JSON trace snapshot: the retained
+// traces as nested span trees.
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		f, err := parseFilter(r)
+		if err != nil {
+			http.Error(w, "bad filter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		roots := c.Snapshot(f)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"traces":  roots,
+			"dropped": c.Dropped(),
+		})
+	})
+}
+
+// PerfettoHandler serves the snapshot as Chrome trace_event JSON —
+// `curl .../debug/trace/perfetto > trace.json`, then load the file in
+// ui.perfetto.dev or chrome://tracing. It accepts the same filters as
+// Handler plus ?canonical=1 for the deterministic time layout.
+func PerfettoHandler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		f, err := parseFilter(r)
+		if err != nil {
+			http.Error(w, "bad filter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts := PerfettoOptions{Canonical: r.URL.Query().Get("canonical") != ""}
+		w.Header().Set("Content-Type", "application/json")
+		WritePerfetto(w, c.Snapshot(f), opts)
+	})
+}
+
+// Routes returns the two trace export endpoints, ready to mount via
+// obs.Serve's extra routes (the hook sacha-verifier and sacha-fleetd
+// already use for their own endpoints).
+func Routes(c *Collector) []obs.Route {
+	return []obs.Route{
+		{Pattern: "/debug/trace", Handler: Handler(c)},
+		{Pattern: "/debug/trace/perfetto", Handler: PerfettoHandler(c)},
+	}
+}
+
+// FlightHandler serves a recorder's retained records as JSON, newest
+// first; ?device=<id> filters. fleetd mounts it as /fleet/flightrecords.
+func FlightHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var device uint64
+		if s := r.URL.Query().Get("device"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad device: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			device = v
+		}
+		all := rec.Records()
+		out := make([]Record, 0, len(all))
+		for i := len(all) - 1; i >= 0; i-- {
+			if device != 0 && all[i].Device != device {
+				continue
+			}
+			out = append(out, all[i])
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"records": out, "dir": rec.Dir()})
+	})
+}

@@ -1,0 +1,166 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// perfettoEvent is one Chrome trace_event entry — the subset Perfetto
+// and chrome://tracing load: complete ("X") duration events for spans,
+// instant ("i") events for span events, metadata ("M") for process and
+// thread names. Timestamps are microseconds.
+type perfettoEvent struct {
+	Name  string            `json:"name"`
+	Ph    string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int64             `json:"pid"`
+	TID   int64             `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// PerfettoOptions shape WritePerfetto.
+type PerfettoOptions struct {
+	// Canonical replaces wall-clock timestamps with a deterministic
+	// layout computed from the tree structure alone (preorder slots of
+	// 1000 µs per span, events spaced inside their span) — the mode the
+	// byte-determinism golden test exports, since two runs of the same
+	// fixed-NonceSeed sweep can never agree on wall time. The tree
+	// still nests correctly in Perfetto; only the time axis is virtual.
+	Canonical bool
+}
+
+// WritePerfetto renders snapshot trees (as returned by
+// Collector.Snapshot) as Chrome trace_event JSON: one Perfetto
+// "process" per trace, one "thread" per device (tid 0 carries the
+// sweep root), span tags as args. Load the output via ui.perfetto.dev
+// or chrome://tracing.
+func WritePerfetto(w io.Writer, roots []SpanSnapshot, opts PerfettoOptions) error {
+	f := perfettoFile{TraceEvents: []perfettoEvent{}, DisplayTimeUnit: "ms"}
+
+	// pid must survive a float64 round-trip in JS viewers, so fold the
+	// 64-bit trace ID to 31 bits; the full ID stays in args.
+	pidOf := func(tr string) int64 {
+		var h uint32 = 2166136261
+		for i := 0; i < len(tr); i++ {
+			h ^= uint32(tr[i])
+			h *= 16777619
+		}
+		return int64(h & 0x7fffffff)
+	}
+
+	// epoch rebases wall timestamps per file so ts stays small.
+	var epoch int64
+	if !opts.Canonical {
+		first := true
+		var scan func(ns []SpanSnapshot)
+		scan = func(ns []SpanSnapshot) {
+			for i := range ns {
+				if first || ns[i].StartUnixNS < epoch {
+					epoch, first = ns[i].StartUnixNS, false
+				}
+				scan(ns[i].Children)
+			}
+		}
+		scan(roots)
+	}
+
+	// subtreeSize counts a span plus its descendants — the canonical
+	// slot width (in 1000 µs units) that keeps children nested.
+	var subtreeSize func(n *SpanSnapshot) int64
+	subtreeSize = func(n *SpanSnapshot) int64 {
+		var sz int64 = 1
+		for i := range n.Children {
+			sz += subtreeSize(&n.Children[i])
+		}
+		return sz
+	}
+
+	seenPID := map[int64]bool{}
+	seenTID := map[[2]int64]bool{}
+	var emit func(n *SpanSnapshot, t0 int64)
+	emit = func(n *SpanSnapshot, t0 int64) {
+		pid := pidOf(n.Trace)
+		tid := int64(n.Device)
+		if !seenPID[pid] {
+			seenPID[pid] = true
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]string{"name": "trace " + n.Trace},
+			})
+		}
+		tk := [2]int64{pid, tid}
+		if !seenTID[tk] {
+			seenTID[tk] = true
+			name := "sweep"
+			if tid != 0 {
+				name = "device " + itoa(tid)
+			}
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": name},
+			})
+		}
+		ts, dur := (n.StartUnixNS-epoch)/1000, n.DurationNS/1000
+		if opts.Canonical {
+			ts, dur = t0, subtreeSize(n)*1000
+		}
+		if dur < 1 {
+			dur = 1
+		}
+		args := map[string]string{"trace": n.Trace, "span": n.ID}
+		for k, v := range n.Tags {
+			args[k] = v
+		}
+		if n.Open {
+			args["open"] = "true"
+		}
+		f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+			Name: n.Name, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args,
+		})
+		for i, e := range n.Events {
+			ets := ts + e.OffsetNS/1000
+			if opts.Canonical {
+				// Spread events deterministically inside the span's slot.
+				ets = ts + 1 + int64(i)*(dur-2)/int64(max(1, len(n.Events)))
+			}
+			eargs := map[string]string{"span": n.ID}
+			if e.Frame >= 0 {
+				eargs["frame"] = itoa(int64(e.Frame))
+			}
+			if e.Note != "" {
+				eargs["note"] = e.Note
+			}
+			if e.VirtualNS > 0 {
+				eargs["virtual_ns"] = itoa(e.VirtualNS)
+			}
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: e.Kind, Ph: "i", TS: ets, PID: pid, TID: tid, Scope: "t", Args: eargs,
+			})
+		}
+		// Children occupy consecutive canonical slots after the parent's
+		// own leading slot.
+		ct0 := t0 + 1000
+		for i := range n.Children {
+			emit(&n.Children[i], ct0)
+			ct0 += subtreeSize(&n.Children[i]) * 1000
+		}
+	}
+	var t0 int64
+	for i := range roots {
+		emit(&roots[i], t0)
+		t0 += subtreeSize(&roots[i]) * 1000
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,230 @@
+package span
+
+import (
+	"sort"
+	"time"
+)
+
+// EventSnapshot is the JSON shape of one span event.
+type EventSnapshot struct {
+	Kind      string `json:"kind"`
+	Frame     int    `json:"frame"`
+	VirtualNS int64  `json:"virtual_ns,omitempty"`
+	OffsetNS  int64  `json:"offset_ns,omitempty"`
+	Note      string `json:"note,omitempty"`
+}
+
+// SpanSnapshot is the JSON shape of one span, with its children nested
+// — the tree the /debug/trace endpoint and the flight recorder emit.
+// Tags serialize as a map, which encoding/json emits with sorted keys,
+// so the rendering is deterministic.
+type SpanSnapshot struct {
+	Trace       string            `json:"trace"`
+	ID          string            `json:"id"`
+	Parent      string            `json:"parent,omitempty"`
+	Name        string            `json:"name"`
+	Device      uint64            `json:"device,omitempty"`
+	StartUnixNS int64             `json:"start_unix_ns,omitempty"`
+	DurationNS  int64             `json:"duration_ns"`
+	Open        bool              `json:"open,omitempty"`
+	Tags        map[string]string `json:"tags,omitempty"`
+	Events      []EventSnapshot   `json:"events,omitempty"`
+	Children    []SpanSnapshot    `json:"children,omitempty"`
+
+	seq    int
+	hasDev bool
+}
+
+// Filter selects spans out of a Snapshot. The zero value keeps
+// everything. Trace restricts to one trace; the per-session criteria
+// (Device, Verdict, MinDuration) select session spans — the
+// device-attributed nodes — and keep each selected session's full
+// subtree plus its ancestors, so a filtered answer still reads as a
+// causal tree.
+type Filter struct {
+	// Trace keeps only the given trace (0 = all traces).
+	Trace TraceID
+	// Device keeps sessions of this device (0 = all devices).
+	Device uint64
+	// Verdict keeps sessions whose "verdict" tag equals it ("" = all).
+	Verdict string
+	// MinDuration keeps sessions at least this long — the slow-session
+	// outlier filter (0 = all).
+	MinDuration time.Duration
+}
+
+func (f Filter) constrained() bool {
+	return f.Device != 0 || f.Verdict != "" || f.MinDuration > 0
+}
+
+func (f Filter) selects(n *SpanSnapshot) bool {
+	if !n.hasDev {
+		return false
+	}
+	if f.Device != 0 && n.Device != f.Device {
+		return false
+	}
+	if f.Verdict != "" && n.Tags["verdict"] != f.Verdict {
+		return false
+	}
+	if f.MinDuration > 0 && n.DurationNS < f.MinDuration.Nanoseconds() {
+		return false
+	}
+	return true
+}
+
+// snapshotOne copies a span's current state (without children).
+func snapshotOne(s *Span) SpanSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SpanSnapshot{
+		Trace:       s.trace.String(),
+		ID:          s.id.String(),
+		Name:        s.name,
+		StartUnixNS: s.start.UnixNano(),
+		DurationNS:  s.durNS,
+		Open:        !s.done,
+		seq:         s.seq,
+		hasDev:      s.hasDev,
+	}
+	if s.parent != 0 {
+		out.Parent = s.parent.String()
+	}
+	if s.hasDev {
+		out.Device = s.device
+	}
+	if !s.done {
+		out.DurationNS = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.tags) > 0 {
+		out.Tags = make(map[string]string, len(s.tags))
+		for _, t := range s.tags {
+			out.Tags[t.Key] = t.Value
+		}
+	}
+	if len(s.events) > 0 {
+		out.Events = make([]EventSnapshot, len(s.events))
+		for i, e := range s.events {
+			out.Events[i] = EventSnapshot{
+				Kind: e.Kind, Frame: e.Frame, VirtualNS: e.VirtualNS,
+				OffsetNS: e.OffsetNS, Note: e.Note,
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot returns the retained spans as trees of root spans matching
+// the filter, ordered deterministically: traces by ID, children by
+// (device, creation index, span ID) — the order that makes a
+// fixed-NonceSeed sweep's snapshot reproducible. Orphaned spans (their
+// parent already evicted from the ring) surface as roots.
+func (c *Collector) Snapshot(f Filter) []SpanSnapshot {
+	if c == nil {
+		return nil
+	}
+	spans := c.all()
+	flat := make([]SpanSnapshot, 0, len(spans))
+	for _, s := range spans {
+		if f.Trace != 0 && s.trace != f.Trace {
+			continue
+		}
+		flat = append(flat, snapshotOne(s))
+	}
+	byID := make(map[string]int, len(flat))
+	for i := range flat {
+		byID[flat[i].ID] = i
+	}
+	kids := make(map[string][]int, len(flat))
+	var rootIdx []int
+	for i := range flat {
+		p := flat[i].Parent
+		if p == "" {
+			rootIdx = append(rootIdx, i)
+			continue
+		}
+		if _, ok := byID[p]; !ok {
+			rootIdx = append(rootIdx, i) // orphan: parent evicted
+			continue
+		}
+		kids[p] = append(kids[p], i)
+	}
+	var build func(i int) SpanSnapshot
+	build = func(i int) SpanSnapshot {
+		n := flat[i]
+		for _, k := range kids[n.ID] {
+			n.Children = append(n.Children, build(k))
+		}
+		sortSpans(n.Children)
+		return n
+	}
+	roots := make([]SpanSnapshot, 0, len(rootIdx))
+	for _, i := range rootIdx {
+		roots = append(roots, build(i))
+	}
+	sortSpans(roots)
+	if !f.constrained() {
+		return roots
+	}
+	out := roots[:0]
+	for _, r := range roots {
+		if pruned, keep := prune(r, f); keep {
+			out = append(out, pruned)
+		}
+	}
+	return out
+}
+
+// prune keeps n when the filter selects it (whole subtree retained) or
+// when any descendant survives (n stays as the connecting ancestor,
+// with only surviving children).
+func prune(n SpanSnapshot, f Filter) (SpanSnapshot, bool) {
+	if f.selects(&n) {
+		return n, true
+	}
+	var kept []SpanSnapshot
+	for _, c := range n.Children {
+		if pc, keep := prune(c, f); keep {
+			kept = append(kept, pc)
+		}
+	}
+	if kept == nil {
+		return n, false
+	}
+	n.Children = kept
+	return n, true
+}
+
+// sortSpans orders siblings deterministically: device first (session
+// spans of one sweep have distinct devices), then creation index
+// (phase spans of one session are created in protocol order by one
+// goroutine), then span ID as the tiebreak.
+func sortSpans(ss []SpanSnapshot) {
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].Trace != ss[j].Trace {
+			return ss[i].Trace < ss[j].Trace
+		}
+		if ss[i].Device != ss[j].Device {
+			return ss[i].Device < ss[j].Device
+		}
+		if ss[i].seq != ss[j].seq {
+			return ss[i].seq < ss[j].seq
+		}
+		return ss[i].ID < ss[j].ID
+	})
+}
+
+// SessionSpan finds the session span of device in a snapshot tree —
+// the lookup flight-record consumers and tests use.
+func SessionSpan(roots []SpanSnapshot, device uint64) *SpanSnapshot {
+	for i := range roots {
+		r := &roots[i]
+		if device != 0 && r.Device == device {
+			return r
+		}
+		if found := SessionSpan(r.Children, device); found != nil {
+			return found
+		}
+	}
+	return nil
+}

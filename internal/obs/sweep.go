@@ -41,6 +41,14 @@ type SweepOutcome struct {
 	// report shard 0.
 	Shard  int
 	Worker int
+	// Delta outcome of the session, filled when the sweep ran in delta
+	// mode: DeltaApplied reports the rewrite-only path ran,
+	// DeltaFallback names the reason it did not ("cold", "mismatch",
+	// "threshold", ...), FramesRewritten counts the frames the applied
+	// delta actually rewrote.
+	DeltaApplied    bool
+	DeltaFallback   string
+	FramesRewritten int
 }
 
 // SweepTracker tracks one fleet sweep live: which targets are pending,
@@ -120,6 +128,9 @@ type TargetSnapshot struct {
 	TransportFaults int    `json:"transport_faults,omitempty"`
 	ElapsedNS       int64  `json:"elapsed_ns,omitempty"`
 	Err             string `json:"err,omitempty"`
+	DeltaApplied    bool   `json:"delta_applied,omitempty"`
+	DeltaFallback   string `json:"delta_fallback,omitempty"`
+	FramesRewritten int    `json:"frames_rewritten,omitempty"`
 }
 
 // SweepSnapshot is the JSON shape of /debug/sweep: live progress
@@ -166,6 +177,9 @@ func (t *SweepTracker) Snapshot() SweepSnapshot {
 			row.TransportFaults = s.outcome.TransportFaults
 			row.ElapsedNS = s.outcome.Elapsed.Nanoseconds()
 			row.Err = s.outcome.Err
+			row.DeltaApplied = s.outcome.DeltaApplied
+			row.DeltaFallback = s.outcome.DeltaFallback
+			row.FramesRewritten = s.outcome.FramesRewritten
 			snap.Verdicts[s.outcome.Verdict]++
 			snap.Retries += s.outcome.Retries
 			snap.TransportFaults += s.outcome.TransportFaults

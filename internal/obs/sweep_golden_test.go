@@ -26,11 +26,13 @@ func TestSweepSnapshotGoldenJSON(t *testing.T) {
 	tr.Done("device-1", SweepOutcome{
 		Verdict: VerdictHealthy, Retries: 2, TransportFaults: 1,
 		Elapsed: 5 * time.Millisecond, Shard: 0, Worker: 1,
+		DeltaApplied: true, FramesRewritten: 3,
 	})
 	tr.Start("device-2")
 	tr.Done("device-2", SweepOutcome{
 		Verdict: VerdictUnreachable, Elapsed: 7 * time.Millisecond,
 		Err: "sweep: device 2: context deadline exceeded", Shard: 1, Worker: 0,
+		DeltaFallback: "cold",
 	})
 	tr.Start("device-3") // still running at snapshot time
 
@@ -70,7 +72,9 @@ func TestSweepSnapshotGoldenJSON(t *testing.T) {
       "verdict": "healthy",
       "retries": 2,
       "transport_faults": 1,
-      "elapsed_ns": 5000000
+      "elapsed_ns": 5000000,
+      "delta_applied": true,
+      "frames_rewritten": 3
     },
     {
       "target": "device-2",
@@ -80,7 +84,8 @@ func TestSweepSnapshotGoldenJSON(t *testing.T) {
       "worker": 0,
       "verdict": "unreachable",
       "elapsed_ns": 7000000,
-      "err": "sweep: device 2: context deadline exceeded"
+      "err": "sweep: device 2: context deadline exceeded",
+      "delta_fallback": "cold"
     },
     {
       "target": "device-3",

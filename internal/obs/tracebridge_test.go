@@ -14,7 +14,7 @@ func TestTraceSinkAggregates(t *testing.T) {
 	// Retention cap 1: the sink must still see every event, because the
 	// bridge aggregates live instead of replaying the retained log.
 	log := trace.NewLog(1)
-	log.Sink = sink
+	log.SetSink(sink)
 	log.Add(trace.KindReadback, 0, 3*time.Microsecond, "")
 	log.Add(trace.KindReadback, 1, 5*time.Microsecond, "")
 	log.Add(trace.KindConfig, 0, 2*time.Microsecond, "")

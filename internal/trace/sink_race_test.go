@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type countSink struct{ n atomic.Int64 }
+
+func (s *countSink) Observe(Kind, int, time.Duration, string) { s.n.Add(1) }
+
+// TestSinkInstallMidStreamIsRaceFree pins the satellite fix for the old
+// "set Sink before the first Add; it is read without synchronisation"
+// contract: sinks must now be installable and removable WHILE other
+// goroutines Add — exactly what the span bridge does when a session
+// installs its bridge at start against a caller-owned Log. Run under
+// -race (CI does), this test is the race detector's probe of the
+// publication path.
+func TestSinkInstallMidStreamIsRaceFree(t *testing.T) {
+	l := NewLog(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					l.Add(KindReadback, 1, time.Microsecond, "")
+				}
+			}
+		}()
+	}
+	var sinks [8]countSink
+	for i := range sinks {
+		remove := l.AddSink(&sinks[i])
+		l.Add(KindConfig, 0, time.Microsecond, "installed")
+		remove()
+	}
+	l.SetSink(&sinks[0])
+	l.Add(KindChecksum, -1, time.Microsecond, "")
+	l.SetSink(nil)
+	close(stop)
+	wg.Wait()
+
+	// Every installed sink saw at least the Add issued while it was in
+	// place (the concurrent writers may add more).
+	for i := range sinks {
+		if sinks[i].n.Load() == 0 {
+			t.Fatalf("sink %d installed mid-stream observed no events", i)
+		}
+	}
+}
+
+// TestAddSinkRemoveRestoresPriorSet checks the copy-on-write removal:
+// removing one installation leaves the others observing.
+func TestAddSinkRemoveRestoresPriorSet(t *testing.T) {
+	l := NewLog(0)
+	var a, b countSink
+	removeA := l.AddSink(&a)
+	removeB := l.AddSink(&b)
+	l.Add(KindConfig, 0, time.Microsecond, "")
+	if a.n.Load() != 1 || b.n.Load() != 1 {
+		t.Fatalf("both sinks should observe: a=%d b=%d", a.n.Load(), b.n.Load())
+	}
+	removeA()
+	l.Add(KindConfig, 1, time.Microsecond, "")
+	if a.n.Load() != 1 {
+		t.Fatalf("removed sink kept observing: %d", a.n.Load())
+	}
+	if b.n.Load() != 2 {
+		t.Fatalf("surviving sink missed an event: %d", b.n.Load())
+	}
+	removeB()
+	removeB() // double-remove is a no-op
+	l.Add(KindConfig, 2, time.Microsecond, "")
+	if b.n.Load() != 2 {
+		t.Fatalf("sink observed after removal: %d", b.n.Load())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,7 +47,8 @@ type Sink interface {
 	Observe(kind Kind, frame int, d time.Duration, note string)
 }
 
-// Log accumulates events. It is safe for concurrent use.
+// Log accumulates events. It is safe for concurrent use, including
+// installing sinks while other goroutines Add.
 type Log struct {
 	mu     sync.Mutex
 	events []Event
@@ -54,9 +56,12 @@ type Log struct {
 	// Cap bounds the retained event count (0 = unbounded); when
 	// exceeded, only the aggregate counters keep growing.
 	Cap int
-	// Sink, if non-nil, additionally receives every recorded event. Set
-	// it before the first Add; it is read without synchronisation.
-	Sink Sink
+
+	// sinks is the installed sink set, published atomically so SetSink
+	// and AddSink are safe mid-stream: Add loads the current set without
+	// a lock, installers copy-on-write under sinkMu.
+	sinks  atomic.Pointer[[]Sink]
+	sinkMu sync.Mutex
 
 	counts map[Kind]int
 	totals map[Kind]time.Duration
@@ -72,10 +77,67 @@ func NewLog(capEvents int) *Log {
 	}
 }
 
+// SetSink replaces the sink set with s (nil clears it). Unlike the
+// pre-span field-assignment API, installation is safe at any time —
+// even while other goroutines Add — because the sink set is published
+// atomically.
+func (l *Log) SetSink(s Sink) {
+	l.sinkMu.Lock()
+	defer l.sinkMu.Unlock()
+	if s == nil {
+		l.sinks.Store(nil)
+		return
+	}
+	set := []Sink{s}
+	l.sinks.Store(&set)
+}
+
+// AddSink appends s to the sink set and returns a function removing
+// exactly that installation again — the shape the span bridge needs:
+// a session installs its bridge at start and uninstalls on return, so
+// a caller-owned Log can outlive the session without leaking events
+// into a dead span. Both directions are safe mid-stream.
+func (l *Log) AddSink(s Sink) (remove func()) {
+	l.sinkMu.Lock()
+	defer l.sinkMu.Unlock()
+	var cur []Sink
+	if p := l.sinks.Load(); p != nil {
+		cur = *p
+	}
+	set := make([]Sink, 0, len(cur)+1)
+	set = append(set, cur...)
+	set = append(set, s)
+	l.sinks.Store(&set)
+	return func() {
+		l.sinkMu.Lock()
+		defer l.sinkMu.Unlock()
+		var cur []Sink
+		if p := l.sinks.Load(); p != nil {
+			cur = *p
+		}
+		out := make([]Sink, 0, len(cur))
+		removed := false
+		for _, x := range cur {
+			if !removed && x == s {
+				removed = true
+				continue
+			}
+			out = append(out, x)
+		}
+		if len(out) == 0 {
+			l.sinks.Store(nil)
+			return
+		}
+		l.sinks.Store(&out)
+	}
+}
+
 // Add records an event of the given kind and advances virtual time.
 func (l *Log) Add(kind Kind, frame int, d time.Duration, note string) {
-	if l.Sink != nil {
-		l.Sink.Observe(kind, frame, d, note)
+	if p := l.sinks.Load(); p != nil {
+		for _, s := range *p {
+			s.Observe(kind, frame, d, note)
+		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()

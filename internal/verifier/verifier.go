@@ -21,6 +21,7 @@ import (
 	"sacha/internal/channel"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
+	"sacha/internal/obs/span"
 	"sacha/internal/signature"
 	"sacha/internal/sim"
 	"sacha/internal/trace"
@@ -72,6 +73,10 @@ type Options struct {
 	// Events, if non-nil, records every protocol step with its modelled
 	// duration (the machine-readable Fig. 9).
 	Events *trace.Log
+	// Span, if non-nil, is the causal span of this session: Run records
+	// phase children and protocol milestones on it (and bridges Events
+	// into it when both are set). Nil disables tracing at zero cost.
+	Span *span.Span
 	// Retry, when enabled, runs the protocol over the reliable transport:
 	// per-message timeouts, bounded re-sends with backoff, idempotent
 	// envelopes. The zero value speaks the paper's bare protocol.
@@ -146,7 +151,7 @@ func (v *Verifier) Plan(golden *fabric.Image, dynFrames []int, opts Options) (*a
 
 // RunPlan drives one per-session Run of a precomputed plan against the
 // prover at the other end of ep, using this verifier's enrolled key.
-// Only the per-run fields of opts (Trace, Events, Retry, Compress,
+// Only the per-run fields of opts (Trace, Events, Span, Retry, Compress,
 // Delta, DeltaWarm, DeltaMaxRewrite) are consulted; the plan-shaping
 // fields were fixed when the plan was built. Compress/Delta sessions
 // require a plan whose spec set the matching flag.
@@ -157,6 +162,7 @@ func (v *Verifier) RunPlan(ep channel.Endpoint, plan *attestation.Plan, opts Opt
 		Retry:           opts.Retry,
 		Trace:           opts.Trace,
 		Events:          opts.Events,
+		Span:            opts.Span,
 		Timeline:        v.Timeline,
 		Compress:        opts.Compress,
 		Delta:           opts.Delta,
