@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"sacha/internal/attestation"
+	"sacha/internal/channel"
 	"sacha/internal/cliutil"
 	"sacha/internal/core"
 	"sacha/internal/device"
@@ -48,6 +49,7 @@ import (
 	"sacha/internal/obs"
 	"sacha/internal/obs/span"
 	"sacha/internal/prover"
+	"sacha/internal/store"
 )
 
 func main() {
@@ -70,6 +72,10 @@ func main() {
 	flightMax := flag.Int("flight-max", span.DefaultMaxRecords, "flight records retained (memory and on disk)")
 	tamper := flag.Int64("tamper", -1, "flip one dynamic-frame bit on this device ID before every readback (demo/smoke: yields a Compromised verdict and a flight record)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "shutdown bound for the in-flight sweep before it is cancelled (0 = wait)")
+	stateDir := flag.String("state-dir", "", "durable state directory: enrollment store + anti-replay nonce journal survive restarts (empty = in-memory only)")
+	fsyncPolicy := flag.String("fsync", "always", "state-dir durability policy: always (fsync per append) or batch (fsync on snapshot/close)")
+	nonceTTL := flag.Duration("nonce-ttl", 24*time.Hour, "spent-nonce retention; keep at or above the key-rotation cadence (0 = never expire)")
+	linkDelay := flag.Duration("link-delay", 0, "one-way verifier-link latency added per message (0 = none)")
 	obsFlags := cliutil.RegisterObs(flag.CommandLine, "127.0.0.1:9090")
 	flag.Parse()
 
@@ -80,7 +86,7 @@ func main() {
 	// TinyLX/SmallLX geometries and DynPart-PUF keys, so every freshness
 	// policy (rotate-key included) is exercisable, and two classes give
 	// the affinity router something to route.
-	reg, err := registry.New(*fleetSize, func(id uint64) (*core.System, error) {
+	factory := func(id uint64) (*core.System, error) {
 		geo := device.TinyLX()
 		if id%2 == 0 {
 			geo = device.SmallLX()
@@ -94,8 +100,30 @@ func main() {
 			LabLatency: -1,
 			Seed:       *seed*0x1000193 + int64(id),
 		})
-	})
-	fatal(err)
+	}
+
+	// With -state-dir the fleet boots through the durable registry: key
+	// generations resume from the enrollment store (RotateKey bumps are
+	// journaled before the new key serves) and every issued nonce is
+	// spent against the on-disk anti-replay journal.
+	var (
+		reg  registry.Registry
+		st   *store.Store
+		dreg *registry.Durable
+	)
+	if *stateDir != "" {
+		pol, err := store.ParseSyncPolicy(*fsyncPolicy)
+		fatal(err)
+		st, err = store.Open(*stateDir, store.Options{Sync: pol, NonceTTL: *nonceTTL})
+		fatal(err)
+		dreg, err = registry.NewDurable(*fleetSize, factory, st.Enrollment())
+		fatal(err)
+		reg = dreg
+	} else {
+		sreg, err := registry.New(*fleetSize, factory)
+		fatal(err)
+		reg = sreg
+	}
 
 	template := fleet.SweepConfig{
 		Concurrency:      *concurrency,
@@ -104,12 +132,21 @@ func main() {
 		Freshness:        policy,
 		Compress:         *compress,
 	}
+	if st != nil {
+		template.Nonces = st.Nonces()
+	}
 	if *delta {
 		// The ledger lives for the daemon's lifetime: warmth recorded by
 		// one sweep admits the delta path in the next, which is what makes
 		// the continuous re-attestation loops cheap after their first pass.
+		// A durable registry persists the warmth, so the loops stay cheap
+		// across restarts too.
 		template.Delta = true
-		template.Trust = registry.NewTrustLedger()
+		if dreg != nil {
+			template.Trust = dreg.Ledger()
+		} else {
+			template.Trust = registry.NewTrustLedger()
+		}
 	}
 	if *spans {
 		template.Spans = span.NewCollector(*spanCap)
@@ -134,6 +171,22 @@ func main() {
 			return core.AttestOptions{TamperDevice: func(d *prover.Device) {
 				d.Fabric.Mem.Frame(sys.DynFrames()[1])[2] ^= 4
 			}}
+		}
+	}
+	if *linkDelay > 0 {
+		// Real-time link latency (the crash-recovery rig uses it to hold a
+		// sweep in flight long enough to SIGKILL the daemon mid-sweep).
+		base := attestOpts
+		delay := *linkDelay
+		attestOpts = func(id uint64) core.AttestOptions {
+			var o core.AttestOptions
+			if base != nil {
+				o = base(id)
+			}
+			o.WrapVerifierChannel = func(ep channel.Endpoint) channel.Endpoint {
+				return channel.NewDelayEndpoint(ep, delay)
+			}
+			return o
 		}
 	}
 
@@ -162,6 +215,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	daemon.Run(ctx)
+	if st != nil {
+		// The drain has joined every session; flush and close the state
+		// files so the final appends are durable before exit.
+		fatal(st.Close())
+	}
 	fmt.Fprintln(os.Stderr, "sacha-fleetd: drained, exiting")
 }
 

@@ -2,9 +2,11 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,12 +18,15 @@ import (
 	"sacha/internal/core"
 	"sacha/internal/device"
 	"sacha/internal/fabric"
+	"sacha/internal/fleet"
+	"sacha/internal/fleet/dispatch"
+	"sacha/internal/fleet/registry"
 	"sacha/internal/netlist"
 	"sacha/internal/obs"
 	"sacha/internal/obs/span"
 	"sacha/internal/prover"
 	"sacha/internal/scrub"
-	"sacha/internal/swarm"
+	"sacha/internal/store"
 	"sacha/internal/verifier"
 )
 
@@ -50,11 +55,23 @@ var auditVerdicts = []string{
 // Engine executes one campaign over one provisioned fleet. An Engine is
 // single-use: provision with New, drive with Run.
 type Engine struct {
-	sc    Scenario
-	fleet *swarm.Fleet
-	sched *Scheduler
-	cache *attestation.PlanCache
-	led   *ledger
+	sc      Scenario
+	reg     registry.Registry
+	disp    *dispatch.Dispatcher
+	sched   *Scheduler
+	cache   *attestation.PlanCache
+	led     *ledger
+	factory func(deviceID uint64) (*core.System, error)
+	// Durable-state harness (non-nil only when the scenario weights crash
+	// events): the store behind the registry, its directory (a temp dir
+	// removed when Run ends) and the options every reopen uses.
+	st        *store.Store
+	stateDir  string
+	storeOpts store.Options
+	// spentSweepNonces are the PerSweep nonces the journal spent, in
+	// order — the reconciliation witness runCrash replays against the
+	// reopened journal.
+	spentSweepNonces []uint64
 	// sessions joins every attestation session a sweep launched —
 	// including sessions a cancellation abandoned — so consecutive
 	// events never overlap on a device.
@@ -122,35 +139,62 @@ func FleetFactory(scenarioSeed int64) func(id uint64) (*core.System, error) {
 	}
 }
 
-// New validates the scenario and provisions the campaign fleet.
+// New validates the scenario and provisions the campaign fleet. A
+// scenario that weights crash events boots through the durable
+// registry: enrollments and nonces live in a temp state directory the
+// crash events close and reopen (and Run removes at the end).
 func New(sc Scenario) (*Engine, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	sc = sc.Normalized()
-	fleet, err := swarm.NewFleet(sc.Fleet, FleetFactory(sc.Seed))
-	if err != nil {
-		return nil, err
-	}
+	factory := FleetFactory(sc.Seed)
 	adv := make(map[string]func(*core.System) attack.Result)
 	for _, a := range attack.Registry() {
 		adv[a.Key] = a.Fn
 	}
 	e := &Engine{
 		sc:            sc,
-		fleet:         fleet,
+		disp:          dispatch.New(dispatch.Config{Shards: 1}),
 		sched:         NewScheduler(sc),
 		cache:         attestation.NewPlanCache(sc.PlanCacheSize),
 		led:           newLedger(),
+		factory:       factory,
 		advByKey:      adv,
 		tamperTargets: make(map[string]tamperTarget),
 		masks:         make(map[string]*fabric.Image),
+	}
+	if sc.Weights.Crash > 0 {
+		dir, err := os.MkdirTemp("", "sacha-campaign-state-*")
+		if err != nil {
+			return nil, fmt.Errorf("campaign: state dir: %w", err)
+		}
+		e.stateDir = dir
+		e.storeOpts = store.Options{Sync: store.SyncBatch}
+		st, err := store.Open(dir, e.storeOpts)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("campaign: opening state store: %w", err)
+		}
+		dreg, err := registry.NewDurable(sc.Fleet, factory, st.Enrollment())
+		if err != nil {
+			st.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		e.st, e.reg = st, dreg
+	} else {
+		reg, err := registry.New(sc.Fleet, factory)
+		if err != nil {
+			return nil, err
+		}
+		e.reg = reg
 	}
 	// Precompute the per-geometry mask and tamper target for every
 	// geometry in the fleet: the tamper hook reads them from concurrent
 	// sweep workers, so the maps must be frozen before the first event.
 	for id := uint64(1); id <= uint64(sc.Fleet); id++ {
-		sys, ok := fleet.System(id)
+		sys, ok := e.reg.System(id)
 		if !ok {
 			return nil, fmt.Errorf("campaign: fleet has no device %d", id)
 		}
@@ -175,6 +219,12 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 		return nil, fmt.Errorf("campaign: engine is single-use")
 	}
 	e.ran = true
+	defer func() {
+		if e.st != nil {
+			e.st.Close()
+			os.RemoveAll(e.stateDir)
+		}
+	}()
 	e.captureBaseline()
 	start := time.Now()
 	var deadline time.Time
@@ -204,6 +254,8 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 			err = e.runAttack(ev)
 		case EventSEU:
 			err = e.runSEU(ev)
+		case EventCrash:
+			err = e.runCrash(ev)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("campaign: event %d (%s): %w", i, ev.Kind, err)
@@ -288,7 +340,7 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 	for _, f := range ev.Faults {
 		faulted[f.Device] = f
 	}
-	cfg := swarm.SweepConfig{
+	cfg := fleet.SweepConfig{
 		Concurrency: e.sc.Concurrency,
 		SharePlans:  true,
 		Freshness:   ev.Freshness,
@@ -296,9 +348,19 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 		Sessions:    &e.sessions,
 		Spans:       e.spans,
 	}
+	if e.st != nil {
+		cfg.Nonces = e.st.Nonces()
+	}
 	if ev.Freshness == attestation.PerSweep {
 		nonce := ev.Nonce
 		cfg.Nonce = &nonce
+		if e.st != nil {
+			// The scheduler's seeded stream never repeats a 64-bit nonce in
+			// campaign-length runs, so the journal accepts every pinned
+			// sweep nonce — and runCrash later replays this list against the
+			// reopened journal as the durability witness.
+			e.spentSweepNonces = append(e.spentSweepNonces, nonce)
+		}
 	}
 	sctx := ctx
 	var cancel context.CancelFunc
@@ -324,7 +386,7 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 			}
 		}
 		if tampered[id] {
-			sys, _ := e.fleet.System(id)
+			sys, _ := e.reg.System(id)
 			tgt, err := e.tamperTargetFor(sys)
 			if err == nil {
 				o.TamperDevice = func(d *prover.Device) {
@@ -334,7 +396,7 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 		}
 		return o
 	}
-	rep, err := e.fleet.Sweep(sctx, cfg, opts)
+	rep, err := e.disp.Sweep(sctx, e.reg, cfg, opts)
 	// Join stragglers before the next event: a session abandoned by the
 	// kill must not still be driving its device when the next event
 	// touches it.
@@ -379,7 +441,7 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 	// so scrub the tampered members back to golden before the next event
 	// builds its expectations.
 	for _, id := range ev.Tampered {
-		sys, ok := e.fleet.System(id)
+		sys, ok := e.reg.System(id)
 		if !ok {
 			continue
 		}
@@ -398,7 +460,7 @@ func (e *Engine) runSweep(ctx context.Context, ev Event) error {
 //	tampered         → Compromised only
 //	faulted          → Healthy or Unreachable (never Compromised)
 //	tampered-faulted → Compromised or Unreachable (never Healthy)
-func (e *Engine) classify(tampered bool, faulted map[uint64]DeviceFault, res swarm.DeviceResult) (string, bool) {
+func (e *Engine) classify(tampered bool, faulted map[uint64]DeviceFault, res fleet.DeviceResult) (string, bool) {
 	_, isFaulted := faulted[res.DeviceID]
 	switch {
 	case tampered && isFaulted:
@@ -420,7 +482,7 @@ func (e *Engine) classify(tampered bool, faulted map[uint64]DeviceFault, res swa
 // attacks that damage persistent (static-partition) state do not leak
 // into later events' expectations.
 func (e *Engine) runAttack(ev Event) error {
-	sys, ok := e.fleet.System(ev.Device)
+	sys, ok := e.reg.System(ev.Device)
 	if !ok {
 		return fmt.Errorf("unknown device %d", ev.Device)
 	}
@@ -452,7 +514,7 @@ func (e *Engine) runAttack(ev Event) error {
 // state, inject seeded upsets, scan — every unmasked injected flip must
 // be found — repair, and verify a clean re-scan.
 func (e *Engine) runSEU(ev Event) error {
-	sys, ok := e.fleet.System(ev.Device)
+	sys, ok := e.reg.System(ev.Device)
 	if !ok {
 		return fmt.Errorf("unknown device %d", ev.Device)
 	}
@@ -519,6 +581,74 @@ func (e *Engine) runSEU(ev Event) error {
 	e.led.seu.Injected += len(flips)
 	e.led.seu.Detected += len(found)
 	e.led.seu.Repaired += scr.FramesRepaired
+	return nil
+}
+
+// runCrash simulates a verifier restart: the durable store is closed
+// (cleanly, or by abandoning the handles — the SIGKILL shape) and
+// reopened, and the registry is rebuilt from the persisted enrollments.
+// The ledger-reconciliation invariant: every device resumes at exactly
+// its pre-crash key generation and class, and every nonce the journal
+// spent before the crash is still refused after it.
+func (e *Engine) runCrash(ev Event) error {
+	if e.st == nil {
+		return fmt.Errorf("crash event without a durable store (crash weight requires state)")
+	}
+	type devState struct {
+		gen   uint64
+		class string
+	}
+	pre := make(map[uint64]devState, e.sc.Fleet)
+	for _, id := range e.reg.IDs() {
+		sys, _ := e.reg.System(id)
+		class, _ := e.reg.ClassOf(id)
+		pre[id] = devState{gen: sys.KeyGeneration(), class: class}
+	}
+
+	old := e.st
+	if ev.CleanClose {
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("closing state store: %w", err)
+		}
+	}
+	st, err := store.Open(e.stateDir, e.storeOpts)
+	if err != nil {
+		return fmt.Errorf("reopening state store: %w", err)
+	}
+	if !ev.CleanClose {
+		// The crashed process's handles are abandoned; close them now only
+		// to release the file descriptors — everything it appended is
+		// already on disk (appends are unbuffered), which is the point.
+		old.Close()
+	}
+	dreg, err := registry.NewDurable(e.sc.Fleet, e.factory, st.Enrollment())
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("rebuilding registry after crash: %w", err)
+	}
+	e.st, e.reg = st, dreg
+
+	for _, id := range e.reg.IDs() {
+		sys, _ := e.reg.System(id)
+		class, _ := e.reg.ClassOf(id)
+		want := pre[id]
+		if got := sys.KeyGeneration(); got != want.gen {
+			e.led.violate(ev, id, "restart drifted key generation %d -> %d", want.gen, got)
+		}
+		if class != want.class {
+			e.led.violate(ev, id, "restart drifted class %q -> %q", want.class, class)
+		}
+	}
+	for _, nonce := range e.spentSweepNonces {
+		if !e.st.Nonces().Spent(nonce) {
+			e.led.violate(ev, 0, "restart lost spent nonce %#016x", nonce)
+			continue
+		}
+		if err := e.st.Nonces().Spend(nonce); !errors.Is(err, store.ErrNonceReplayed) {
+			e.led.violate(ev, 0, "restart re-issued spent nonce %#016x (err=%v)", nonce, err)
+		}
+	}
+	e.led.restarts++
 	return nil
 }
 

@@ -75,6 +75,9 @@ type Report struct {
 	TransportFaults int `json:"transport_faults"`
 	// KeysRotated counts PUF re-enrollments by RotateKey sweeps.
 	KeysRotated int `json:"keys_rotated"`
+	// Restarts counts crash events that reconciled cleanly — store
+	// reopened, registry rebuilt, generations/classes/nonces all intact.
+	Restarts int `json:"restarts"`
 	// PlansBuilt and PlanCacheHits show the plan cache under churn.
 	PlansBuilt    int `json:"plans_built"`
 	PlanCacheHits int `json:"plan_cache_hits"`
@@ -105,6 +108,9 @@ func (r *Report) Summary() string {
 	}
 	s += fmt.Sprintf("  transport: %d retries, %d faults seen; plans built %d, cache hits %d, keys rotated %d\n",
 		r.Retries, r.TransportFaults, r.PlansBuilt, r.PlanCacheHits, r.KeysRotated)
+	if r.Restarts > 0 {
+		s += fmt.Sprintf("  restarts: %d (generations, classes and spent nonces reconciled)\n", r.Restarts)
+	}
 	s += fmt.Sprintf("  heap peak %.1f MiB (ceiling %d MiB)\n",
 		float64(r.HeapPeakBytes)/(1<<20), r.Scenario.HeapCeilingMB)
 	if r.OK() {
@@ -131,6 +137,7 @@ type ledger struct {
 	// the exact amount the obs sweep counters must have advanced by.
 	sweepVerdicts   map[string]int
 	heapPeak        uint64
+	restarts        int
 	retries, faults int
 	keysRotated     int
 	plansBuilt      int
@@ -198,6 +205,7 @@ func (l *ledger) report(sc Scenario, elapsed time.Duration) *Report {
 		Retries:         l.retries,
 		TransportFaults: l.faults,
 		KeysRotated:     l.keysRotated,
+		Restarts:        l.restarts,
 		PlansBuilt:      l.plansBuilt,
 		PlanCacheHits:   l.planCacheHits,
 		Violations:      append([]Violation{}, l.violations...),

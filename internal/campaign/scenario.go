@@ -59,16 +59,22 @@ type Weights struct {
 	// Kill is a sweep whose context is cancelled mid-flight after a
 	// scheduler-chosen number of devices started.
 	Kill int `json:"kill"`
+	// Crash closes (cleanly or abandoned, alternating by seed) and
+	// reopens the campaign's durable store between events, rebuilding the
+	// registry from the persisted enrollments — the verifier-restart
+	// event. Key generations, classes and spent nonces must reconcile
+	// exactly across the restart.
+	Crash int `json:"crash"`
 }
 
 // DefaultWeights is the standard campaign mix.
-var DefaultWeights = Weights{Sweep: 4, Storm: 2, Attack: 3, SEU: 2, Kill: 1}
+var DefaultWeights = Weights{Sweep: 4, Storm: 2, Attack: 3, SEU: 2, Kill: 1, Crash: 1}
 
-func (w Weights) sum() int { return w.Sweep + w.Storm + w.Attack + w.SEU + w.Kill }
+func (w Weights) sum() int { return w.Sweep + w.Storm + w.Attack + w.SEU + w.Kill + w.Crash }
 
 func (w Weights) String() string {
-	return fmt.Sprintf("sweep:%d;storm:%d;attack:%d;seu:%d;kill:%d",
-		w.Sweep, w.Storm, w.Attack, w.SEU, w.Kill)
+	return fmt.Sprintf("sweep:%d;storm:%d;attack:%d;seu:%d;kill:%d;crash:%d",
+		w.Sweep, w.Storm, w.Attack, w.SEU, w.Kill, w.Crash)
 }
 
 // Scenario bounds one campaign. Exactly one of MaxEvents and Duration
@@ -144,7 +150,7 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("campaign: plan cache size %d", n.PlanCacheSize)
 	}
 	w := n.Weights
-	if w.Sweep < 0 || w.Storm < 0 || w.Attack < 0 || w.SEU < 0 || w.Kill < 0 {
+	if w.Sweep < 0 || w.Storm < 0 || w.Attack < 0 || w.SEU < 0 || w.Kill < 0 || w.Crash < 0 {
 		return fmt.Errorf("campaign: negative event weight in %s", w)
 	}
 	if w.sum() <= 0 {
@@ -259,6 +265,8 @@ func parseWeights(s string) (Weights, error) {
 			w.SEU = n
 		case "kill":
 			w.Kill = n
+		case "crash":
+			w.Crash = n
 		default:
 			return Weights{}, fmt.Errorf("unknown event kind %q", key)
 		}

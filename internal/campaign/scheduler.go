@@ -36,6 +36,13 @@ const (
 	// cancellation must never manufacture a Compromised or Failed
 	// verdict.
 	EventKill
+	// EventCrash closes the campaign's durable store — cleanly or by
+	// abandoning the handles (the SIGKILL shape) — and reopens it,
+	// rebuilding the registry from the persisted enrollments. Every
+	// device's key generation and class must reconcile exactly across the
+	// restart, and every nonce spent before the crash must still be
+	// journaled after.
+	EventCrash
 )
 
 func (k EventKind) String() string {
@@ -50,6 +57,8 @@ func (k EventKind) String() string {
 		return "seu"
 	case EventKill:
 		return "kill"
+	case EventCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -96,6 +105,11 @@ type Event struct {
 	Adversary string
 	Flips     int
 	SEUSeed   int64
+
+	// CleanClose selects the crash shape (Crash only): true closes the
+	// store before reopening (a graceful restart), false abandons the
+	// handles (the SIGKILL shape). Both must replay identically.
+	CleanClose bool
 }
 
 // Desc renders the canonical one-line descriptor recorded in the
@@ -123,6 +137,8 @@ func (e Event) Desc() string {
 		fmt.Fprintf(&b, " device=%d adversary=%s", e.Device, e.Adversary)
 	case EventSEU:
 		fmt.Fprintf(&b, " device=%d flips=%d seed=%d", e.Device, e.Flips, e.SEUSeed)
+	case EventCrash:
+		fmt.Fprintf(&b, " clean=%t", e.CleanClose)
 	}
 	return b.String()
 }
@@ -193,6 +209,8 @@ func (s *Scheduler) Next(i int) Event {
 		ev.Device = s.drawDevice()
 		ev.Flips = 1 + s.rng.Intn(8)
 		ev.SEUSeed = s.rng.Int63()
+	case EventCrash:
+		ev.CleanClose = s.rng.Intn(2) == 0
 	}
 	return ev
 }
@@ -210,8 +228,10 @@ func (s *Scheduler) drawKind() EventKind {
 		return EventAttack
 	case draw < w.Sweep+w.Storm+w.Attack+w.SEU:
 		return EventSEU
+	case draw < w.Sweep+w.Storm+w.Attack+w.SEU+w.Kill:
+		return EventKill
 	}
-	return EventKill
+	return EventCrash
 }
 
 // churnPolicy advances the freshness policy every policyChurnPeriod

@@ -103,6 +103,7 @@ type System struct {
 	nonceFrames []int // the nonce column
 	rng         *rand.Rand
 	circuitID   uint64        // current DynPUF circuit (0 = StatPart PUF / register)
+	helper      []byte        // current PUF helper data (nil in KeyRegister mode)
 	patchGolden *fabric.Image // memoized nonce-0 golden for PatchableSpec; nil until first use, cleared by RotateKey
 
 	// AppPlacement maps the application's pins for examples/tests; it is
@@ -172,6 +173,7 @@ func NewSystem(cfg Config) (*System, error) {
 		enr := puf.Enroll(phys, rng)
 		key = enr.Key
 		s.DB.Store(cfg.DeviceID, s.circuitID, enr.Key)
+		s.helper = enr.Helper.Offset
 		keySrc = &prover.PUFKey{Phys: phys, Helper: enr.Helper, Rng: rng}
 	default:
 		return nil, fmt.Errorf("core: unknown key mode %d", cfg.KeyMode)
@@ -280,6 +282,7 @@ func (s *System) RotateKey() error {
 	phys := &puf.Physical{DeviceID: s.cfg.DeviceID, CircuitID: s.circuitID, NoiseProb: s.cfg.PUFNoise}
 	enr := puf.Enroll(phys, s.rng)
 	s.DB.Store(s.cfg.DeviceID, s.circuitID, enr.Key)
+	s.helper = enr.Helper.Offset
 	s.Device.SetKeySource(&prover.PUFKey{Phys: phys, Helper: enr.Helper, Rng: s.rng})
 	s.Verifier.Key = enr.Key
 	// The shipped circuit's marker changes the golden image, so the
@@ -287,6 +290,82 @@ func (s *System) RotateKey() error {
 	// the old generation) is stale.
 	s.patchGolden = nil
 	return nil
+}
+
+// KeyGeneration is the current key generation: the DynPUF circuit ID,
+// which starts at 1 in KeyDynPUF mode and advances with every
+// RotateKey. Register- and static-PUF-keyed systems report 0 (their
+// key never rotates).
+func (s *System) KeyGeneration() uint64 { return s.circuitID }
+
+// Enrollment is the persistable key-provisioning state of a system —
+// what registry.Durable journals so a verifier restart resumes from
+// the same generation AND the same key. The key bytes are included
+// because PUF enrollment draws from the device's rng stream: the key
+// is not a pure function of (device, generation) and cannot be
+// re-derived after a restart.
+type Enrollment struct {
+	Generation uint64
+	Key        [16]byte
+	Helper     []byte
+}
+
+// Enrollment snapshots the system's current key-provisioning state.
+// The helper slice is a copy.
+func (s *System) Enrollment() Enrollment {
+	return Enrollment{
+		Generation: s.circuitID,
+		Key:        s.Verifier.Key,
+		Helper:     append([]byte(nil), s.helper...),
+	}
+}
+
+// RestoreEnrollment rewinds a freshly provisioned system to a persisted
+// key generation: both sides switch to the stored key and helper data,
+// exactly as if the intervening RotateKey calls had happened in this
+// process. Only valid in KeyDynPUF mode — the one mode whose
+// generations advance — and only forward (a store can never be behind a
+// fresh provisioning, whose generation is 1).
+func (s *System) RestoreEnrollment(e Enrollment) error {
+	if s.cfg.KeyMode != KeyDynPUF {
+		return fmt.Errorf("core: restoring an enrollment requires the DynPart-PUF key mode")
+	}
+	if e.Generation < 1 {
+		return fmt.Errorf("core: cannot restore key generation %d (DynPUF generations start at 1)", e.Generation)
+	}
+	if len(e.Helper) != len(s.helper) {
+		return fmt.Errorf("core: stored helper data is %d bytes, this device's PUF needs %d", len(e.Helper), len(s.helper))
+	}
+	if e.Generation == s.circuitID && e.Key == s.Verifier.Key {
+		return nil
+	}
+	helper := append([]byte(nil), e.Helper...)
+	s.circuitID = e.Generation
+	s.DB.Store(s.cfg.DeviceID, s.circuitID, e.Key)
+	phys := &puf.Physical{DeviceID: s.cfg.DeviceID, CircuitID: s.circuitID, NoiseProb: s.cfg.PUFNoise}
+	s.Device.SetKeySource(&prover.PUFKey{Phys: phys, Helper: puf.HelperData{Offset: helper}, Rng: s.rng})
+	s.Verifier.Key = e.Key
+	s.helper = helper
+	s.patchGolden = nil
+	return nil
+}
+
+// GoldenDigest is the nonce-independent digest of the system's current
+// golden image — the cross-check a durable registry stores at
+// enrollment and verifies at boot, so a state directory from a
+// different build, application or geometry is refused instead of
+// silently producing Compromised verdicts fleet-wide. The nonce-0
+// golden is memoized (shared with PatchableSpec) and cleared by
+// RotateKey, so the digest always tracks the current generation.
+func (s *System) GoldenDigest() ([32]byte, error) {
+	if s.patchGolden == nil {
+		golden, err := s.Golden(0)
+		if err != nil {
+			return [32]byte{}, err
+		}
+		s.patchGolden = golden
+	}
+	return fabric.NonceFreeDigest(s.patchGolden, NonceBits)
 }
 
 // KeyMode returns the system's key provisioning mode.

@@ -17,6 +17,7 @@ package dispatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -51,6 +52,8 @@ var (
 		"Per-class health partition of the most recent fleet sweep.", "class", "state")
 	mKeysRotated = obs.Default().Counter("sacha_sweep_keys_rotated_total",
 		"Per-device PUF key rotations performed by RotateKey-policy sweeps.")
+	mNonceReplays = obs.Default().Counter("sacha_sweep_nonce_replays_total",
+		"Nonces the durable anti-replay journal refused to issue.")
 
 	// Per-shard accounting of the sharded dispatcher.
 	mRouted = obs.Default().CounterVec("sacha_dispatch_routed_total",
@@ -119,8 +122,9 @@ type sweepState struct {
 	order     []uint64
 	systems   []*core.System
 	classes   []string // aligned with order
-	plans     map[string]planEntry
-	nonceBase uint64
+	plans      map[string]planEntry
+	sweepNonce uint64
+	nonceBase  uint64
 	trace     span.TraceID
 	root      *span.Span
 	queues    []*queue
@@ -188,6 +192,12 @@ func validate(st *sweepState) error {
 		if cfg.Trust == nil {
 			return fmt.Errorf("sweep: Delta requires a Trust ledger (every session would fall back cold without recorded warmth)")
 		}
+	}
+	if cfg.Nonces != nil && !cfg.SharePlans {
+		// The legacy per-device-plan path draws its nonces deep inside
+		// core.System.Attest, where no journal can intercept them — a
+		// Nonces config there would silently journal nothing.
+		return fmt.Errorf("sweep: Nonces (anti-replay journal) requires SharePlans — only the shared-plan path issues its nonces where the sweep can spend them")
 	}
 	return nil
 }
@@ -261,10 +271,7 @@ func routeClasses(classes []string, shards int) map[string]int {
 func (d *Dispatcher) buildPlans(st *sweepState, classShard map[string]int) {
 	cfg := st.cfg
 	patchable := cfg.Freshness != attestation.PerSweep
-	nonce := rand.Uint64()
-	if cfg.Nonce != nil {
-		nonce = *cfg.Nonce
-	}
+	nonce := st.sweepNonce
 	st.plans = make(map[string]planEntry)
 	for i, sys := range st.systems {
 		key := st.classes[i]
@@ -375,6 +382,22 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 			st.classes[i], _ = reg.ClassOf(id)
 		}
 	}
+	if cfg.SharePlans && cfg.Freshness == attestation.PerSweep {
+		// The single sweep nonce is drawn here (not in buildPlans) so the
+		// anti-replay journal can spend it before any plan or session
+		// exists: a replayed sweep nonce aborts the sweep with no device
+		// ever configured under it.
+		st.sweepNonce = rand.Uint64()
+		if cfg.Nonce != nil {
+			st.sweepNonce = *cfg.Nonce
+		}
+		if cfg.Nonces != nil {
+			if err := cfg.Nonces.Spend(st.sweepNonce); err != nil {
+				mNonceReplays.Inc()
+				return nil, &fleet.NonceReplayError{Nonce: st.sweepNonce, Err: err}
+			}
+		}
+	}
 	st.nonceBase = rand.Uint64()
 	if cfg.NonceSeed != nil {
 		st.nonceBase = *cfg.NonceSeed
@@ -478,6 +501,10 @@ func (d *Dispatcher) Sweep(ctx context.Context, reg registry.Registry, cfg fleet
 			ch.Failed++
 		}
 		out.PerClass[r.Class] = ch
+		var nre *fleet.NonceReplayError
+		if errors.As(r.Err, &nre) {
+			out.NonceReplays = append(out.NonceReplays, r.DeviceID)
+		}
 		if r.Report != nil {
 			out.Retries += r.Report.Retries
 			out.TransportFaults += r.Report.TransportFaults
@@ -680,6 +707,16 @@ func (d *Dispatcher) attestOne(ctx context.Context, st *sweepState, i, shard, wo
 			// (base, device), identical no matter which shard or worker
 			// runs the device.
 			deviceNonce = fleet.DeviceNonce(st.nonceBase, id)
+			if cfg.Nonces != nil {
+				// Spend the derived nonce before it configures anything: a
+				// replay (e.g. the same NonceSeed re-submitted after a
+				// restart) fails this device, it is never attested under the
+				// journaled nonce.
+				if err := cfg.Nonces.Spend(deviceNonce); err != nil {
+					mNonceReplays.Inc()
+					return fleet.DeviceResult{DeviceID: id, Err: &fleet.NonceReplayError{DeviceID: id, Nonce: deviceNonce, Err: err}, Elapsed: time.Since(t0), Nonce: deviceNonce}
+				}
+			}
 			pp, err := plan.WithNonce(deviceNonce)
 			if err != nil {
 				return fleet.DeviceResult{DeviceID: id, Err: fmt.Errorf("sweep: patching nonce for device %d: %w", id, err), Elapsed: time.Since(t0)}

@@ -40,6 +40,35 @@ func (e *NoncePolicyError) Error() string {
 	return fmt.Sprintf("swarm: SweepConfig pins a nonce but selects the %s freshness policy — a pinned nonce implies per-sweep freshness; drop the pin or the policy", e.Policy)
 }
 
+// NonceSpender is the anti-replay journal the sweep consults before a
+// nonce serves an attestation: Spend is an atomic check-and-set that
+// fails (store.ErrNonceReplayed) if the nonce was already spent and is
+// still inside its replay window. store.NonceJournal implements it; the
+// interface lives here so the dispatch layer depends on the contract,
+// not the persistence.
+type NonceSpender interface {
+	Spend(nonce uint64) error
+}
+
+// NonceReplayError reports a nonce the anti-replay journal refused —
+// either the sweep nonce itself (PerSweep, before any session starts)
+// or one device's derived nonce (PerDevice/RotateKey, reported as that
+// device's Failed result). DeviceID is 0 for the sweep-level case.
+type NonceReplayError struct {
+	DeviceID uint64
+	Nonce    uint64
+	Err      error
+}
+
+func (e *NonceReplayError) Error() string {
+	if e.DeviceID == 0 {
+		return fmt.Sprintf("fleet: sweep nonce %#016x refused by the anti-replay journal: %v", e.Nonce, e.Err)
+	}
+	return fmt.Sprintf("fleet: device %d nonce %#016x refused by the anti-replay journal: %v", e.DeviceID, e.Nonce, e.Err)
+}
+
+func (e *NonceReplayError) Unwrap() error { return e.Err }
+
 // KeyModeError reports a RotateKey-policy sweep over a fleet member
 // whose key provisioning cannot rotate (only the DynPart-PUF mode ships
 // replaceable key circuits).
@@ -179,6 +208,10 @@ type Report struct {
 	// supposedly warm device. They were attested via the full-overwrite
 	// fallback and demoted in the trust ledger, never silently skipped.
 	DeltaUnexpected []uint64
+	// NonceReplays lists devices whose derived nonce the anti-replay
+	// journal refused (SweepConfig.Nonces). They are reported Failed with
+	// a NonceReplayError, never attested under the replayed nonce.
+	NonceReplays []uint64
 }
 
 // SweepConfig bounds a fleet sweep.
@@ -273,6 +306,15 @@ type SweepConfig struct {
 	// session's retained protocol events, the report and the metrics
 	// movement since the previous record.
 	Flight *span.Recorder
+	// Nonces, if non-nil, is the durable anti-replay journal: every nonce
+	// is spent (atomic check-and-set) immediately before it serves an
+	// attestation. Under PerSweep the single sweep nonce is spent before
+	// any session starts and a replay aborts the whole sweep; under
+	// PerDevice/RotateKey each device's derived nonce is spent by its
+	// worker and a replay fails only that device. Requires SharePlans —
+	// the legacy per-device-plan path draws nonces deep inside
+	// core.System where no journal can intercept them.
+	Nonces NonceSpender
 }
 
 // DefaultConcurrency is the worker-pool size used when SweepConfig does

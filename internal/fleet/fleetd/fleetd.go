@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"sacha/internal/attestation"
 	"sacha/internal/core"
 	"sacha/internal/fleet"
 	"sacha/internal/fleet/dispatch"
@@ -99,6 +100,11 @@ type SweepRecord struct {
 	DeltaApplied    int      `json:"delta_applied,omitempty"`
 	DeltaFallbacks  int      `json:"delta_fallbacks,omitempty"`
 	DeltaUnexpected []uint64 `json:"delta_unexpected,omitempty"`
+
+	// NonceReplays lists devices whose derived nonce the anti-replay
+	// journal refused (state-dir daemons only) — they are counted under
+	// Failed, never attested under the replayed nonce.
+	NonceReplays []uint64 `json:"nonce_replays,omitempty"`
 
 	PerShard []ShardRecord `json:"per_shard"`
 
@@ -209,14 +215,24 @@ func (d *Daemon) drain() {
 // API and the scheduler; callers block until the sweep completes. A
 // draining daemon refuses with an error.
 func (d *Daemon) Sweep(ctx context.Context, trigger, class string) (SweepRecord, error) {
-	return d.sweep(ctx, trigger, class, nil)
+	return d.sweep(ctx, trigger, class, sweepSpec{}, nil)
+}
+
+// sweepSpec carries one trigger's overrides of the sweep template —
+// the control-API knobs (freshness policy, pinned nonce material) the
+// crash-recovery rigs drive replays through. Nil fields inherit the
+// template.
+type sweepSpec struct {
+	freshness *attestation.FreshnessPolicy
+	nonce     *uint64
+	nonceSeed *uint64
 }
 
 // sweep is Sweep with an optional admission channel: accepted receives
 // the allocated sweep ID as soon as the sweep is admitted (before it
 // queues on the serialization mutex), or 0 when the daemon refused it —
 // what lets the async POST handler answer 202 while the sweep runs.
-func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan<- int) (SweepRecord, error) {
+func (d *Daemon) sweep(ctx context.Context, trigger, class string, spec sweepSpec, accepted chan<- int) (SweepRecord, error) {
 	d.mu.Lock()
 	if d.draining {
 		d.mu.Unlock()
@@ -253,11 +269,24 @@ func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan
 	d.sweepMu.Lock()
 	defer d.sweepMu.Unlock()
 
+	cfg := d.cfg.Template
+	cfg.Tracker = d.tracker
+	cfg.Sessions = &d.sessions
+	if spec.freshness != nil {
+		cfg.Freshness = *spec.freshness
+	}
+	if spec.nonce != nil {
+		cfg.Nonce = spec.nonce
+	}
+	if spec.nonceSeed != nil {
+		cfg.NonceSeed = spec.nonceSeed
+	}
+
 	rec := SweepRecord{
 		ID:        id,
 		Trigger:   trigger,
 		Class:     class,
-		Freshness: d.cfg.Template.Freshness.String(),
+		Freshness: cfg.Freshness.String(),
 		StartedAt: time.Now(),
 	}
 	// Publish a copy of the header: the sweep below keeps mutating rec,
@@ -267,9 +296,6 @@ func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan
 	d.active = &hdr
 	d.mu.Unlock()
 
-	cfg := d.cfg.Template
-	cfg.Tracker = d.tracker
-	cfg.Sessions = &d.sessions
 	rep, err := d.disp.Sweep(sctx, reg, cfg, d.cfg.Opts)
 	rec.ElapsedNS = time.Since(rec.StartedAt).Nanoseconds()
 	if err != nil {
@@ -289,6 +315,7 @@ func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan
 		rec.DeltaApplied = rep.DeltaApplied
 		rec.DeltaFallbacks = rep.DeltaFallbacks
 		rec.DeltaUnexpected = rep.DeltaUnexpected
+		rec.NonceReplays = rep.NonceReplays
 		for _, st := range rep.PerShard {
 			rec.PerShard = append(rec.PerShard, ShardRecord(st))
 		}
@@ -307,11 +334,14 @@ func (d *Daemon) sweep(ctx context.Context, trigger, class string, accepted chan
 	return rec, nil
 }
 
-// deviceRow is one member in the /fleet/devices listing.
+// deviceRow is one member in the /fleet/devices listing. Generation is
+// the device's current key generation (core.System.KeyGeneration) —
+// what the crash-recovery rig compares across a daemon restart.
 type deviceRow struct {
-	ID    uint64 `json:"id"`
-	Class string `json:"class"`
-	Shard int    `json:"shard"`
+	ID         uint64 `json:"id"`
+	Class      string `json:"class"`
+	Shard      int    `json:"shard"`
+	Generation uint64 `json:"generation"`
 }
 
 // statusView is the /fleet/status JSON shape.
@@ -370,7 +400,11 @@ func (d *Daemon) handleDevices(w http.ResponseWriter, r *http.Request) {
 	rows := make([]deviceRow, 0, len(reg.IDs()))
 	for _, id := range reg.IDs() {
 		class, _ := reg.ClassOf(id)
-		rows = append(rows, deviceRow{ID: id, Class: class, Shard: shardOf[class]})
+		row := deviceRow{ID: id, Class: class, Shard: shardOf[class]}
+		if sys, ok := reg.System(id); ok {
+			row.Generation = sys.KeyGeneration()
+		}
+		rows = append(rows, row)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"devices": rows,
@@ -400,6 +434,15 @@ type sweepRequest struct {
 	// Wait makes the POST synchronous: the response is the completed
 	// SweepRecord instead of an accepted-and-running header.
 	Wait bool `json:"wait"`
+	// Freshness overrides the template's freshness policy for this sweep
+	// ("per-sweep", "per-device" or "rotate-key"; empty inherits).
+	Freshness string `json:"freshness"`
+	// Nonce pins the sweep nonce (PerSweep under SharePlans) and
+	// NonceSeed the per-device derivation base (PerDevice/RotateKey) —
+	// the reproducibility knobs the crash-recovery rig replays sweeps
+	// through. Nil inherits the template (usually: draw fresh).
+	Nonce     *uint64 `json:"nonce"`
+	NonceSeed *uint64 `json:"nonce_seed"`
 }
 
 // handleSweep triggers a sweep. By default it returns 202 immediately
@@ -418,6 +461,17 @@ func (d *Daemon) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var spec sweepSpec
+	if req.Freshness != "" {
+		pol, err := attestation.ParseFreshnessPolicy(req.Freshness)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec.freshness = &pol
+	}
+	spec.nonce = req.Nonce
+	spec.nonceSeed = req.NonceSeed
 	d.mu.Lock()
 	draining := d.draining
 	d.mu.Unlock()
@@ -426,7 +480,7 @@ func (d *Daemon) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Wait {
-		rec, err := d.Sweep(r.Context(), "api", req.Class)
+		rec, err := d.sweep(r.Context(), "api", req.Class, spec, nil)
 		if err != nil && rec.ID == 0 {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -438,7 +492,7 @@ func (d *Daemon) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// the daemon's lifetime, not the request context.
 	started := make(chan int, 1)
 	go func() {
-		if _, err := d.sweep(context.Background(), "api", req.Class, started); err != nil {
+		if _, err := d.sweep(context.Background(), "api", req.Class, spec, started); err != nil {
 			obs.Logger().Warn("api sweep failed", "err", err)
 		}
 	}()

@@ -1,0 +1,166 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"sacha/internal/core"
+	"sacha/internal/store"
+)
+
+// Durable is the on-disk Registry: membership is provisioned by the
+// same factory as Static, but every device's key-generation state is
+// reconciled against a store.EnrollmentStore at construction and every
+// RotateKey journals the new generation BEFORE the rotated key serves
+// an attestation. A verifier that crashes and reboots therefore resumes
+// from exactly the generations its fleet is actually running — the
+// §5.2.1 identity→key binding survives the process.
+//
+// Reconciliation at boot is strict in both directions:
+//
+//   - A stored record whose generation is ahead of the fresh
+//     provisioning is restored into the system (both sides rewind to
+//     the stored key + helper data).
+//   - A stored record whose class or golden digest disagrees with the
+//     recomputed state is refused: the state directory describes a
+//     different fleet (other -seed, geometry, application or build),
+//     and booting against it would silently journal nonsense.
+type Durable struct {
+	mu      sync.RWMutex
+	systems map[uint64]*core.System
+	order   []uint64
+	es      *store.EnrollmentStore
+}
+
+// NewDurable provisions n devices with the factory and reconciles each
+// against the enrollment store: unseen devices are journaled, seen
+// devices are restored to their stored generation and cross-checked.
+func NewDurable(n int, factory func(deviceID uint64) (*core.System, error), es *store.EnrollmentStore) (*Durable, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("registry: fleet size %d", n)
+	}
+	if es == nil {
+		return nil, fmt.Errorf("registry: durable registry needs an enrollment store")
+	}
+	r := &Durable{systems: make(map[uint64]*core.System, n), es: es}
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		sys, err := factory(id)
+		if err != nil {
+			return nil, fmt.Errorf("registry: provisioning device %d: %w", id, err)
+		}
+		stored, ok := es.Lookup(id)
+		if !ok {
+			rec, err := enrollmentRecord(id, sys)
+			if err != nil {
+				return nil, fmt.Errorf("registry: enrolling device %d: %w", id, err)
+			}
+			if err := es.Put(rec); err != nil {
+				return nil, fmt.Errorf("registry: journaling device %d: %w", id, err)
+			}
+		} else {
+			fresh := sys.Enrollment()
+			if stored.Generation == fresh.Generation && stored.Key != fresh.Key {
+				return nil, fmt.Errorf("registry: device %d: stored key at generation %d differs from this provisioning (state dir from a different -seed?)", id, stored.Generation)
+			}
+			if err := sys.RestoreEnrollment(core.Enrollment{
+				Generation: stored.Generation,
+				Key:        stored.Key,
+				Helper:     stored.Helper,
+			}); err != nil {
+				return nil, fmt.Errorf("registry: restoring device %d: %w", id, err)
+			}
+			rec, err := enrollmentRecord(id, sys)
+			if err != nil {
+				return nil, fmt.Errorf("registry: cross-checking device %d: %w", id, err)
+			}
+			if rec.Class != stored.Class {
+				return nil, fmt.Errorf("registry: device %d: restored class %q does not match stored %q (state dir from a different fleet?)", id, rec.Class, stored.Class)
+			}
+			if rec.Golden != stored.Golden {
+				return nil, fmt.Errorf("registry: device %d: restored golden digest does not match the stored one (state dir from a different build?)", id)
+			}
+		}
+		r.systems[id] = sys
+		r.order = append(r.order, id)
+	}
+	return r, nil
+}
+
+// enrollmentRecord snapshots one system into its durable form.
+func enrollmentRecord(id uint64, sys *core.System) (store.EnrollmentRecord, error) {
+	golden, err := sys.GoldenDigest()
+	if err != nil {
+		return store.EnrollmentRecord{}, err
+	}
+	e := sys.Enrollment()
+	return store.EnrollmentRecord{
+		DeviceID:   id,
+		Generation: e.Generation,
+		Key:        e.Key,
+		Helper:     e.Helper,
+		Class:      sys.ClassKey(),
+		Golden:     golden,
+	}, nil
+}
+
+// Size returns the number of members.
+func (r *Durable) Size() int { return len(r.order) }
+
+// IDs returns the device IDs in enrollment order.
+func (r *Durable) IDs() []uint64 { return r.order }
+
+// System returns one member.
+func (r *Durable) System(deviceID uint64) (*core.System, bool) {
+	s, ok := r.systems[deviceID]
+	return s, ok
+}
+
+// ClassOf returns the device's current class key.
+func (r *Durable) ClassOf(deviceID uint64) (string, bool) {
+	s, ok := r.systems[deviceID]
+	if !ok {
+		return "", false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return s.ClassKey(), true
+}
+
+// RotateKey re-enrolls one device's PUF key and journals the new
+// generation before returning — so the bump is durable before the
+// rotated key can serve an attestation, and a crash immediately after
+// RotateKey resumes at the new generation, never the old.
+func (r *Durable) RotateKey(deviceID uint64) error {
+	s, ok := r.systems[deviceID]
+	if !ok {
+		return fmt.Errorf("registry: unknown device %d", deviceID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := s.RotateKey(); err != nil {
+		return err
+	}
+	rec, err := enrollmentRecord(deviceID, s)
+	if err != nil {
+		return fmt.Errorf("registry: journaling rotation of device %d: %w", deviceID, err)
+	}
+	if err := r.es.Put(rec); err != nil {
+		return fmt.Errorf("registry: journaling rotation of device %d: %w", deviceID, err)
+	}
+	return nil
+}
+
+// Ledger builds the registry's trust ledger: warmth is restored from
+// the store and every subsequent Record/MarkCold is journaled back, so
+// delta-admissibility survives a restart. Journal write errors are
+// deliberately dropped by the hook — lost warmth only forces the next
+// delta session back to a cold full overwrite, which is always sound.
+func (r *Durable) Ledger() *TrustLedger {
+	l := NewTrustLedger()
+	l.Restore(r.es.TrustSnapshot())
+	l.SetJournal(func(deviceID uint64, class string, warm bool) {
+		_ = r.es.PutTrust(deviceID, class, warm)
+	})
+	return l
+}

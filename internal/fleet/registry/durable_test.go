@@ -1,0 +1,162 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"sacha/internal/core"
+	"sacha/internal/device"
+	"sacha/internal/netlist"
+	"sacha/internal/store"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// seededFactory is mixedFactory with a controllable provisioning seed —
+// the knob the boot-time reconciliation must detect drifting.
+func seededFactory(seed int64) func(uint64) (*core.System, error) {
+	return func(id uint64) (*core.System, error) {
+		geo := device.TinyLX()
+		if id%2 == 0 {
+			geo = device.SmallLX()
+		}
+		return core.NewSystem(core.Config{
+			Geo:        geo,
+			App:        netlist.Blinker(8),
+			KeyMode:    core.KeyDynPUF,
+			DeviceID:   id,
+			LabLatency: -1,
+			Seed:       seed + int64(id),
+		})
+	}
+}
+
+// TestDurableResumesGenerations: rotations journaled by one registry
+// are the generations the next registry on the same store boots at.
+func TestDurableResumesGenerations(t *testing.T) {
+	st := testStore(t)
+	r1, err := NewDurable(4, seededFactory(0), st.Enrollment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.RotateKey(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.RotateKey(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.RotateKey(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.RotateKey(42); err == nil {
+		t.Fatal("rotated a phantom member")
+	}
+
+	r2, err := NewDurable(4, seededFactory(0), st.Enrollment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{1: 1, 2: 3, 3: 2, 4: 1}
+	for id, gen := range want {
+		sys, ok := r2.System(id)
+		if !ok {
+			t.Fatalf("member %d missing after reboot", id)
+		}
+		if got := sys.KeyGeneration(); got != gen {
+			t.Fatalf("device %d rebooted at generation %d, want %d", id, got, gen)
+		}
+		// The restored class must agree with the live system's — the
+		// rotation's class advance survived the reboot too.
+		first, _ := r1.ClassOf(id)
+		second, _ := r2.ClassOf(id)
+		if first != second {
+			t.Fatalf("device %d class drifted across reboot: %q vs %q", id, first, second)
+		}
+	}
+}
+
+// TestDurableRefusesForeignStateDir: a state directory written under a
+// different provisioning seed describes different physical devices;
+// booting against it must fail loudly, not journal nonsense.
+func TestDurableRefusesForeignStateDir(t *testing.T) {
+	st := testStore(t)
+	if _, err := NewDurable(4, seededFactory(0), st.Enrollment()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewDurable(4, seededFactory(7777), st.Enrollment())
+	if err == nil || !strings.Contains(err.Error(), "different -seed") {
+		t.Fatalf("foreign state dir accepted (err=%v)", err)
+	}
+}
+
+// TestDurableRefusesGeometryDrift: same seed, different fleet layout —
+// the stored class key catches it.
+func TestDurableRefusesGeometryDrift(t *testing.T) {
+	st := testStore(t)
+	if _, err := NewDurable(2, seededFactory(0), st.Enrollment()); err != nil {
+		t.Fatal(err)
+	}
+	allTiny := func(id uint64) (*core.System, error) {
+		return core.NewSystem(core.Config{
+			Geo:        device.TinyLX(),
+			App:        netlist.Blinker(8),
+			KeyMode:    core.KeyDynPUF,
+			DeviceID:   id,
+			LabLatency: -1,
+			Seed:       int64(id),
+		})
+	}
+	_, err := NewDurable(2, allTiny, st.Enrollment())
+	if err == nil || !strings.Contains(err.Error(), "class") {
+		t.Fatalf("geometry drift accepted (err=%v)", err)
+	}
+}
+
+// TestDurableLedgerPersistsWarmth: warmth recorded through the durable
+// ledger is the warmth the next boot's ledger restores — and cold
+// demotions persist the same way.
+func TestDurableLedgerPersistsWarmth(t *testing.T) {
+	st := testStore(t)
+	r1, err := NewDurable(3, seededFactory(0), st.Enrollment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	class1, _ := r1.ClassOf(1)
+	class2, _ := r1.ClassOf(2)
+	led := r1.Ledger()
+	led.Record(1, class1, true)
+	led.Record(2, class2, true)
+	led.Record(2, class2, false) // demotion must persist too
+
+	r2, err := NewDurable(3, seededFactory(0), st.Enrollment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	led2 := r2.Ledger()
+	if !led2.Warm(1, class1) {
+		t.Fatal("device 1 warmth lost across reboot")
+	}
+	if led2.Warm(2, class2) {
+		t.Fatal("device 2 demotion lost across reboot")
+	}
+	if led2.Warm(3, class1) {
+		t.Fatal("device 3 never attested but rebooted warm")
+	}
+
+	led2.MarkCold(1)
+	r3, err := NewDurable(3, seededFactory(0), st.Enrollment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Ledger().Warm(1, class1) {
+		t.Fatal("MarkCold was not journaled")
+	}
+}

@@ -17,8 +17,9 @@ import "sync"
 // A key rotation or golden change advances the class string, so stale
 // warmth from a previous generation never matches.
 type TrustLedger struct {
-	mu   sync.Mutex
-	warm map[uint64]string // device ID -> class key of the last full-trust attestation
+	mu      sync.Mutex
+	warm    map[uint64]string // device ID -> class key of the last full-trust attestation
+	journal func(deviceID uint64, class string, warm bool)
 }
 
 // NewTrustLedger returns an empty ledger: every device is cold.
@@ -44,6 +45,9 @@ func (l *TrustLedger) Record(deviceID uint64, class string, fullTrust bool) {
 	} else {
 		delete(l.warm, deviceID)
 	}
+	if l.journal != nil {
+		l.journal(deviceID, class, fullTrust)
+	}
 }
 
 // MarkCold demotes one device unconditionally (e.g. on an out-of-band
@@ -52,4 +56,26 @@ func (l *TrustLedger) MarkCold(deviceID uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.warm, deviceID)
+	if l.journal != nil {
+		l.journal(deviceID, "", false)
+	}
+}
+
+// Restore seeds the ledger with persisted warmth (device → class of
+// its last full-trust attestation) — the durable registry's boot path.
+func (l *TrustLedger) Restore(warm map[uint64]string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, class := range warm {
+		l.warm[id] = class
+	}
+}
+
+// SetJournal installs a hook invoked (under the ledger lock) on every
+// warmth change, so a durable registry can persist the ledger. The hook
+// must not call back into the ledger.
+func (l *TrustLedger) SetJournal(journal func(deviceID uint64, class string, warm bool)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = journal
 }

@@ -1,0 +1,326 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// kindEnroll tags the enrollment store's files; its record stream
+// carries two payload tags: device enrollments and trust-ledger marks.
+const kindEnroll = 'E'
+
+const (
+	tagEnrollment = 1
+	tagTrust      = 2
+)
+
+// EnrollmentRecord is the durable provisioning state of one device: the
+// identity → key-generation binding of §5.2.1, plus the class key and
+// the nonce-free golden digest that let a reopening registry verify the
+// state directory actually describes the fleet it is booting.
+type EnrollmentRecord struct {
+	DeviceID uint64
+	// Generation is the PUF circuit generation (core.System.KeyGeneration);
+	// RotateKey bumps it and persists the bump before the new key serves.
+	Generation uint64
+	// Key is the enrolled CMAC key of this generation. It is stored
+	// verbatim because PUF enrollment draws from the device's rng stream:
+	// the key is NOT a pure function of (device, generation) and cannot
+	// be re-derived after a restart.
+	Key [16]byte
+	// Helper is the fuzzy-extractor helper data the prover needs to
+	// re-extract the key from its noisy PUF.
+	Helper []byte
+	// Class is the device's plan-sharing class key at this generation.
+	Class string
+	// Golden is the nonce-free digest of the device's golden image —
+	// the cross-check that detects a state directory from a different
+	// build, application or geometry at boot.
+	Golden [32]byte
+}
+
+// trustEntry is one device's persisted delta-admissibility warmth.
+type trustEntry struct {
+	class string
+	warm  bool
+}
+
+// EnrollmentStore is the durable device table behind registry.Durable.
+// All methods are safe for concurrent use.
+type EnrollmentStore struct {
+	lg      *log
+	mu      sync.Mutex
+	devices map[uint64]EnrollmentRecord
+	trust   map[uint64]trustEntry
+}
+
+func openEnrollment(dir string, o Options) (*EnrollmentStore, error) {
+	lg, records, err := openLog(dir, "enroll", kindEnroll, o)
+	if err != nil {
+		return nil, err
+	}
+	e := &EnrollmentStore{
+		lg:      lg,
+		devices: make(map[uint64]EnrollmentRecord),
+		trust:   make(map[uint64]trustEntry),
+	}
+	for _, rec := range records {
+		if err := e.apply(rec); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("store: enrollment replay: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// apply folds one decoded record into the in-memory state. Replay is
+// idempotent and last-write-wins per device, which is what makes the
+// snapshot/journal split (and a crash between compaction's rename and
+// truncate) safe.
+func (e *EnrollmentStore) apply(payload []byte) error {
+	c := cursor{data: payload}
+	tag, err := c.u8()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagEnrollment:
+		var rec EnrollmentRecord
+		if rec.DeviceID, err = c.u64(); err != nil {
+			return err
+		}
+		if rec.Generation, err = c.u64(); err != nil {
+			return err
+		}
+		key, err := c.bytes(16)
+		if err != nil {
+			return err
+		}
+		copy(rec.Key[:], key)
+		golden, err := c.bytes(32)
+		if err != nil {
+			return err
+		}
+		copy(rec.Golden[:], golden)
+		if rec.Helper, err = c.lenBytes(); err != nil {
+			return err
+		}
+		class, err := c.lenBytes()
+		if err != nil {
+			return err
+		}
+		rec.Class = string(class)
+		if err := c.done(); err != nil {
+			return err
+		}
+		e.devices[rec.DeviceID] = rec
+	case tagTrust:
+		id, err := c.u64()
+		if err != nil {
+			return err
+		}
+		warm, err := c.u8()
+		if err != nil {
+			return err
+		}
+		class, err := c.lenBytes()
+		if err != nil {
+			return err
+		}
+		if err := c.done(); err != nil {
+			return err
+		}
+		if warm != 0 {
+			e.trust[id] = trustEntry{class: string(class), warm: true}
+		} else {
+			delete(e.trust, id)
+		}
+	default:
+		return fmt.Errorf("unknown record tag %d", tag)
+	}
+	return nil
+}
+
+func encodeEnrollment(rec EnrollmentRecord) []byte {
+	buf := make([]byte, 0, 1+8+8+16+32+2+len(rec.Helper)+2+len(rec.Class))
+	buf = append(buf, tagEnrollment)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.DeviceID)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Generation)
+	buf = append(buf, rec.Key[:]...)
+	buf = append(buf, rec.Golden[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Helper)))
+	buf = append(buf, rec.Helper...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Class)))
+	buf = append(buf, rec.Class...)
+	return buf
+}
+
+func encodeTrust(id uint64, class string, warm bool) []byte {
+	buf := make([]byte, 0, 1+8+1+2+len(class))
+	buf = append(buf, tagTrust)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	if warm {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(class)))
+	buf = append(buf, class...)
+	return buf
+}
+
+// Lookup returns the stored record of one device.
+func (e *EnrollmentStore) Lookup(deviceID uint64) (EnrollmentRecord, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.devices[deviceID]
+	return rec, ok
+}
+
+// Devices returns the stored device IDs, ascending.
+func (e *EnrollmentStore) Devices() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]uint64, 0, len(e.devices))
+	for id := range e.devices {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Put journals one device's enrollment state — called at first
+// provisioning and, crucially, from RotateKey before the new key serves
+// any attestation, so the generation bump is durable first.
+func (e *EnrollmentStore) Put(rec EnrollmentRecord) error {
+	if len(rec.Helper) > MaxRecord/2 || len(rec.Class) > MaxRecord/2 {
+		return fmt.Errorf("store: enrollment record for device %d too large", rec.DeviceID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.lg.Append(encodeEnrollment(rec)); err != nil {
+		return err
+	}
+	e.devices[rec.DeviceID] = rec
+	return e.lg.MaybeCompact(e.stateLocked)
+}
+
+// PutTrust journals one device's delta-admissibility warmth (warm for
+// exactly this class) or its demotion to cold.
+func (e *EnrollmentStore) PutTrust(deviceID uint64, class string, warm bool) error {
+	if len(class) > MaxRecord/2 {
+		return fmt.Errorf("store: trust class for device %d too large", deviceID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.lg.Append(encodeTrust(deviceID, class, warm)); err != nil {
+		return err
+	}
+	if warm {
+		e.trust[deviceID] = trustEntry{class: class, warm: true}
+	} else {
+		delete(e.trust, deviceID)
+	}
+	return e.lg.MaybeCompact(e.stateLocked)
+}
+
+// TrustSnapshot returns the persisted warmth map (device → class of its
+// last full-trust attestation) — the registry.TrustLedger boot state.
+func (e *EnrollmentStore) TrustSnapshot() map[uint64]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[uint64]string, len(e.trust))
+	for id, t := range e.trust {
+		out[id] = t.class
+	}
+	return out
+}
+
+// stateLocked renders the current state as the compacted record list.
+func (e *EnrollmentStore) stateLocked() [][]byte {
+	ids := make([]uint64, 0, len(e.devices))
+	for id := range e.devices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([][]byte, 0, len(ids)+len(e.trust))
+	for _, id := range ids {
+		out = append(out, encodeEnrollment(e.devices[id]))
+	}
+	tids := make([]uint64, 0, len(e.trust))
+	for id := range e.trust {
+		tids = append(tids, id)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, id := range tids {
+		t := e.trust[id]
+		out = append(out, encodeTrust(id, t.class, true))
+	}
+	return out
+}
+
+// cursor is the bounded payload reader: every read checks the remaining
+// input first, so a hostile payload yields an error, never a panic or
+// an out-of-bounds allocation.
+type cursor struct {
+	data []byte
+	off  int
+}
+
+func (c *cursor) u8() (byte, error) {
+	if c.off+1 > len(c.data) {
+		return 0, fmt.Errorf("truncated payload at offset %d", c.off)
+	}
+	v := c.data[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.off+8 > len(c.data) {
+		return 0, fmt.Errorf("truncated payload at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint64(c.data[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.off+2 > len(c.data) {
+		return 0, fmt.Errorf("truncated payload at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint16(c.data[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+// bytes copies exactly n bytes.
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if c.off+n > len(c.data) {
+		return nil, fmt.Errorf("truncated payload at offset %d", c.off)
+	}
+	out := make([]byte, n)
+	copy(out, c.data[c.off:])
+	c.off += n
+	return out, nil
+}
+
+// lenBytes reads a uint16 length prefix and that many bytes. The length
+// is validated against the remaining input before allocating.
+func (c *cursor) lenBytes() ([]byte, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	return c.bytes(int(n))
+}
+
+// done rejects trailing garbage behind a well-formed payload.
+func (c *cursor) done() error {
+	if c.off != len(c.data) {
+		return fmt.Errorf("%d trailing bytes", len(c.data)-c.off)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// realRunBytes builds a journal the way a real fleet run would — an
+// enrollment per device, a rotation, trust marks, spent nonces — and
+// returns the two journal files' raw bytes as fuzz seed corpus.
+func realRunBytes(f *testing.F) (enroll, nonce []byte) {
+	dir := f.TempDir()
+	st, err := Open(dir, Options{Sync: SyncBatch})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if err := st.Enrollment().Put(testRecordF(id, 1)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := st.Enrollment().Put(testRecordF(2, 2)); err != nil {
+		f.Fatal(err)
+	}
+	st.Enrollment().PutTrust(1, "c", true)
+	st.Enrollment().PutTrust(1, "c", false)
+	for _, n := range []uint64{3, 0x9E3779B97F4A7C15, ^uint64(0)} {
+		if err := st.Nonces().Spend(n); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		f.Fatal(err)
+	}
+	enroll, err = os.ReadFile(filepath.Join(dir, "enroll.journal"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	nonce, err = os.ReadFile(filepath.Join(dir, "nonce.journal"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return enroll, nonce
+}
+
+func testRecordF(id, gen uint64) EnrollmentRecord {
+	rec := EnrollmentRecord{DeviceID: id, Generation: gen,
+		Helper: []byte{9, 8, 7}, Class: "fuzz-class"}
+	rec.Key[0] = byte(id)
+	rec.Golden[0] = byte(gen)
+	return rec
+}
+
+// FuzzStoreDecode throws hostile bytes at every decode surface: the
+// bare record-stream decoder, the journal open path (which must degrade
+// to truncation or an error) and the snapshot open path (which must
+// reject, never panic or over-allocate). The bound it holds: decoded
+// payload bytes never exceed input bytes — no allocation amplification.
+func FuzzStoreDecode(f *testing.F) {
+	enroll, nonce := realRunBytes(f)
+	f.Add(enroll)
+	f.Add(nonce)
+	f.Add([]byte(magic + "E"))
+	f.Add([]byte(magic + "N\xff\xff\xff\xff\x00\x00\x00\x00"))
+	f.Add(append(header(kindNonce), frameRecord(encodeNonce(7, 0))...))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if recs, err := DecodeRecords(data); err == nil {
+			total := 0
+			for _, r := range recs {
+				total += len(r)
+			}
+			if total > len(data) {
+				t.Fatalf("decoded %d payload bytes from %d input bytes", total, len(data))
+			}
+		}
+
+		// The same bytes as both journals: Open either tolerates (torn
+		// tail) or rejects (hostile payload) — and a successful open must
+		// yield a usable, reopenable store.
+		dir := t.TempDir()
+		os.WriteFile(filepath.Join(dir, "enroll.journal"), data, 0o644)
+		os.WriteFile(filepath.Join(dir, "nonce.journal"), data, 0o644)
+		if st, err := Open(dir, Options{Sync: SyncBatch}); err == nil {
+			st.Enrollment().Lookup(1)
+			if err := st.Nonces().Spend(0x5EED); err != nil && !errors.Is(err, ErrNonceReplayed) {
+				t.Fatalf("spend on survivor store: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatalf("close survivor store: %v", err)
+			}
+			if st2, err := Open(dir, Options{Sync: SyncBatch}); err != nil {
+				t.Fatalf("reopen of a store we successfully wrote: %v", err)
+			} else {
+				st2.Close()
+			}
+		}
+
+		// The same bytes as a snapshot: strictly validated, error not panic.
+		dir2 := t.TempDir()
+		os.WriteFile(filepath.Join(dir2, "enroll.snap"), data, 0o644)
+		if st, err := Open(dir2, Options{Sync: SyncBatch}); err == nil {
+			st.Close()
+		}
+	})
+}
+
+// FuzzNonceJournal drives the journal through byte-programmed spend /
+// crash / reopen sequences against a pure in-memory model: replay must
+// be idempotent and path-independent — wherever the crashes land and
+// whether or not Close ran, the reopened journal's verdicts equal the
+// model's.
+func FuzzNonceJournal(f *testing.F) {
+	_, nonce := realRunBytes(f)
+	f.Add(nonce)
+	f.Add([]byte{0, 1, 0, 1, 2, 0, 0, 1})
+	f.Add([]byte{0, 5, 2, 1, 0, 5, 2, 0, 0, 5})
+	f.Add([]byte{1, 1, 1, 2, 1, 3, 2, 2, 1, 1})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 256 {
+			program = program[:256]
+		}
+		dir := t.TempDir()
+		// CompactEvery 3 forces snapshot/journal splits at many program
+		// points — the path-independence half of the contract.
+		o := Options{Sync: SyncBatch, CompactEvery: 3}
+		st, err := Open(dir, o)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		model := make(map[uint64]bool)
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i], program[i+1]
+			switch op % 3 {
+			case 0, 1:
+				// A small nonce space forces replay collisions constantly.
+				n := uint64(arg % 16)
+				err := st.Nonces().Spend(n)
+				if model[n] {
+					if !errors.Is(err, ErrNonceReplayed) {
+						t.Fatalf("spent nonce %d re-spent (err=%v)", n, err)
+					}
+				} else {
+					if err != nil {
+						t.Fatalf("fresh nonce %d refused: %v", n, err)
+					}
+					model[n] = true
+				}
+			case 2:
+				// Crash (odd arg: no Close — the SIGKILL shape) or clean
+				// restart (even arg), then reopen.
+				if arg%2 == 0 {
+					if err := st.Close(); err != nil {
+						t.Fatalf("close: %v", err)
+					}
+				}
+				st2, err := Open(dir, o)
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				if arg%2 != 0 {
+					st.Close() // release the abandoned handles
+				}
+				st = st2
+			}
+		}
+		for n := uint64(0); n < 16; n++ {
+			if st.Nonces().Spent(n) != model[n] {
+				t.Fatalf("nonce %d: journal=%t model=%t", n, st.Nonces().Spent(n), model[n])
+			}
+		}
+		st.Close()
+	})
+}
